@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper at QUICK
+reproduction scale and prints the corresponding report, so running
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the full evaluation section in one go.  Reports are printed with
+``-s``-independent ``print`` calls at the end of each benchmark; pytest shows
+them for failed tests and ``--capture=no`` shows them always.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,31 @@
+"""Ablation — interconnect sensitivity.
+
+Reproduces the paper's systems argument: the gap between Newton-ADMM (one
+communication round per iteration) and GIANT (three rounds) is modest on the
+paper's 100 Gb/s InfiniBand but grows as the interconnect slows down.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_interconnect_sensitivity
+
+
+def test_ablation_interconnect_sensitivity(benchmark):
+    result = run_once(benchmark, ablation_interconnect_sensitivity)
+    rows = {r["network"]: r for r in result["rows"]}
+    print("\n" + result["report"])
+
+    assert set(rows) == {"infiniband_100g", "ethernet_10g", "wan_slow"}
+    for row in rows.values():
+        # GIANT's three rounds always cost at least as much communication.
+        assert row["giant_comm_s"] >= row["admm_comm_s"]
+    # The epoch-time advantage of Newton-ADMM grows monotonically as the
+    # interconnect degrades (InfiniBand -> 10 GbE -> WAN).
+    ratios = [
+        rows["infiniband_100g"]["giant_over_admm"],
+        rows["ethernet_10g"]["giant_over_admm"],
+        rows["wan_slow"]["giant_over_admm"],
+    ]
+    assert ratios[1] >= ratios[0] * 0.99
+    assert ratios[2] >= ratios[1] * 0.99
+    assert ratios[2] > 1.5  # on a WAN the single round dominates

@@ -1,0 +1,23 @@
+"""Ablation — straggler sensitivity of the synchronous distributed methods."""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_straggler_sensitivity
+
+
+def test_ablation_straggler_sensitivity(benchmark):
+    result = run_once(benchmark, ablation_straggler_sensitivity)
+    rows = result["rows"]
+    print("\n" + result["report"])
+
+    by_key = {(r["slowdown"], r["method"]): r for r in rows}
+    for method in ("newton_admm", "giant"):
+        base = by_key[(1.0, method)]["avg_epoch_time_s"]
+        slow4 = by_key[(4.0, method)]["avg_epoch_time_s"]
+        slow16 = by_key[(16.0, method)]["avg_epoch_time_s"]
+        # Synchronous methods pay for the straggler: epoch time grows
+        # monotonically with the slowdown factor.
+        assert base < slow4 < slow16
+        # And the growth is driven by compute (the straggling part), not
+        # communication.
+        assert by_key[(16.0, method)]["compute_s"] > by_key[(1.0, method)]["compute_s"]

@@ -1,0 +1,47 @@
+"""Figure 2 — average epoch time under strong and weak scaling
+(Newton-ADMM vs GIANT on all four workloads)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness.experiments import figure2_epoch_times
+
+
+def test_figure2_epoch_times(benchmark):
+    result = run_once(benchmark, figure2_epoch_times)
+    rows = result["rows"]
+    print("\n" + result["report"])
+
+    # 4 datasets x 2 scalings x 4 worker counts x 2 methods
+    assert len(rows) == 64
+
+    def epoch_time(dataset, scaling, workers, method):
+        for r in rows:
+            if (
+                r["dataset"] == dataset
+                and r["scaling"] == scaling
+                and r["workers"] == workers
+                and r["method"] == method
+            ):
+                return r["avg_epoch_time_ms"]
+        raise KeyError((dataset, scaling, workers, method))
+
+    # Strong scaling: epoch time decreases substantially from 1 to 8 workers.
+    for method in ("newton_admm", "giant"):
+        for dataset in ("HIGGS", "MNIST", "CIFAR-10"):
+            assert epoch_time(dataset, "strong", 8, method) < epoch_time(
+                dataset, "strong", 1, method
+            )
+
+    # Weak scaling: epoch time stays within a small factor of the 1-worker time.
+    for method in ("newton_admm", "giant"):
+        for dataset in ("HIGGS", "MNIST"):
+            ratio = epoch_time(dataset, "weak", 8, method) / epoch_time(
+                dataset, "weak", 1, method
+            )
+            assert 0.4 < ratio < 2.5
+
+    # Newton-ADMM's epoch time does not exceed GIANT's on average.
+    admm_mean = np.mean([r["avg_epoch_time_ms"] for r in rows if r["method"] == "newton_admm"])
+    giant_mean = np.mean([r["avg_epoch_time_ms"] for r in rows if r["method"] == "giant"])
+    assert admm_mean < giant_mean

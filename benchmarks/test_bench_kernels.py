@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the numerical kernels every solver is built on.
+
+Unlike the figure benchmarks (which run a whole experiment once), these use
+pytest-benchmark's normal repeated timing, giving a stable baseline for
+performance-regression tracking of the hot paths: softmax value/gradient/HVP,
+CG, and one Newton-ADMM epoch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.admm.newton_admm import NewtonADMM
+from repro.datasets.registry import mnist_like
+from repro.distributed.cluster import SimulatedCluster
+from repro.linalg.cg import conjugate_gradient
+from repro.linalg.operators import HessianOperator
+from repro.objectives.base import RegularizedObjective
+from repro.objectives.regularizers import L2Regularizer
+from repro.objectives.softmax import SoftmaxCrossEntropy
+
+
+@pytest.fixture(scope="module")
+def softmax_problem():
+    train, _ = mnist_like(n_train=2000, n_test=100, random_state=0)
+    loss = SoftmaxCrossEntropy(train.X, train.y, train.n_classes)
+    objective = RegularizedObjective(loss, L2Regularizer(loss.dim, 1e-5))
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal(objective.dim) * 0.01
+    v = rng.standard_normal(objective.dim)
+    return objective, w, v
+
+
+def test_softmax_value(benchmark, softmax_problem):
+    objective, w, _ = softmax_problem
+    value = benchmark(objective.value, w)
+    assert np.isfinite(value)
+
+
+def test_softmax_gradient(benchmark, softmax_problem):
+    objective, w, _ = softmax_problem
+    grad = benchmark(objective.gradient, w)
+    assert grad.shape == w.shape
+
+
+def test_softmax_hvp(benchmark, softmax_problem):
+    objective, w, v = softmax_problem
+    hv = benchmark(objective.hvp, w, v)
+    assert hv.shape == w.shape
+
+
+def test_cg_ten_iterations(benchmark, softmax_problem):
+    objective, w, _ = softmax_problem
+    grad = objective.gradient(w)
+    op = HessianOperator(objective, w)
+    result = benchmark(
+        conjugate_gradient, op, -grad, tol=1e-4, max_iter=10
+    )
+    assert result.n_iterations <= 10
+
+
+def test_newton_admm_single_epoch(benchmark):
+    train, _ = mnist_like(n_train=1000, n_test=100, random_state=0)
+
+    def one_epoch():
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        return NewtonADMM(lam=1e-5, max_epochs=1, record_accuracy=False).fit(cluster)
+
+    trace = benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    assert trace.n_epochs == 1

@@ -1,0 +1,11 @@
+"""Table 1 — dataset descriptions (paper vs. reproduction stand-ins)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark):
+    result = run_once(benchmark, table1_datasets)
+    assert len(result["rows"]) == 4
+    print("\n" + result["report"])

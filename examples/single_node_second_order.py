@@ -1,0 +1,66 @@
+"""Single-node second-order solver tour on the HIGGS-like binary problem.
+
+The distributed Newton-ADMM driver delegates every local subproblem to a
+single-node solver; this example compares the solvers the library ships for
+that role — inexact Newton-CG (the paper's Algorithm 1), trust-region Newton,
+sub-sampled Newton and Newton-Sketch — plus L-BFGS as the quasi-Newton
+reference, on an L2-regularized logistic regression.
+
+Run with:  python examples/single_node_second_order.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.metrics import format_table
+from repro.objectives import BinaryLogistic, L2Regularizer, RegularizedObjective
+from repro.solvers import (
+    LBFGS,
+    NewtonCG,
+    NewtonSketch,
+    SubsampledNewton,
+    TrustRegionNewton,
+)
+
+
+def main() -> None:
+    train, test = load_dataset("higgs_like", n_train=8000, n_test=2000, random_state=0)
+    loss = BinaryLogistic(train.X, train.y)
+    objective = RegularizedObjective(loss, L2Regularizer(loss.dim, 1e-4))
+
+    solvers = {
+        "newton_cg": NewtonCG(max_iterations=30, cg_max_iter=20, cg_tol=1e-6),
+        "trust_region": TrustRegionNewton(max_iterations=30, cg_max_iter=30),
+        "subsampled_newton": SubsampledNewton(
+            hessian_sample_fraction=0.1, max_iterations=30, cg_max_iter=20, random_state=0
+        ),
+        "newton_sketch": NewtonSketch(
+            sketch_size=400, sketch_kind="count", max_iterations=30, random_state=0
+        ),
+        "lbfgs": LBFGS(max_iterations=100),
+    }
+
+    rows = []
+    for name, solver in solvers.items():
+        result = solver.minimize(objective)
+        test_accuracy = float(np.mean(loss.predict(result.w, test.X) == test.y))
+        rows.append(
+            {
+                "solver": name,
+                "iterations": result.n_iterations,
+                "final_objective": result.objective,
+                "grad_norm": result.grad_norm,
+                "test_accuracy": test_accuracy,
+                "wall_time_s": result.info.get("wall_time", float("nan")),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title="Single-node solvers on the HIGGS-like logistic problem (lambda=1e-4)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

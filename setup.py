@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that environments without the ``wheel`` package (offline machines where
+PEP 660 editable installs cannot build) can still do
+``pip install -e . --no-build-isolation`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

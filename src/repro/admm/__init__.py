@@ -1,0 +1,29 @@
+"""Newton-ADMM — the paper's primary contribution.
+
+:class:`NewtonADMM` implements Algorithm 2: a global consensus ADMM whose
+local subproblems are solved with the inexact Newton-CG method of Algorithm 1,
+with adaptive per-worker penalties (Spectral Penalty Selection by default) and
+exactly one communication round per outer iteration.
+"""
+
+from repro.admm.penalty import (
+    FixedPenalty,
+    ResidualBalancing,
+    SpectralPenalty,
+    make_penalty_policy,
+    PenaltyObservation,
+)
+from repro.admm.consensus import consensus_z_update, admm_residuals, ADMMResiduals
+from repro.admm.newton_admm import NewtonADMM
+
+__all__ = [
+    "FixedPenalty",
+    "ResidualBalancing",
+    "SpectralPenalty",
+    "make_penalty_policy",
+    "PenaltyObservation",
+    "consensus_z_update",
+    "admm_residuals",
+    "ADMMResiduals",
+    "NewtonADMM",
+]

@@ -1,0 +1,115 @@
+"""Consensus variable update and ADMM residuals.
+
+For the L2 regularizer ``g(z) = (lam/2) ||z||^2`` the z-update of eq. (6b) has
+the closed form of eq. (7):
+
+    z^{k+1} (lam + sum_i rho_i) = sum_i (rho_i x_i^{k+1} - y_i^k)
+
+which the master evaluates after gathering the per-worker vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def consensus_z_update(
+    x_list: Sequence[np.ndarray],
+    y_list: Sequence[np.ndarray],
+    rho_list: Sequence[float],
+    lam: float,
+) -> np.ndarray:
+    """Closed-form consensus update for L2 regularization (paper eq. 7).
+
+    Parameters
+    ----------
+    x_list, y_list:
+        Per-worker primal iterates ``x_i^{k+1}`` and duals ``y_i^k``.
+    rho_list:
+        Per-worker penalties ``rho_i^k``.
+    lam:
+        L2 regularization strength.
+    """
+    n = len(x_list)
+    if not (len(y_list) == len(rho_list) == n) or n == 0:
+        raise ValueError(
+            f"x_list, y_list, rho_list must be non-empty and equal length, got "
+            f"{len(x_list)}, {len(y_list)}, {len(rho_list)}"
+        )
+    if lam < 0:
+        raise ValueError(f"lam must be non-negative, got {lam}")
+    rho_sum = float(np.sum(rho_list))
+    if lam + rho_sum <= 0:
+        raise ValueError("lam + sum(rho) must be positive for the z-update")
+    numerator = np.zeros_like(np.asarray(x_list[0], dtype=np.float64))
+    for x_i, y_i, rho_i in zip(x_list, y_list, rho_list):
+        numerator += rho_i * np.asarray(x_i, dtype=np.float64) - np.asarray(
+            y_i, dtype=np.float64
+        )
+    return numerator / (lam + rho_sum)
+
+
+@dataclass
+class ADMMResiduals:
+    """Primal/dual residual norms and their stopping thresholds (Boyd §3.3)."""
+
+    primal_norm: float
+    dual_norm: float
+    primal_tol: float
+    dual_tol: float
+
+    @property
+    def converged(self) -> bool:
+        return self.primal_norm <= self.primal_tol and self.dual_norm <= self.dual_tol
+
+
+def admm_residuals(
+    x_list: Sequence[np.ndarray],
+    z_new: np.ndarray,
+    z_old: np.ndarray,
+    y_list: Sequence[np.ndarray],
+    rho_list: Sequence[float],
+    *,
+    abs_tol: float = 1e-6,
+    rel_tol: float = 1e-4,
+) -> ADMMResiduals:
+    """Compute consensus-ADMM primal and dual residuals with Boyd's tolerances.
+
+    The primal residual stacks ``x_i - z`` over workers; the dual residual is
+    ``rho_i (z^{k+1} - z^k)`` stacked over workers.
+    """
+    z_new = np.asarray(z_new, dtype=np.float64)
+    z_old = np.asarray(z_old, dtype=np.float64)
+    n = len(x_list)
+    if n == 0:
+        raise ValueError("x_list must be non-empty")
+    primal_sq = 0.0
+    x_norm_sq = 0.0
+    y_norm_sq = 0.0
+    dz = z_new - z_old
+    dual_sq = 0.0
+    for x_i, y_i, rho_i in zip(x_list, y_list, rho_list):
+        x_i = np.asarray(x_i, dtype=np.float64)
+        y_i = np.asarray(y_i, dtype=np.float64)
+        diff = x_i - z_new
+        primal_sq += float(diff @ diff)
+        x_norm_sq += float(x_i @ x_i)
+        y_norm_sq += float(y_i @ y_i)
+        dual_sq += float(rho_i**2) * float(dz @ dz)
+    primal_norm = float(np.sqrt(primal_sq))
+    dual_norm = float(np.sqrt(dual_sq))
+    dim = z_new.shape[0]
+    z_norm_sq = n * float(z_new @ z_new)
+    primal_tol = np.sqrt(n * dim) * abs_tol + rel_tol * max(
+        np.sqrt(x_norm_sq), np.sqrt(z_norm_sq)
+    )
+    dual_tol = np.sqrt(n * dim) * abs_tol + rel_tol * np.sqrt(y_norm_sq)
+    return ADMMResiduals(
+        primal_norm=primal_norm,
+        dual_norm=dual_norm,
+        primal_tol=float(primal_tol),
+        dual_tol=float(dual_tol),
+    )

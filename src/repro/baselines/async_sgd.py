@@ -1,0 +1,182 @@
+"""Asynchronous parameter-server SGD (the staleness-prone first-order baseline).
+
+The paper's first-order comparison (§3, "Newton-ADMM outperforms
+state-of-the-art distributed First-order methods") notes that asynchronous
+SGD "weakens the rate of convergence due to the updates of older gradients to
+global weight" and therefore compares only against synchronous SGD.  This
+baseline implements the asynchronous variant so that claim can be reproduced
+rather than assumed: workers pull the weights from a parameter server, compute
+a mini-batch gradient, and push it back without any barrier, so by the time a
+gradient is applied the server has already moved on by roughly ``N - 1``
+updates (the *staleness*).
+
+Cost model
+----------
+Workers overlap compute with each other; the parameter server serializes the
+gradient receive + weight send of every update.  The modelled time per update
+is therefore ``max(worker_cycle / N, server_handling)`` where
+``worker_cycle = compute + push + pull``.  Staleness defaults to ``N - 1``
+(the steady-state value of a round-robin pipeline) and is applied exactly:
+the gradient for global step ``t`` is evaluated at the weights of step
+``t - staleness``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.solver_base import DistributedSolver
+from repro.objectives.softmax import SoftmaxCrossEntropy
+from repro.utils.rng import check_random_state
+
+
+class AsynchronousSGD(DistributedSolver):
+    """Parameter-server SGD with stale gradient updates.
+
+    Parameters
+    ----------
+    step_size:
+        Learning rate.
+    batch_size:
+        Per-worker mini-batch size (paper's synchronous baseline uses 128).
+    staleness:
+        Fixed gradient staleness in server steps; ``None`` uses ``N - 1``.
+    steps_per_epoch:
+        Server updates per recorded epoch; by default enough for every worker
+        to pass over its shard once (matching the synchronous baseline's
+        sample throughput).
+    """
+
+    name = "async_sgd"
+
+    def __init__(
+        self,
+        *,
+        lam: float = 1e-5,
+        max_epochs: int = 100,
+        step_size: float = 0.1,
+        batch_size: int = 128,
+        staleness: Optional[int] = None,
+        steps_per_epoch: Optional[int] = None,
+        evaluate_every: int = 1,
+        record_accuracy: bool = True,
+        tol_grad: float = 0.0,
+        random_state=0,
+    ):
+        super().__init__(
+            lam=lam,
+            max_epochs=max_epochs,
+            evaluate_every=evaluate_every,
+            record_accuracy=record_accuracy,
+            tol_grad=tol_grad,
+        )
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if staleness is not None and staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self.step_size = float(step_size)
+        self.batch_size = int(batch_size)
+        self.staleness = staleness
+        self.steps_per_epoch = steps_per_epoch
+        self.random_state = random_state
+        self._w: Optional[np.ndarray] = None
+        self._history: Optional[deque] = None
+        self._last_extras: Dict[str, float] = {}
+
+    # -- hooks ---------------------------------------------------------------
+    def _initialize(self, cluster: SimulatedCluster, w0: np.ndarray) -> None:
+        self._w = w0.copy()
+        staleness = self._staleness(cluster)
+        # History of past server iterates; index 0 is the most stale one.
+        self._history = deque([w0.copy()] * (staleness + 1), maxlen=staleness + 1)
+        self._last_extras = {}
+        rng = check_random_state(self.random_state)
+        for worker in cluster.workers:
+            worker.state["local_mean_loss"] = SoftmaxCrossEntropy(
+                worker.shard.X,
+                worker.shard.y,
+                worker.shard.n_classes,
+                scale="mean",
+            )
+            worker.state["rng"] = check_random_state(int(rng.integers(0, 2**31 - 1)))
+
+    def _staleness(self, cluster: SimulatedCluster) -> int:
+        if self.staleness is not None:
+            return int(self.staleness)
+        return max(cluster.n_workers - 1, 0)
+
+    def _updates_in_epoch(self, cluster: SimulatedCluster) -> int:
+        if self.steps_per_epoch is not None:
+            return max(int(self.steps_per_epoch), 1)
+        per_worker = [
+            max(int(np.ceil(w.n_local_samples / self.batch_size)), 1)
+            for w in cluster.workers
+        ]
+        return int(sum(per_worker))
+
+    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+        w = self._w
+        history = self._history
+        if w is None or history is None:
+            raise RuntimeError("AsynchronousSGD._epoch called before _initialize")
+        lam = self.lam
+        n_updates = self._updates_in_epoch(cluster)
+        n_workers = cluster.n_workers
+        grad_bytes = 8.0 * cluster.dim
+
+        # --- modelled time of the epoch --------------------------------------
+        batch_fraction = [
+            min(self.batch_size, wk.n_local_samples) / max(wk.n_local_samples, 1)
+            for wk in cluster.workers
+        ]
+        compute_per_step = [
+            wk.device.compute_time(
+                wk.state["local_mean_loss"].flops_gradient() * frac
+            )
+            for wk, frac in zip(cluster.workers, batch_fraction)
+        ]
+        push_pull = 2.0 * cluster.network.point_to_point(grad_bytes)
+        worker_cycle = float(np.mean(compute_per_step)) + push_pull
+        server_handling = push_pull
+        per_update = max(worker_cycle / max(n_workers, 1), server_handling)
+        epoch_duration = n_updates * per_update
+        comm_time = min(n_updates * server_handling, epoch_duration)
+        cluster.clock.advance(max(epoch_duration - comm_time, 0.0), category="compute")
+        cluster.clock.advance(comm_time, category="communication")
+        cluster.comm.log.record(
+            "async_p2p", grad_bytes * 2 * n_updates, comm_time, new_round=False
+        )
+
+        # --- stale-gradient updates -------------------------------------------
+        for step in range(n_updates):
+            worker = cluster.workers[step % n_workers]
+            loss = worker.state["local_mean_loss"]
+            rng = worker.state["rng"]
+            n_local = worker.n_local_samples
+            batch = min(self.batch_size, n_local)
+            idx = rng.choice(n_local, size=batch, replace=False)
+            stale_w = history[0]
+            grad = loss.minibatch(idx).gradient(stale_w) + lam * stale_w
+            worker.objective.add_flops(
+                loss.flops_gradient() * batch / max(n_local, 1)
+            )
+            w = w - self.step_size * grad
+            history.append(w.copy())
+
+        self._w = w
+        self._history = history
+        self._last_extras = {
+            "updates": float(n_updates),
+            "staleness": float(self._staleness(cluster)),
+            "step_size": self.step_size,
+        }
+        return w
+
+    def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
+        return dict(self._last_extras)

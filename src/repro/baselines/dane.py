@@ -1,0 +1,185 @@
+"""InexactDANE (Shamir et al.'s DANE with inexact local solves; Reddi et al. 2016).
+
+Each iteration:
+
+1. the global gradient is formed with an all-reduce of local gradients
+   (round 1);
+2. every worker *approximately* solves its local subproblem
+
+   ``min_x  f_i(x) - (grad f_i(w) - eta * grad F(w))^T x + (mu/2) ||x - w||^2``
+
+   with SVRG (the configuration the paper quotes: SVRG as the inexact local
+   solver, step size chosen by a sweep);
+3. the new iterate is the average of the local solutions (round 2).
+
+The heavy local SVRG work — many passes over the shard per outer iteration —
+is what makes InexactDANE's epochs orders of magnitude slower than
+Newton-ADMM's in Figure 1, and that cost structure is preserved here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.solver_base import DistributedSolver
+from repro.distributed.worker import Worker
+from repro.objectives.base import LinearlyPerturbedObjective, RegularizedObjective
+from repro.objectives.regularizers import L2Regularizer
+from repro.objectives.softmax import SoftmaxCrossEntropy
+from repro.solvers.svrg import SVRG
+
+
+class InexactDANE(DistributedSolver):
+    """DANE with SVRG-based inexact local solves.
+
+    Parameters
+    ----------
+    eta:
+        DANE's gradient-mixing parameter (paper uses 1.0).
+    mu:
+        Proximal regularization of the local subproblem (paper uses 0.0).
+    svrg_step_size, svrg_outer, svrg_inner_per_sample, svrg_batch_size,
+    svrg_max_inner:
+        Configuration of the local SVRG solver.  The paper uses 100 SVRG
+        iterations with update frequency ``2n``; the defaults here are scaled
+        down so the reproduction remains runnable, and the benchmark notes the
+        substitution.
+    """
+
+    name = "inexact_dane"
+
+    def __init__(
+        self,
+        *,
+        lam: float = 1e-5,
+        max_epochs: int = 10,
+        eta: float = 1.0,
+        mu: float = 0.0,
+        svrg_step_size: float = 0.1,
+        svrg_outer: int = 5,
+        svrg_inner_per_sample: float = 2.0,
+        svrg_batch_size: int = 8,
+        svrg_max_inner: int = 400,
+        evaluate_every: int = 1,
+        record_accuracy: bool = True,
+        tol_grad: float = 0.0,
+    ):
+        super().__init__(
+            lam=lam,
+            max_epochs=max_epochs,
+            evaluate_every=evaluate_every,
+            record_accuracy=record_accuracy,
+            tol_grad=tol_grad,
+        )
+        self.eta = float(eta)
+        if mu < 0:
+            raise ValueError(f"mu must be >= 0, got {mu}")
+        self.mu = float(mu)
+        self.svrg_step_size = float(svrg_step_size)
+        self.svrg_outer = int(svrg_outer)
+        self.svrg_inner_per_sample = float(svrg_inner_per_sample)
+        self.svrg_batch_size = int(svrg_batch_size)
+        self.svrg_max_inner = int(svrg_max_inner)
+        self._w: Optional[np.ndarray] = None
+        self._last_extras: Dict[str, float] = {}
+
+    # -- shared with AIDE -------------------------------------------------
+    def _local_objective(self, worker: Worker) -> RegularizedObjective:
+        """The worker's local *mean* regularized objective f_i."""
+        return worker.state["local_objective"]
+
+    def _initialize(self, cluster: SimulatedCluster, w0: np.ndarray) -> None:
+        self._w = w0.copy()
+        self._last_extras = {}
+        for worker in cluster.workers:
+            loss = SoftmaxCrossEntropy(
+                worker.shard.X,
+                worker.shard.y,
+                worker.shard.n_classes,
+                scale="mean",
+            )
+            worker.state["local_objective"] = RegularizedObjective(
+                loss, L2Regularizer(loss.dim, self.lam)
+            )
+
+    def _make_local_solver(self, worker: Worker) -> SVRG:
+        return SVRG(
+            step_size=self.svrg_step_size,
+            n_outer=self.svrg_outer,
+            inner_per_sample=self.svrg_inner_per_sample,
+            batch_size=self.svrg_batch_size,
+            max_inner=self.svrg_max_inner,
+            random_state=worker.worker_id,
+        )
+
+    def _charge_local_solve(self, worker: Worker, n_inner: int) -> None:
+        """Charge the modelled FLOPs of the SVRG solve to the worker's counter.
+
+        SVRG evaluates one full local gradient per outer iteration plus two
+        mini-batch gradients per inner step; the local objective is not routed
+        through the counting wrapper, so the cost is charged explicitly.
+        """
+        local = self._local_objective(worker)
+        full_grad_flops = local.flops_gradient()
+        batch_fraction = self.svrg_batch_size / max(worker.n_local_samples, 1)
+        batch_grad_flops = full_grad_flops * batch_fraction
+        per_outer = full_grad_flops + 2.0 * n_inner * batch_grad_flops
+        worker.objective.add_flops(self.svrg_outer * per_outer)
+
+    def _dane_step(self, cluster: SimulatedCluster, w: np.ndarray, *, extra_mu: float = 0.0,
+                   prox_center: Optional[np.ndarray] = None) -> np.ndarray:
+        """One DANE iteration from iterate ``w`` (optionally catalyst-augmented).
+
+        ``extra_mu``/``prox_center`` add the AIDE acceleration term
+        ``(tau/2)||x - y_acc||^2`` to both the gradients and the local
+        subproblems; plain InexactDANE passes zero.
+        """
+        lam = self.lam
+
+        def augmented_gradient(objective, point: np.ndarray) -> np.ndarray:
+            g = objective.gradient(point)
+            if extra_mu > 0 and prox_center is not None:
+                g = g + extra_mu * (point - prox_center)
+            return g
+
+        # ---- round 1: global gradient --------------------------------------
+        local_grads = cluster.map_workers(lambda wk: wk.objective.gradient(w))
+        global_grad = cluster.comm.allreduce(local_grads) + lam * w
+        if extra_mu > 0 and prox_center is not None:
+            global_grad = global_grad + extra_mu * (w - prox_center)
+
+        # ---- local subproblems (heavy SVRG work) ------------------------------
+        def local_solve(worker: Worker) -> tuple:
+            local = self._local_objective(worker)
+            local_grad = augmented_gradient(local, w)
+            linear = local_grad - self.eta * global_grad
+            subproblem = LinearlyPerturbedObjective(
+                local, linear, self.mu + extra_mu, w if prox_center is None else prox_center
+            )
+            solver = self._make_local_solver(worker)
+            result = solver.minimize(subproblem, w)
+            self._charge_local_solve(worker, result.info.get("inner_iterations", 0))
+            return result.w, result.info.get("inner_iterations", 0)
+
+        local_results = cluster.map_workers(local_solve)
+        local_solutions = [r[0] for r in local_results]
+
+        # ---- round 2: average the local solutions ------------------------------
+        averaged = cluster.comm.allreduce(local_solutions) / cluster.n_workers
+        self._last_extras = {
+            "global_grad_norm": float(np.linalg.norm(global_grad)),
+            "svrg_inner_iterations": float(np.mean([r[1] for r in local_results])),
+        }
+        return averaged
+
+    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+        if self._w is None:
+            raise RuntimeError("InexactDANE._epoch called before _initialize")
+        self._w = self._dane_step(cluster, self._w)
+        return self._w
+
+    def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
+        return dict(self._last_extras)

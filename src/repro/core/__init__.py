@@ -1,0 +1,30 @@
+"""Facade for the paper's primary contribution.
+
+``repro.core`` re-exports the pieces a downstream user needs to run
+Newton-ADMM end to end: the solver itself, the local Newton-CG sub-solver, the
+penalty policies, and the simulated cluster it runs on.  The full library
+surface lives in the individual subpackages.
+"""
+
+from repro.admm.newton_admm import NewtonADMM
+from repro.admm.penalty import (
+    FixedPenalty,
+    ResidualBalancing,
+    SpectralPenalty,
+    make_penalty_policy,
+)
+from repro.admm.consensus import consensus_z_update, admm_residuals
+from repro.distributed.cluster import SimulatedCluster
+from repro.solvers.newton_cg import NewtonCG
+
+__all__ = [
+    "NewtonADMM",
+    "NewtonCG",
+    "SimulatedCluster",
+    "SpectralPenalty",
+    "ResidualBalancing",
+    "FixedPenalty",
+    "make_penalty_policy",
+    "consensus_z_update",
+    "admm_residuals",
+]

@@ -1,0 +1,100 @@
+"""Partitioning datasets across simulated workers.
+
+The consensus formulation (paper eq. 5) splits the dataset ``D`` into
+``D_1 ∪ ... ∪ D_N``.  Three strategies are provided; the paper's experiments
+correspond to contiguous/by-sample splits, but stratified sharding is the
+robust default for classification (a worker that never sees a class has a
+degenerate local subproblem).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.datasets.base import ClassificationDataset
+from repro.utils.rng import check_random_state
+
+
+def shard_contiguous(dataset: ClassificationDataset, n_shards: int) -> List[ClassificationDataset]:
+    """Split rows into ``n_shards`` contiguous, nearly equal-sized blocks."""
+    _validate_n_shards(dataset, n_shards)
+    bounds = np.linspace(0, dataset.n_samples, n_shards + 1).astype(int)
+    shards = []
+    for i in range(n_shards):
+        idx = np.arange(bounds[i], bounds[i + 1])
+        shards.append(dataset.subset(idx, name=f"{dataset.name}[shard {i}]"))
+    return shards
+
+
+def shard_round_robin(dataset: ClassificationDataset, n_shards: int) -> List[ClassificationDataset]:
+    """Deal rows to shards in round-robin order (shard ``i`` gets rows ``i, i+N, ...``)."""
+    _validate_n_shards(dataset, n_shards)
+    shards = []
+    for i in range(n_shards):
+        idx = np.arange(i, dataset.n_samples, n_shards)
+        shards.append(dataset.subset(idx, name=f"{dataset.name}[shard {i}]"))
+    return shards
+
+
+def shard_stratified(
+    dataset: ClassificationDataset, n_shards: int, *, random_state=None
+) -> List[ClassificationDataset]:
+    """Split rows so every shard gets (approximately) every class.
+
+    Rows of each class are shuffled and dealt round-robin to the shards, so
+    shard sizes differ by at most ``n_classes`` and class proportions match
+    the global dataset.
+    """
+    _validate_n_shards(dataset, n_shards)
+    rng = check_random_state(random_state)
+    assignment = np.empty(dataset.n_samples, dtype=np.int64)
+    offset = 0
+    for c in range(dataset.n_classes):
+        class_idx = np.flatnonzero(dataset.y == c)
+        rng.shuffle(class_idx)
+        # Continue the round-robin counter across classes to balance sizes.
+        positions = (np.arange(class_idx.size) + offset) % n_shards
+        assignment[class_idx] = positions
+        offset += class_idx.size
+    shards = []
+    for i in range(n_shards):
+        idx = np.flatnonzero(assignment == i)
+        shards.append(dataset.subset(idx, name=f"{dataset.name}[shard {i}]"))
+    return shards
+
+
+def shard_dataset(
+    dataset: ClassificationDataset,
+    n_shards: int,
+    *,
+    strategy: str = "stratified",
+    random_state=None,
+) -> List[ClassificationDataset]:
+    """Shard a dataset with the named strategy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"contiguous"``, ``"round_robin"`` or ``"stratified"``.
+    """
+    if strategy == "contiguous":
+        return shard_contiguous(dataset, n_shards)
+    if strategy == "round_robin":
+        return shard_round_robin(dataset, n_shards)
+    if strategy == "stratified":
+        return shard_stratified(dataset, n_shards, random_state=random_state)
+    raise ValueError(
+        f"unknown sharding strategy {strategy!r}; "
+        "expected 'contiguous', 'round_robin' or 'stratified'"
+    )
+
+
+def _validate_n_shards(dataset: ClassificationDataset, n_shards: int) -> None:
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > dataset.n_samples:
+        raise ValueError(
+            f"cannot split {dataset.n_samples} samples into {n_shards} shards"
+        )

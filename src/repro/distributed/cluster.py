@@ -1,0 +1,240 @@
+"""The simulated cluster: workers + communicator + clocks.
+
+``SimulatedCluster`` owns the data sharding, one :class:`Worker` per node, a
+:class:`Communicator` over a configurable interconnect, and the two clocks
+(measured wall time, modelled cluster time).  Distributed solvers are written
+against this object only, so swapping the interconnect or device model — or
+the executor used to actually run the per-worker work — never touches
+algorithm code.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.datasets.base import ClassificationDataset
+from repro.datasets.sharding import shard_dataset
+from repro.distributed.comm import Communicator
+from repro.distributed.device import DeviceModel, tesla_p100
+from repro.distributed.network import NetworkModel, infiniband_100g
+from repro.distributed.stragglers import StragglerModel
+from repro.distributed.worker import Worker
+from repro.objectives.base import Objective, RegularizedObjective
+from repro.objectives.logistic import BinaryLogistic
+from repro.objectives.regularizers import L2Regularizer
+from repro.objectives.softmax import SoftmaxCrossEntropy
+from repro.solvers.base import CountingObjective
+from repro.utils.timer import SimulatedClock, Stopwatch
+
+LossFactory = Callable[[ClassificationDataset, int], Objective]
+
+
+def _softmax_factory(shard: ClassificationDataset, n_total: int) -> Objective:
+    return SoftmaxCrossEntropy(
+        shard.X, shard.y, shard.n_classes, scale=1.0 / n_total
+    )
+
+
+def _logistic_factory(shard: ClassificationDataset, n_total: int) -> Objective:
+    return BinaryLogistic(shard.X, shard.y, scale=1.0 / n_total)
+
+
+LOSS_FACTORIES = {
+    "softmax": _softmax_factory,
+    "logistic": _logistic_factory,
+}
+
+
+class SimulatedCluster:
+    """A deterministic in-process stand-in for the paper's GPU cluster.
+
+    Parameters
+    ----------
+    train:
+        Full training dataset; it is sharded across the workers.
+    n_workers:
+        Number of simulated nodes ``N``.
+    loss:
+        ``"softmax"`` (default), ``"logistic"``, or a callable
+        ``(shard, n_total) -> Objective`` building each worker's local loss.
+        The convention is that the *sum over workers* of local losses equals
+        the global mean loss (factories receive ``n_total`` for this reason).
+    network, device:
+        Cost models; defaults are the paper's 100 Gb/s InfiniBand and P100.
+        ``device`` may also be a sequence of one :class:`DeviceModel` per
+        worker to simulate a heterogeneous cluster.
+    sharding:
+        Row-partitioning strategy (see :mod:`repro.datasets.sharding`).
+    executor:
+        ``"serial"`` (default) or ``"threads"`` — how per-worker work is
+        actually executed.  Results are identical; threads only change real
+        wall-clock.
+    straggler:
+        Optional :class:`~repro.distributed.stragglers.StragglerModel` that
+        multiplies per-worker modelled compute times by sampled slowdowns at
+        every synchronization round.
+    """
+
+    def __init__(
+        self,
+        train: ClassificationDataset,
+        n_workers: int,
+        *,
+        loss: LossFactory | str = "softmax",
+        network: Optional[NetworkModel] = None,
+        device: Union[DeviceModel, Sequence[DeviceModel], None] = None,
+        sharding: str = "stratified",
+        executor: str = "serial",
+        max_threads: Optional[int] = None,
+        straggler: Optional[StragglerModel] = None,
+        random_state=None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if executor not in ("serial", "threads"):
+            raise ValueError(
+                f"executor must be 'serial' or 'threads', got {executor!r}"
+            )
+        self.train = train
+        self.n_workers = int(n_workers)
+        self.network = network or infiniband_100g()
+        if device is None:
+            devices: List[DeviceModel] = [tesla_p100()] * self.n_workers
+        elif isinstance(device, DeviceModel):
+            devices = [device] * self.n_workers
+        else:
+            devices = list(device)
+            if len(devices) != self.n_workers:
+                raise ValueError(
+                    f"got {len(devices)} device models for {self.n_workers} workers"
+                )
+        self.device = devices[0]
+        self.devices = devices
+        self.straggler = straggler
+        self.executor = executor
+        self.max_threads = max_threads
+        self.clock = SimulatedClock()
+        self.wall = Stopwatch()
+        self.comm = Communicator(self.n_workers, self.network, self.clock)
+
+        if isinstance(loss, str):
+            if loss not in LOSS_FACTORIES:
+                raise ValueError(
+                    f"unknown loss {loss!r}; expected one of {sorted(LOSS_FACTORIES)} "
+                    "or a callable"
+                )
+            loss_factory = LOSS_FACTORIES[loss]
+        else:
+            loss_factory = loss
+        self._loss_factory = loss_factory
+        self._loss_name = loss if isinstance(loss, str) else getattr(loss, "__name__", "custom")
+
+        shards = shard_dataset(
+            train, self.n_workers, strategy=sharding, random_state=random_state
+        )
+        self.workers: List[Worker] = []
+        for i, shard in enumerate(shards):
+            local = loss_factory(shard, train.n_samples)
+            self.workers.append(
+                Worker(i, shard, CountingObjective(local), self.devices[i])
+            )
+        dims = {w.dim for w in self.workers}
+        if len(dims) != 1:
+            raise ValueError(f"workers disagree on problem dimension: {dims}")
+        self.dim = dims.pop()
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def n_total(self) -> int:
+        """Total number of training samples across all shards."""
+        return self.train.n_samples
+
+    @property
+    def n_classes(self) -> int:
+        return self.train.n_classes
+
+    def worker_sizes(self) -> List[int]:
+        return [w.n_local_samples for w in self.workers]
+
+    # -- execution -------------------------------------------------------
+    def map_workers(
+        self,
+        fn: Callable[[Worker], object],
+        *,
+        advance_clock: bool = True,
+        workers: Optional[Sequence[Worker]] = None,
+    ) -> List[object]:
+        """Run ``fn(worker)`` on every worker and advance the modelled clock.
+
+        The modelled compute time charged is the *maximum* over workers of the
+        FLOPs each one consumed during ``fn`` (they run in parallel on the
+        modelled cluster), which is what the paper's epoch times measure.
+        """
+        targets = list(self.workers if workers is None else workers)
+        for w in targets:
+            w.mark_flops()
+
+        if self.executor == "threads" and len(targets) > 1:
+            with ThreadPoolExecutor(max_workers=self.max_threads or len(targets)) as pool:
+                results = list(pool.map(fn, targets))
+        else:
+            results = [fn(w) for w in targets]
+
+        if advance_clock:
+            times = [w.modelled_compute_time() for w in targets]
+            if self.straggler is not None:
+                factors = self.straggler.sample_factors(len(targets))
+                times = [t * f for t, f in zip(times, factors)]
+            self.clock.advance(max(times), category="compute")
+        return results
+
+    # -- objectives -------------------------------------------------------
+    def global_loss(self) -> Objective:
+        """The global mean loss over the full (unsharded) training set."""
+        return self._loss_factory(self.train, self.train.n_samples)
+
+    def global_objective(self, lam: float) -> RegularizedObjective:
+        """Global regularized objective ``mean loss + (lam/2)||w||^2``.
+
+        Used for reporting training-objective traces and for computing the
+        reference optimum ``x*`` with single-node Newton.
+        """
+        loss = self.global_loss()
+        return RegularizedObjective(loss, L2Regularizer(loss.dim, lam))
+
+    # -- bookkeeping -------------------------------------------------------
+    def total_flops(self) -> float:
+        return float(sum(w.objective.flops for w in self.workers))
+
+    def reset_accounting(self) -> None:
+        """Zero clocks, communication logs and per-worker counters."""
+        self.clock.reset()
+        self.wall.reset()
+        self.comm.reset_log()
+        if self.straggler is not None:
+            self.straggler.reset()
+        for w in self.workers:
+            w.objective.reset_counters()
+            w.mark_flops()
+            w.state.clear()
+
+    def describe(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "n_total": self.n_total,
+            "n_classes": self.n_classes,
+            "dim": self.dim,
+            "loss": self._loss_name,
+            "network": self.network.name,
+            "device": self.device.name,
+            "worker_sizes": self.worker_sizes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulatedCluster(n_workers={self.n_workers}, n_total={self.n_total}, "
+            f"dim={self.dim}, network={self.network.name}, device={self.device.name})"
+        )

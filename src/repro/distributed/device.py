@@ -1,0 +1,87 @@
+"""Compute-device cost model.
+
+Converts FLOP counts (from :class:`repro.solvers.base.CountingObjective`) into
+modelled execution time on an accelerator.  The model is the usual roofline
+simplification: time = kernel launch overhead + max(compute time, memory
+time), with an efficiency factor because dense-but-skinny ML kernels rarely
+reach peak throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A simple roofline-style device model.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    peak_flops:
+        Peak floating-point throughput in FLOP/s.
+    memory_bandwidth:
+        Peak memory bandwidth in bytes/s.
+    efficiency:
+        Fraction of peak sustained by the workloads modelled here.
+    kernel_overhead:
+        Fixed per-invocation overhead in seconds (kernel launches, Python
+        dispatch); charged once per :meth:`compute_time` call.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    efficiency: float = 0.35
+    kernel_overhead: float = 5e-5
+
+    def __post_init__(self) -> None:
+        check_positive(self.peak_flops, name="peak_flops")
+        check_positive(self.memory_bandwidth, name="memory_bandwidth")
+        check_positive(self.efficiency, name="efficiency")
+        check_positive(self.kernel_overhead, name="kernel_overhead", strict=False)
+
+    def compute_time(self, flops: float, bytes_moved: float = 0.0) -> float:
+        """Modelled seconds to execute ``flops`` FLOPs moving ``bytes_moved`` bytes."""
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes_moved must be non-negative")
+        if flops == 0.0 and bytes_moved == 0.0:
+            return 0.0
+        compute = flops / (self.peak_flops * self.efficiency)
+        memory = bytes_moved / self.memory_bandwidth
+        return self.kernel_overhead + max(compute, memory)
+
+    def sustained_flops(self) -> float:
+        """Sustained throughput (peak x efficiency) in FLOP/s."""
+        return self.peak_flops * self.efficiency
+
+
+def tesla_p100() -> DeviceModel:
+    """NVIDIA Tesla P100 (the accelerator used in the paper's cluster).
+
+    10.6 TFLOP/s single precision, 732 GB/s HBM2.  The efficiency factor
+    reflects that the solvers' GEMMs are tall-skinny; the overhead is the
+    amortized per-round launch cost (a round fuses a handful of kernels).
+    """
+    return DeviceModel(
+        name="tesla_p100",
+        peak_flops=10.6e12,
+        memory_bandwidth=732e9,
+        efficiency=0.30,
+        kernel_overhead=2e-6,
+    )
+
+
+def cpu_xeon_gold() -> DeviceModel:
+    """A 12-core Xeon Gold socket (the paper's host CPU), ~1 TFLOP/s fp64."""
+    return DeviceModel(
+        name="cpu_xeon_gold",
+        peak_flops=1.0e12,
+        memory_bandwidth=120e9,
+        efficiency=0.5,
+        kernel_overhead=1e-6,
+    )

@@ -1,0 +1,189 @@
+"""Base class shared by all distributed solvers (Newton-ADMM and baselines).
+
+A distributed solver owns hyper-parameters only; all problem state lives on a
+:class:`~repro.distributed.cluster.SimulatedCluster`.  The base class runs the
+outer loop, keeps the per-epoch :class:`~repro.metrics.traces.RunTrace`
+(objective, accuracy, modelled/wall time, communication rounds), and leaves
+two hooks to subclasses: :meth:`_initialize` and :meth:`_epoch`.
+
+Reporting evaluations (global objective, accuracies) are performed outside the
+cluster's accounting, so they do not pollute the modelled epoch times — the
+paper's timings likewise exclude evaluation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import ClassificationDataset
+from repro.distributed.cluster import SimulatedCluster
+from repro.metrics.classification import accuracy
+from repro.metrics.traces import EpochRecord, RunTrace
+from repro.objectives.base import RegularizedObjective
+from repro.utils.validation import check_positive
+
+
+class DistributedSolver(ABC):
+    """Common outer loop for distributed optimization methods.
+
+    Parameters
+    ----------
+    lam:
+        L2 regularization strength (the paper's lambda).
+    max_epochs:
+        Number of outer iterations.
+    evaluate_every:
+        Record the trace every this many epochs (1 = every epoch).
+    record_accuracy:
+        Also compute train/test accuracy at every recorded epoch.
+    tol_grad:
+        Optional early stop when the global gradient norm falls below this.
+    """
+
+    #: human-readable method name used in traces and reports
+    name: str = "distributed"
+
+    #: set by subclasses (from inside :meth:`_epoch`) to stop the outer loop
+    #: early, e.g. when ADMM primal/dual residuals fall below tolerance
+    _stop_requested: bool = False
+
+    def __init__(
+        self,
+        *,
+        lam: float = 1e-5,
+        max_epochs: int = 100,
+        evaluate_every: int = 1,
+        record_accuracy: bool = True,
+        tol_grad: float = 0.0,
+    ):
+        self.lam = check_positive(lam, name="lam", strict=False)
+        if max_epochs < 1:
+            raise ValueError(f"max_epochs must be >= 1, got {max_epochs}")
+        if evaluate_every < 1:
+            raise ValueError(f"evaluate_every must be >= 1, got {evaluate_every}")
+        self.max_epochs = int(max_epochs)
+        self.evaluate_every = int(evaluate_every)
+        self.record_accuracy = bool(record_accuracy)
+        self.tol_grad = float(tol_grad)
+
+    # -- subclass hooks ------------------------------------------------------
+    @abstractmethod
+    def _initialize(self, cluster: SimulatedCluster, w0: np.ndarray) -> None:
+        """Set up per-worker state before the first epoch."""
+
+    @abstractmethod
+    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+        """Run one outer iteration and return the current global iterate."""
+
+    # -- outer loop -----------------------------------------------------------
+    def fit(
+        self,
+        cluster: SimulatedCluster,
+        *,
+        test: Optional[ClassificationDataset] = None,
+        w0: Optional[np.ndarray] = None,
+        reset_cluster: bool = True,
+    ) -> RunTrace:
+        """Run the solver on ``cluster`` and return the per-epoch trace."""
+        if reset_cluster:
+            cluster.reset_accounting()
+        if w0 is None:
+            w0 = np.zeros(cluster.dim)
+        else:
+            w0 = np.asarray(w0, dtype=np.float64).ravel().copy()
+            if w0.shape[0] != cluster.dim:
+                raise ValueError(
+                    f"w0 has length {w0.shape[0]}, expected {cluster.dim}"
+                )
+
+        global_objective = cluster.global_objective(self.lam)
+        global_loss = global_objective.loss
+        trace = RunTrace(
+            method=self.name,
+            dataset=cluster.train.name,
+            n_workers=cluster.n_workers,
+            info={
+                "lam": self.lam,
+                "max_epochs": self.max_epochs,
+                "cluster": cluster.describe(),
+                "hyperparameters": self.hyperparameters(),
+            },
+        )
+
+        cluster.wall.start()
+        self._stop_requested = False
+        self._initialize(cluster, w0)
+        w = w0
+
+        for epoch in range(1, self.max_epochs + 1):
+            w = self._epoch(cluster, epoch)
+            if (
+                epoch % self.evaluate_every != 0
+                and epoch != self.max_epochs
+                and not self._stop_requested
+            ):
+                continue
+            record = self._make_record(
+                epoch, w, cluster, global_objective, global_loss, test
+            )
+            trace.records.append(record)
+            if self.tol_grad > 0 and record.grad_norm <= self.tol_grad:
+                break
+            if self._stop_requested:
+                break
+
+        cluster.wall.stop()
+        trace.final_w = np.asarray(w, dtype=np.float64).copy()
+        trace.info["total_flops"] = cluster.total_flops()
+        trace.info["communication"] = {
+            "rounds": cluster.comm.log.n_rounds,
+            "collectives": cluster.comm.log.n_collectives,
+            "bytes": cluster.comm.log.bytes_transferred,
+        }
+        return trace
+
+    # -- helpers -------------------------------------------------------
+    def _make_record(
+        self,
+        epoch: int,
+        w: np.ndarray,
+        cluster: SimulatedCluster,
+        global_objective: RegularizedObjective,
+        global_loss,
+        test: Optional[ClassificationDataset],
+    ) -> EpochRecord:
+        value, grad = global_objective.value_and_gradient(w)
+        train_acc = float("nan")
+        test_acc = float("nan")
+        if self.record_accuracy and hasattr(global_loss, "predict"):
+            train_acc = accuracy(cluster.train.y, global_loss.predict(w))
+            if test is not None:
+                test_acc = accuracy(test.y, global_loss.predict(w, test.X))
+        return EpochRecord(
+            epoch=epoch,
+            objective=float(value),
+            grad_norm=float(np.linalg.norm(grad)),
+            train_accuracy=train_acc,
+            test_accuracy=test_acc,
+            modelled_time=cluster.clock.time,
+            compute_time=cluster.clock.category("compute"),
+            comm_time=cluster.clock.category("communication"),
+            wall_time=cluster.wall.elapsed,
+            comm_rounds=cluster.comm.log.n_rounds,
+            extras=self._epoch_extras(cluster),
+        )
+
+    def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
+        """Method-specific diagnostics added to every epoch record."""
+        return {}
+
+    def hyperparameters(self) -> dict:
+        """Serializable hyper-parameter dictionary (for run provenance)."""
+        return {
+            k: v
+            for k, v in vars(self).items()
+            if isinstance(v, (int, float, str, bool))
+        }

@@ -1,0 +1,104 @@
+"""Straggler and slowdown injection for the simulated cluster.
+
+Synchronous methods (Newton-ADMM, GIANT, synchronous SGD) advance at the pace
+of their slowest worker, so heterogeneity and transient slowdowns inflate the
+modelled epoch time directly.  A :class:`StragglerModel` attached to a
+:class:`~repro.distributed.cluster.SimulatedCluster` multiplies every worker's
+modelled compute time by a per-round slowdown factor; the factors are drawn
+from a configurable distribution (or fixed per worker for persistent
+stragglers), deterministically from the model's seed.
+
+This is the failure-injection knob used by the straggler-sensitivity ablation:
+Newton-ADMM's single synchronization point per iteration makes it less exposed
+to stragglers than GIANT's three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+
+@dataclass
+class StragglerModel:
+    """Per-round multiplicative compute slowdowns.
+
+    Attributes
+    ----------
+    slowdown:
+        Multiplier applied to a straggling worker's compute time (>= 1).
+    probability:
+        Probability that any given worker straggles in any given round
+        (ignored for workers listed in ``persistent_stragglers``).
+    persistent_stragglers:
+        Worker ids that are *always* slowed down (models a thermally
+        throttled or oversubscribed node).
+    jitter:
+        Standard deviation of a lognormal jitter applied to every worker every
+        round (0 disables it); models background noise rather than outright
+        stragglers.
+    random_state:
+        Seed for the per-round draws.
+    """
+
+    slowdown: float = 4.0
+    probability: float = 0.0
+    persistent_stragglers: Sequence[int] = field(default_factory=tuple)
+    jitter: float = 0.0
+    random_state: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {self.probability}")
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        self.persistent_stragglers = tuple(int(i) for i in self.persistent_stragglers)
+        self._rng = check_random_state(self.random_state)
+        self._round = 0
+        self._history: list = []
+
+    # -- sampling ------------------------------------------------------------
+    def sample_factors(self, n_workers: int) -> np.ndarray:
+        """Slowdown factors (one per worker) for the next synchronization round."""
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        factors = np.ones(n_workers)
+        if self.jitter > 0.0:
+            factors *= self._rng.lognormal(mean=0.0, sigma=self.jitter, size=n_workers)
+        if self.probability > 0.0:
+            hit = self._rng.random(n_workers) < self.probability
+            factors[hit] *= self.slowdown
+        for worker_id in self.persistent_stragglers:
+            if 0 <= worker_id < n_workers:
+                factors[worker_id] *= self.slowdown
+        self._round += 1
+        self._history.append(factors.copy())
+        return factors
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def n_rounds(self) -> int:
+        return self._round
+
+    def summary(self) -> Dict[str, float]:
+        """Mean/max slowdown factors observed so far (for run provenance)."""
+        if not self._history:
+            return {"rounds": 0, "mean_factor": 1.0, "max_factor": 1.0}
+        stacked = np.vstack(self._history)
+        return {
+            "rounds": float(self._round),
+            "mean_factor": float(stacked.mean()),
+            "max_factor": float(stacked.max()),
+        }
+
+    def reset(self) -> None:
+        """Restart the draw sequence (used by ``SimulatedCluster.reset_accounting``)."""
+        self._rng = check_random_state(self.random_state)
+        self._round = 0
+        self._history = []

@@ -1,0 +1,88 @@
+"""A simulated compute node holding one shard of the training data."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datasets.base import ClassificationDataset
+from repro.distributed.device import DeviceModel
+from repro.objectives.base import Objective
+from repro.solvers.base import CountingObjective
+
+
+class Worker:
+    """One node of the simulated cluster.
+
+    Attributes
+    ----------
+    worker_id:
+        0-based rank; rank 0 doubles as the master, as in the paper.
+    shard:
+        This worker's partition ``D_i`` of the training data.
+    objective:
+        Counting wrapper around the worker's local objective ``f_i``; the
+        wrapper's FLOP counter feeds the device cost model.
+    device:
+        Device cost model used to convert FLOPs into modelled compute time.
+    state:
+        Algorithm-specific per-worker state (e.g. ADMM's ``x_i``/``y_i``).
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        shard: ClassificationDataset,
+        objective: Objective,
+        device: DeviceModel,
+    ):
+        if worker_id < 0:
+            raise ValueError(f"worker_id must be >= 0, got {worker_id}")
+        self.worker_id = int(worker_id)
+        self.shard = shard
+        self.objective = (
+            objective
+            if isinstance(objective, CountingObjective)
+            else CountingObjective(objective)
+        )
+        self.device = device
+        self.state: Dict[str, object] = {}
+        self._flops_mark = 0.0
+
+    @property
+    def n_local_samples(self) -> int:
+        return self.shard.n_samples
+
+    @property
+    def dim(self) -> int:
+        return self.objective.dim
+
+    # -- modelled-time accounting ------------------------------------------
+    def mark_flops(self) -> None:
+        """Record the current FLOP counter; the next :meth:`modelled_compute_time`
+        call measures work done since this mark."""
+        self._flops_mark = self.objective.flops
+
+    def flops_since_mark(self) -> float:
+        return self.objective.flops - self._flops_mark
+
+    def modelled_compute_time(self) -> float:
+        """Modelled seconds for the work performed since the last mark."""
+        return self.device.compute_time(self.flops_since_mark())
+
+    # -- state helpers -------------------------------------------------------
+    def get_vector(self, key: str, default: Optional[np.ndarray] = None) -> np.ndarray:
+        value = self.state.get(key, default)
+        if value is None:
+            raise KeyError(f"worker {self.worker_id} has no state {key!r}")
+        return np.asarray(value, dtype=np.float64)
+
+    def set_vector(self, key: str, value: np.ndarray) -> None:
+        self.state[key] = np.asarray(value, dtype=np.float64).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Worker(id={self.worker_id}, n_local={self.n_local_samples}, "
+            f"dim={self.dim})"
+        )

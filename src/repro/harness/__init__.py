@@ -1,0 +1,69 @@
+"""Experiment harness: builds clusters, runs solvers, regenerates every table
+and figure of the paper's evaluation section."""
+
+from repro.harness.config import ClusterConfig, SolverConfig, ExperimentScale
+from repro.harness.runner import (
+    SOLVER_REGISTRY,
+    build_cluster,
+    make_solver,
+    run_method,
+    reference_optimum,
+)
+from repro.harness.experiments import (
+    table1_datasets,
+    figure1_second_order_comparison,
+    figure2_epoch_times,
+    figure3_speedup_ratios,
+    figure4_first_order_comparison,
+    figure5_e18_weak_scaling,
+    ablation_penalty_policies,
+    ablation_cg_budget,
+    ablation_over_relaxation,
+    ablation_interconnect_sensitivity,
+    ablation_straggler_sensitivity,
+)
+from repro.harness.plotting import ascii_line_plot, plot_scaling, plot_traces
+from repro.harness.serialization import (
+    load_rows_csv,
+    load_trace,
+    save_experiment_result,
+    save_rows_csv,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.harness.cli import EXPERIMENT_REGISTRY, main as cli_main
+
+__all__ = [
+    "ascii_line_plot",
+    "plot_traces",
+    "plot_scaling",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "save_rows_csv",
+    "load_rows_csv",
+    "save_experiment_result",
+    "EXPERIMENT_REGISTRY",
+    "cli_main",
+    "ClusterConfig",
+    "SolverConfig",
+    "ExperimentScale",
+    "SOLVER_REGISTRY",
+    "build_cluster",
+    "make_solver",
+    "run_method",
+    "reference_optimum",
+    "table1_datasets",
+    "figure1_second_order_comparison",
+    "figure2_epoch_times",
+    "figure3_speedup_ratios",
+    "figure4_first_order_comparison",
+    "figure5_e18_weak_scaling",
+    "ablation_penalty_policies",
+    "ablation_cg_budget",
+    "ablation_over_relaxation",
+    "ablation_interconnect_sensitivity",
+    "ablation_straggler_sensitivity",
+]

@@ -1,0 +1,224 @@
+"""Command-line interface for the reproduction harness.
+
+Usage (after ``pip install -e .`` or with ``src/`` on ``PYTHONPATH``)::
+
+    python -m repro list                      # experiments and their content
+    python -m repro datasets                  # registered workloads
+    python -m repro run figure1 --scale quick --out results/
+    python -m repro run all --scale small --out results/small
+    python -m repro solvers                   # registered distributed solvers
+
+``run`` executes the selected figure/table driver(s), prints the same report
+the paper's figure shows, writes rows (JSON + CSV), per-method traces and the
+report into ``--out``, and — for the time-series figures — renders an ASCII
+version of the plot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.datasets.registry import DATASET_REGISTRY
+from repro.harness import experiments
+from repro.harness.config import ExperimentScale
+from repro.harness.plotting import plot_traces
+from repro.harness.runner import SOLVER_REGISTRY
+from repro.harness.serialization import save_experiment_result
+from repro.metrics.summary import format_table
+from repro.metrics.traces import RunTrace
+
+#: experiment name -> (driver, description, plottable metric or None)
+EXPERIMENT_REGISTRY: Dict[str, tuple] = {
+    "table1": (
+        experiments.table1_datasets,
+        "Table 1 — dataset descriptions (paper vs. reproduction)",
+        None,
+    ),
+    "figure1": (
+        experiments.figure1_second_order_comparison,
+        "Figure 1 — Newton-ADMM vs GIANT / InexactDANE / AIDE on MNIST",
+        "objective",
+    ),
+    "figure2": (
+        experiments.figure2_epoch_times,
+        "Figure 2 — average epoch time, strong & weak scaling",
+        None,
+    ),
+    "figure3": (
+        experiments.figure3_speedup_ratios,
+        "Figure 3 — speed-up ratio of Newton-ADMM over GIANT",
+        None,
+    ),
+    "figure4": (
+        experiments.figure4_first_order_comparison,
+        "Figure 4 — Newton-ADMM vs synchronous SGD",
+        "objective",
+    ),
+    "figure5": (
+        experiments.figure5_e18_weak_scaling,
+        "Figure 5 — E18-like weak scaling with 16 workers",
+        "objective",
+    ),
+    "ablation-penalty": (
+        experiments.ablation_penalty_policies,
+        "Ablation — SPS vs residual balancing vs fixed penalty",
+        "objective",
+    ),
+    "ablation-cg": (
+        experiments.ablation_cg_budget,
+        "Ablation — CG budget of the local Newton solves",
+        None,
+    ),
+    "ablation-overrelax": (
+        experiments.ablation_over_relaxation,
+        "Ablation — ADMM over-relaxation factor",
+        "objective",
+    ),
+    "ablation-network": (
+        experiments.ablation_interconnect_sensitivity,
+        "Ablation — interconnect sensitivity (InfiniBand / 10GbE / WAN)",
+        None,
+    ),
+    "ablation-stragglers": (
+        experiments.ablation_straggler_sensitivity,
+        "Ablation — straggler sensitivity (persistent slow worker)",
+        None,
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for Newton-ADMM (Fang et al., SC 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments")
+    sub.add_parser("datasets", help="describe the registered workloads")
+    sub.add_parser("solvers", help="list the registered distributed solvers")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENT_REGISTRY) + ["all"],
+        help="experiment to run, or 'all' for the full evaluation section",
+    )
+    run.add_argument(
+        "--scale",
+        choices=[s.value for s in ExperimentScale],
+        default=ExperimentScale.QUICK.value,
+        help="reproduction scale (default: quick)",
+    )
+    run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write rows/traces/report artifacts into",
+    )
+    run.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    run.add_argument(
+        "--no-plot",
+        action="store_true",
+        help="skip the ASCII rendering of time-series figures",
+    )
+    return parser
+
+
+def _cmd_list(print_fn: Callable[[str], None]) -> int:
+    rows = [
+        {"experiment": name, "description": desc}
+        for name, (_, desc, _) in sorted(EXPERIMENT_REGISTRY.items())
+    ]
+    print_fn(format_table(rows, title="Available experiments"))
+    return 0
+
+
+def _cmd_datasets(print_fn: Callable[[str], None]) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "stands in for": spec.paper_name,
+            "classes": spec.n_classes,
+            "features": spec.n_features,
+            "default train": spec.default_train,
+            "conditioning": spec.conditioning,
+        }
+        for spec in DATASET_REGISTRY.values()
+    ]
+    print_fn(format_table(rows, title="Registered workloads (see repro.datasets.registry)"))
+    return 0
+
+
+def _cmd_solvers(print_fn: Callable[[str], None]) -> int:
+    rows = [
+        {"name": name, "class": cls.__name__, "module": cls.__module__}
+        for name, cls in sorted(SOLVER_REGISTRY.items())
+    ]
+    print_fn(format_table(rows, title="Registered distributed solvers"))
+    return 0
+
+
+def _collect_traces(result: dict) -> Dict[str, RunTrace]:
+    traces = result.get("traces", {})
+    flat: Dict[str, RunTrace] = {}
+    if isinstance(traces, dict):
+        for key, value in traces.items():
+            if isinstance(value, RunTrace):
+                flat[str(key)] = value
+            elif isinstance(value, dict):
+                for inner_key, inner in value.items():
+                    if isinstance(inner, RunTrace):
+                        flat[f"{key}/{inner_key}"] = inner
+    return flat
+
+
+def _cmd_run(args, print_fn: Callable[[str], None]) -> int:
+    names: List[str] = (
+        sorted(EXPERIMENT_REGISTRY) if args.experiment == "all" else [args.experiment]
+    )
+    scale = ExperimentScale(args.scale)
+    exit_code = 0
+    for name in names:
+        driver, description, plot_metric = EXPERIMENT_REGISTRY[name]
+        print_fn(f"== {name}: {description} (scale={scale.value}) ==")
+        result = driver(scale, seed=args.seed)
+        print_fn(str(result.get("report", "")))
+        if plot_metric and not args.no_plot:
+            traces = _collect_traces(result)
+            if traces:
+                print_fn(
+                    plot_traces(
+                        traces, y=plot_metric, title=f"{name}: {plot_metric} vs modelled time"
+                    )
+                )
+        if args.out is not None:
+            written = save_experiment_result(
+                result, args.out, name=f"{name}_{scale.value}"
+            )
+            print_fn(f"wrote {len(written)} artifacts to {Path(args.out).resolve()}")
+        print_fn("")
+    return exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None, *, print_fn: Callable[[str], None] = print) -> int:
+    """Entry point used by ``python -m repro`` (returns the process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(print_fn)
+    if args.command == "datasets":
+        return _cmd_datasets(print_fn)
+    if args.command == "solvers":
+        return _cmd_solvers(print_fn)
+    if args.command == "run":
+        return _cmd_run(args, print_fn)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Dependency-free ASCII plotting for traces and scaling curves.
+
+The paper's figures are line plots (objective / accuracy against time, epoch
+time against worker count).  Matplotlib is deliberately not a dependency of
+this reproduction; these helpers render the same curves as monospace text so
+``python -m repro run figure1`` and the examples can show the figure shape
+directly in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.traces import RunTrace
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render one or more ``(x, y)`` series on a shared ASCII canvas.
+
+    Parameters
+    ----------
+    series:
+        Mapping from legend label to ``(x_values, y_values)``.
+    width, height:
+        Canvas size in characters (excluding axes labels).
+    log_x, log_y:
+        Plot on a log10 scale (non-positive values are dropped).
+    """
+    if width < 10 or height < 5:
+        raise ValueError("canvas must be at least 10x5 characters")
+    if not series:
+        raise ValueError("series must not be empty")
+
+    cleaned: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for label, (xs, ys) in series.items():
+        x = np.asarray(list(xs), dtype=np.float64)
+        y = np.asarray(list(ys), dtype=np.float64)
+        if x.shape != y.shape:
+            raise ValueError(f"series {label!r} has mismatched x/y lengths")
+        mask = np.isfinite(x) & np.isfinite(y)
+        if log_x:
+            mask &= x > 0
+        if log_y:
+            mask &= y > 0
+        x, y = x[mask], y[mask]
+        if x.size:
+            cleaned[label] = (np.log10(x) if log_x else x, np.log10(y) if log_y else y)
+    if not cleaned:
+        return (title or "") + "\n(no finite data to plot)"
+
+    all_x = np.concatenate([x for x, _ in cleaned.values()])
+    all_y = np.concatenate([y for _, y in cleaned.values()])
+    x_min, x_max = float(all_x.min()), float(all_x.max())
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, (x, y)) in enumerate(cleaned.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        cols = np.clip(((x - x_min) / x_span * (width - 1)).round().astype(int), 0, width - 1)
+        rows = np.clip(((y - y_min) / y_span * (height - 1)).round().astype(int), 0, height - 1)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    def fmt(v: float, logged: bool) -> str:
+        return f"{10**v:.3g}" if logged else f"{v:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={fmt(y_max, log_y)}, bottom={fmt(y_min, log_y)})")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {fmt(x_min, log_x)} .. {fmt(x_max, log_x)}"
+        + ("  [log x]" if log_x else "")
+        + ("  [log y]" if log_y else "")
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(cleaned)
+    )
+    lines.append(" legend: " + legend)
+    return "\n".join(lines)
+
+
+def plot_traces(
+    traces: Dict[str, RunTrace],
+    *,
+    y: str = "objective",
+    time_kind: str = "modelled",
+    log_x: bool = True,
+    log_y: bool = False,
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII plot of a metric against cumulative time for several traces.
+
+    This is the shape of the paper's Figures 1, 4 and 5 (objective or test
+    accuracy versus wall-clock on a log time axis).
+    """
+    series = {}
+    for label, trace in traces.items():
+        xs, ys = trace.series(y=y, time_kind=time_kind)
+        series[label] = (xs, ys)
+    return ascii_line_plot(
+        series,
+        width=width,
+        height=height,
+        title=title or f"{y} vs {time_kind} time",
+        x_label=f"{time_kind} time (s)",
+        y_label=y,
+        log_x=log_x,
+        log_y=log_y,
+    )
+
+
+def plot_scaling(
+    rows: Sequence[dict],
+    *,
+    x_key: str = "workers",
+    y_key: str = "avg_epoch_time_ms",
+    group_key: str = "method",
+    width: int = 60,
+    height: int = 15,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII plot of a scaling study (Figure 2's epoch time vs worker count)."""
+    groups: Dict[str, Tuple[list, list]] = {}
+    for row in rows:
+        label = str(row.get(group_key, ""))
+        groups.setdefault(label, ([], []))
+        value = row.get(y_key)
+        x = row.get(x_key)
+        if value is None or x is None:
+            continue
+        if isinstance(value, float) and not math.isfinite(value):
+            continue
+        groups[label][0].append(float(x))
+        groups[label][1].append(float(value))
+    return ascii_line_plot(
+        {k: v for k, v in groups.items() if v[0]},
+        width=width,
+        height=height,
+        title=title or f"{y_key} vs {x_key}",
+        x_label=x_key,
+        y_label=y_key,
+    )

@@ -1,0 +1,200 @@
+"""Serialization of experiment results (run traces, figure rows) to JSON / CSV.
+
+Every figure driver in :mod:`repro.harness.experiments` returns a dictionary
+with ``rows`` (the table the paper prints) and usually ``traces`` (full
+:class:`~repro.metrics.traces.RunTrace` objects).  These helpers write both to
+disk so benchmark runs are reproducible artifacts rather than console
+scrollback, and load them back for post-processing.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.metrics.traces import EpochRecord, RunTrace
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value):
+    """Convert numpy scalars / arrays and non-finite floats into JSON-safe values."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        value = float(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _from_jsonable_float(value):
+    if value == "nan":
+        return float("nan")
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    return value
+
+
+def trace_to_dict(trace: RunTrace, *, include_weights: bool = False) -> dict:
+    """Serialize a :class:`RunTrace` into a JSON-compatible dictionary.
+
+    Parameters
+    ----------
+    include_weights:
+        Also store the final iterate (can be large for E18-like problems).
+    """
+    out = {
+        "method": trace.method,
+        "dataset": trace.dataset,
+        "n_workers": trace.n_workers,
+        "info": _jsonable(trace.info),
+        "records": [
+            {
+                "epoch": r.epoch,
+                "objective": _jsonable(r.objective),
+                "grad_norm": _jsonable(r.grad_norm),
+                "train_accuracy": _jsonable(r.train_accuracy),
+                "test_accuracy": _jsonable(r.test_accuracy),
+                "modelled_time": r.modelled_time,
+                "compute_time": r.compute_time,
+                "comm_time": r.comm_time,
+                "wall_time": r.wall_time,
+                "comm_rounds": r.comm_rounds,
+                "extras": _jsonable(r.extras),
+            }
+            for r in trace.records
+        ],
+    }
+    if include_weights and trace.final_w is not None:
+        out["final_w"] = _jsonable(trace.final_w)
+    return out
+
+
+def trace_from_dict(data: dict) -> RunTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    records = [
+        EpochRecord(
+            epoch=int(r["epoch"]),
+            objective=float(_from_jsonable_float(r["objective"])),
+            grad_norm=float(_from_jsonable_float(r.get("grad_norm", "nan"))),
+            train_accuracy=float(_from_jsonable_float(r.get("train_accuracy", "nan"))),
+            test_accuracy=float(_from_jsonable_float(r.get("test_accuracy", "nan"))),
+            modelled_time=float(r.get("modelled_time", 0.0)),
+            compute_time=float(r.get("compute_time", 0.0)),
+            comm_time=float(r.get("comm_time", 0.0)),
+            wall_time=float(r.get("wall_time", 0.0)),
+            comm_rounds=int(r.get("comm_rounds", 0)),
+            extras=dict(r.get("extras", {})),
+        )
+        for r in data.get("records", [])
+    ]
+    trace = RunTrace(
+        method=data["method"],
+        dataset=data["dataset"],
+        n_workers=int(data["n_workers"]),
+        records=records,
+        info=dict(data.get("info", {})),
+    )
+    if "final_w" in data:
+        trace.final_w = np.asarray(data["final_w"], dtype=np.float64)
+    return trace
+
+
+def save_trace(trace: RunTrace, path: PathLike, *, include_weights: bool = False) -> Path:
+    """Write one trace to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_to_dict(trace, include_weights=include_weights), indent=2))
+    return path
+
+
+def load_trace(path: PathLike) -> RunTrace:
+    """Read a trace previously written with :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_experiment_result(
+    result: dict, directory: PathLike, *, name: str, include_weights: bool = False
+) -> Dict[str, Path]:
+    """Persist one figure driver's output to ``directory``.
+
+    Writes ``<name>_rows.json``, ``<name>_rows.csv``, ``<name>_report.txt``
+    and one ``<name>_trace_<key>.json`` per trace.  Returns the written paths
+    keyed by artifact kind.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    rows = result.get("rows", [])
+    rows_json = directory / f"{name}_rows.json"
+    rows_json.write_text(json.dumps(_jsonable(rows), indent=2))
+    written["rows_json"] = rows_json
+    written["rows_csv"] = save_rows_csv(rows, directory / f"{name}_rows.csv")
+
+    if "report" in result:
+        report_path = directory / f"{name}_report.txt"
+        report_path.write_text(str(result["report"]) + "\n")
+        written["report"] = report_path
+
+    traces = result.get("traces", {})
+    for key, value in _iter_traces(traces):
+        trace_path = directory / f"{name}_trace_{key}.json"
+        save_trace(value, trace_path, include_weights=include_weights)
+        written[f"trace_{key}"] = trace_path
+    return written
+
+
+def _iter_traces(traces) -> List:
+    """Flatten the (possibly nested) trace containers the figure drivers return."""
+    out = []
+    if isinstance(traces, dict):
+        for key, value in traces.items():
+            if isinstance(value, RunTrace):
+                out.append((str(key), value))
+            elif isinstance(value, dict):
+                for inner_key, inner in value.items():
+                    if isinstance(inner, RunTrace):
+                        out.append((f"{key}_{inner_key}", inner))
+    return out
+
+
+def save_rows_csv(
+    rows: Sequence[dict], path: PathLike, *, columns: Optional[Sequence[str]] = None
+) -> Path:
+    """Write a list of dictionaries as CSV (columns taken from the first row)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = list(rows)
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c, "") for c in columns})
+    return path
+
+
+def load_rows_csv(path: PathLike) -> List[dict]:
+    """Read a CSV written by :func:`save_rows_csv` (values come back as strings)."""
+    with Path(path).open(newline="") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]

@@ -1,0 +1,184 @@
+"""Lanczos tridiagonalization and spectrum estimation.
+
+Power iteration (:mod:`repro.linalg.condition`) estimates the extreme
+eigenvalues one at a time; the Lanczos process approximates *both* ends of the
+spectrum of a symmetric operator simultaneously from a single Krylov sweep,
+which is what the conditioning studies and the spectral-penalty diagnostics
+use on larger problems.  It is also the building block behind the sub-sampled
+Newton solvers' Hessian-spectrum checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.operators import LinearOperator
+from repro.utils.rng import check_random_state
+
+
+@dataclass
+class LanczosResult:
+    """Outcome of a Lanczos tridiagonalization.
+
+    Attributes
+    ----------
+    alphas:
+        Diagonal of the tridiagonal matrix ``T`` (length ``k``).
+    betas:
+        Off-diagonal of ``T`` (length ``k - 1``).
+    basis:
+        Orthonormal Lanczos vectors as columns, shape ``(dim, k)`` — only kept
+        when ``store_basis=True``.
+    n_iterations:
+        Number of Lanczos steps actually performed (may stop early on
+        breakdown, i.e. when an invariant subspace is found).
+    """
+
+    alphas: np.ndarray
+    betas: np.ndarray
+    basis: Optional[np.ndarray]
+    n_iterations: int
+
+    def tridiagonal(self) -> np.ndarray:
+        """The ``k x k`` symmetric tridiagonal matrix ``T``."""
+        k = self.alphas.shape[0]
+        T = np.diag(self.alphas)
+        if k > 1:
+            T += np.diag(self.betas, 1) + np.diag(self.betas, -1)
+        return T
+
+    def ritz_values(self) -> np.ndarray:
+        """Eigenvalues of ``T`` — Ritz approximations to the operator spectrum."""
+        if self.alphas.size == 0:
+            return np.empty(0)
+        return np.linalg.eigvalsh(self.tridiagonal())
+
+
+def lanczos(
+    A: LinearOperator,
+    *,
+    max_iter: int = 30,
+    store_basis: bool = False,
+    reorthogonalize: bool = True,
+    breakdown_tol: float = 1e-12,
+    random_state=None,
+) -> LanczosResult:
+    """Run ``max_iter`` steps of the Lanczos process on a symmetric operator.
+
+    Parameters
+    ----------
+    A:
+        Symmetric linear operator.
+    max_iter:
+        Number of Lanczos steps (the Krylov dimension).
+    store_basis:
+        Keep the Lanczos vectors (memory ``dim * max_iter``); needed only when
+        Ritz *vectors* are wanted.
+    reorthogonalize:
+        Apply full reorthogonalization against all previous vectors.  Costs
+        ``O(dim * k)`` per step but keeps the Ritz values accurate — cheap at
+        the Krylov sizes used here.
+    breakdown_tol:
+        Stop when the next off-diagonal entry falls below this (an invariant
+        subspace has been found).
+    random_state:
+        Seed for the random start vector.
+
+    Returns
+    -------
+    LanczosResult
+    """
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    rng = check_random_state(random_state)
+    dim = A.dim
+    max_iter = min(max_iter, dim)
+
+    v = rng.standard_normal(dim)
+    v /= np.linalg.norm(v)
+    v_old = np.zeros(dim)
+    beta = 0.0
+
+    alphas = []
+    betas = []
+    vectors = [v.copy()] if (store_basis or reorthogonalize) else []
+
+    for k in range(max_iter):
+        w = A.matvec(v)
+        alpha = float(v @ w)
+        alphas.append(alpha)
+        w = w - alpha * v - beta * v_old
+        if reorthogonalize and vectors:
+            # Classical Gram-Schmidt against all previous Lanczos vectors.
+            V = np.column_stack(vectors)
+            w = w - V @ (V.T @ w)
+        beta = float(np.linalg.norm(w))
+        if k == max_iter - 1 or beta <= breakdown_tol:
+            break
+        betas.append(beta)
+        v_old = v
+        v = w / beta
+        if store_basis or reorthogonalize:
+            vectors.append(v.copy())
+
+    basis = None
+    if store_basis and vectors:
+        basis = np.column_stack(vectors[: len(alphas)])
+    return LanczosResult(
+        alphas=np.asarray(alphas, dtype=np.float64),
+        betas=np.asarray(betas, dtype=np.float64),
+        basis=basis,
+        n_iterations=len(alphas),
+    )
+
+
+def lanczos_extreme_eigenvalues(
+    A: LinearOperator,
+    *,
+    max_iter: int = 30,
+    random_state=None,
+) -> Tuple[float, float]:
+    """Estimate ``(lambda_min, lambda_max)`` of a symmetric operator.
+
+    The extreme Ritz values of a ``max_iter``-step Lanczos run converge to the
+    extreme eigenvalues first, so a modest Krylov dimension gives useful
+    bounds for conditioning studies.
+    """
+    result = lanczos(A, max_iter=max_iter, random_state=random_state)
+    ritz = result.ritz_values()
+    return float(ritz.min()), float(ritz.max())
+
+
+def lanczos_condition_estimate(
+    A: LinearOperator,
+    *,
+    max_iter: int = 30,
+    floor: float = 1e-12,
+    random_state=None,
+) -> float:
+    """Condition-number estimate ``lambda_max / max(lambda_min, floor)``.
+
+    For PSD operators (an unregularized softmax Hessian) the smallest Ritz
+    value can be numerically zero or slightly negative; ``floor`` keeps the
+    estimate finite, mirroring
+    :func:`repro.linalg.condition.condition_number_estimate`.
+    """
+    lo, hi = lanczos_extreme_eigenvalues(A, max_iter=max_iter, random_state=random_state)
+    return float(hi / max(lo, floor))
+
+
+def spectral_norm_estimate(
+    A: LinearOperator,
+    *,
+    max_iter: int = 20,
+    random_state=None,
+) -> float:
+    """Largest-magnitude eigenvalue estimate (for symmetric operators)."""
+    result = lanczos(A, max_iter=max_iter, random_state=random_state)
+    ritz = result.ritz_values()
+    if ritz.size == 0:
+        return 0.0
+    return float(np.max(np.abs(ritz)))

@@ -1,0 +1,178 @@
+"""MINRES for symmetric (possibly indefinite) linear systems.
+
+CG is the natural inner solver while the regularized Hessian stays positive
+definite, but sub-sampled and sketched Hessians (see
+:mod:`repro.solvers.subsampled_newton` and :mod:`repro.solvers.newton_sketch`)
+can lose definiteness from sampling noise.  MINRES minimizes the residual norm
+over the same Krylov subspace and is well defined for any symmetric operator,
+so those solvers can use it as a drop-in replacement for CG.
+
+The implementation is the standard Lanczos-based recurrence (Paige &
+Saunders, 1975) with Givens rotations, written against the same
+:class:`~repro.linalg.operators.LinearOperator` / callable protocol as
+:func:`repro.linalg.cg.conjugate_gradient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.linalg.cg import MatvecLike
+from repro.linalg.operators import LinearOperator
+
+
+@dataclass
+class MINRESResult:
+    """Outcome of a MINRES solve.
+
+    Attributes
+    ----------
+    x:
+        Approximate solution.
+    converged:
+        Whether the relative-residual tolerance was met.
+    n_iterations:
+        Number of Lanczos steps performed.
+    residual_norm:
+        Final ``||b - A x||`` (recomputed exactly on exit).
+    relative_residual:
+        ``residual_norm / ||b||`` (``0`` when ``b == 0``).
+    residual_history:
+        Recurrence residual-norm estimate after every iteration (including
+        iteration 0).
+    """
+
+    x: np.ndarray
+    converged: bool
+    n_iterations: int
+    residual_norm: float
+    relative_residual: float
+    residual_history: List[float] = field(default_factory=list)
+
+
+def minres(
+    A: MatvecLike,
+    b: np.ndarray,
+    *,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-4,
+    max_iter: int = 50,
+) -> MINRESResult:
+    """Solve ``A x = b`` for symmetric ``A`` by residual-norm minimization.
+
+    Parameters
+    ----------
+    A:
+        A :class:`~repro.linalg.operators.LinearOperator` or a bare matvec
+        callable.  Only symmetry is assumed; the operator may be indefinite.
+    b:
+        Right-hand side.
+    x0:
+        Starting point (zeros by default).
+    tol:
+        Relative residual tolerance ``||b - A x|| <= tol * ||b||``.
+    max_iter:
+        Iteration budget.
+
+    Returns
+    -------
+    MINRESResult
+    """
+    b = np.asarray(b, dtype=np.float64).ravel()
+    dim = b.shape[0]
+    matvec = A.matvec if isinstance(A, LinearOperator) else A
+    if max_iter < 0:
+        raise ValueError(f"max_iter must be >= 0, got {max_iter}")
+    if tol < 0:
+        raise ValueError(f"tol must be >= 0, got {tol}")
+
+    x = np.zeros(dim) if x0 is None else np.asarray(x0, dtype=np.float64).ravel().copy()
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return MINRESResult(
+            x=np.zeros(dim),
+            converged=True,
+            n_iterations=0,
+            residual_norm=0.0,
+            relative_residual=0.0,
+            residual_history=[0.0],
+        )
+
+    r = b - np.asarray(matvec(x)).ravel() if np.any(x) else b.copy()
+    beta = float(np.linalg.norm(r))
+    threshold = tol * b_norm
+    history = [beta]
+    if beta <= threshold:
+        return MINRESResult(
+            x=x,
+            converged=True,
+            n_iterations=0,
+            residual_norm=beta,
+            relative_residual=beta / b_norm,
+            residual_history=history,
+        )
+
+    # Lanczos basis vectors and the two previous update directions.
+    v_old = np.zeros(dim)
+    v = r / beta
+    d = np.zeros(dim)
+    d_old = np.zeros(dim)
+    # Givens rotation state from the previous two steps.
+    c, s = 1.0, 0.0
+    c_old, s_old = 1.0, 0.0
+    eta = beta
+    n_iter = 0
+    converged = False
+
+    for _ in range(max_iter):
+        Av = np.asarray(matvec(v)).ravel()
+        alpha = float(v @ Av)
+        v_new = Av - alpha * v - beta * v_old
+        beta_new = float(np.linalg.norm(v_new))
+
+        # Apply the previous two rotations to the new tridiagonal column
+        # [beta, alpha, beta_new]^T.
+        rho1 = c * alpha - c_old * s * beta
+        rho2 = s * alpha + c_old * c * beta
+        rho3 = s_old * beta
+        # New rotation eliminating beta_new.
+        rho1_hat = float(np.hypot(rho1, beta_new))
+        if rho1_hat == 0.0:
+            # Exact breakdown: nothing left to reduce along this Krylov space.
+            break
+        c_new = rho1 / rho1_hat
+        s_new = beta_new / rho1_hat
+
+        d_new = (v - rho3 * d_old - rho2 * d) / rho1_hat
+        x = x + (c_new * eta) * d_new
+        eta = -s_new * eta
+
+        n_iter += 1
+        history.append(abs(eta))
+
+        if abs(eta) <= threshold:
+            converged = True
+            break
+        if beta_new == 0.0:
+            # Invariant subspace reached; the projected system is solved.
+            break
+
+        v_old, v = v, v_new / beta_new
+        beta = beta_new
+        d_old, d = d, d_new
+        c_old, s_old = c, s
+        c, s = c_new, s_new
+
+    # The recurrence estimate can drift; report the true residual.
+    true_res = float(np.linalg.norm(b - np.asarray(matvec(x)).ravel()))
+    return MINRESResult(
+        x=x,
+        converged=bool(converged or true_res <= threshold),
+        n_iterations=n_iter,
+        residual_norm=true_res,
+        relative_residual=true_res / b_norm,
+        residual_history=history,
+    )

@@ -1,0 +1,95 @@
+"""Matrix-free linear operators.
+
+Second-order solvers in this library only ever touch the Hessian through
+matrix-vector products (the "Hessian-free" approach of the paper), so all of
+them are written against the tiny :class:`LinearOperator` protocol below.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+
+class LinearOperator:
+    """A square linear map defined by its matrix-vector product.
+
+    Parameters
+    ----------
+    dim:
+        Dimension of the (square) operator.
+    matvec:
+        Callable computing ``A @ v`` for a 1-D vector ``v``.
+    """
+
+    def __init__(self, dim: int, matvec: Callable[[np.ndarray], np.ndarray]):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = int(dim)
+        self._matvec = matvec
+        #: number of matrix-vector products evaluated through this operator
+        self.n_matvecs = 0
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64).ravel()
+        if v.shape[0] != self.dim:
+            raise ValueError(f"vector has length {v.shape[0]}, expected {self.dim}")
+        self.n_matvecs += 1
+        out = np.asarray(self._matvec(v), dtype=np.float64).ravel()
+        if out.shape[0] != self.dim:
+            raise ValueError(
+                f"matvec returned length {out.shape[0]}, expected {self.dim}"
+            )
+        return out
+
+    def __matmul__(self, v: np.ndarray) -> np.ndarray:
+        return self.matvec(v)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the operator (intended for small dims / tests only)."""
+        A = np.empty((self.dim, self.dim))
+        e = np.zeros(self.dim)
+        for j in range(self.dim):
+            e[j] = 1.0
+            A[:, j] = self.matvec(e)
+            e[j] = 0.0
+        return A
+
+
+class MatrixOperator(LinearOperator):
+    """Wrap an explicit dense (or scipy-sparse) square matrix."""
+
+    def __init__(self, A):
+        A_shape = A.shape
+        if A_shape[0] != A_shape[1]:
+            raise ValueError(f"matrix must be square, got shape {A_shape}")
+        self.A = A
+        super().__init__(A_shape[0], lambda v: np.asarray(A @ v).ravel())
+
+
+class HessianOperator(LinearOperator):
+    """The Hessian of an objective at a fixed point ``w`` as a linear operator."""
+
+    def __init__(self, objective, w: np.ndarray):
+        self.objective = objective
+        self.w = np.asarray(w, dtype=np.float64).ravel()
+        super().__init__(objective.dim, lambda v: objective.hvp(self.w, v))
+
+
+class DiagonalOperator(LinearOperator):
+    """Diagonal operator, e.g. a Jacobi preconditioner."""
+
+    def __init__(self, diagonal: np.ndarray):
+        diagonal = np.asarray(diagonal, dtype=np.float64).ravel()
+        self.diagonal = diagonal
+        super().__init__(diagonal.shape[0], lambda v: diagonal * v)
+
+
+class ShiftedOperator(LinearOperator):
+    """``A + shift * I`` — used for Levenberg-style damping and ADMM penalties."""
+
+    def __init__(self, base: LinearOperator, shift: float):
+        self.base = base
+        self.shift = float(shift)
+        super().__init__(base.dim, lambda v: base.matvec(v) + self.shift * v)

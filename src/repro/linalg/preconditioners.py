@@ -1,0 +1,146 @@
+"""Preconditioners for the inner Krylov solves.
+
+On ill-conditioned problems (the CIFAR-10-like workload) the unpreconditioned
+CG budget of 10 iterations leaves a large relative residual; a cheap diagonal
+(Jacobi) preconditioner built from a stochastic Hessian-diagonal estimate
+recovers most of the lost accuracy without ever materializing the Hessian.
+These helpers stay within the Hessian-free contract: everything is built from
+Hessian-vector products.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.linalg.operators import DiagonalOperator, LinearOperator
+from repro.objectives.base import Objective
+from repro.utils.rng import check_random_state
+
+
+def estimate_hessian_diagonal(
+    objective: Objective,
+    w: np.ndarray,
+    *,
+    n_probes: int = 10,
+    random_state=None,
+) -> np.ndarray:
+    """Stochastic estimate of ``diag(H(w))`` from Hessian-vector products.
+
+    Uses the Bekas-Kokiopoulou-Saad estimator: for Rademacher probes ``v``,
+    ``E[v * (H v)] = diag(H)``.  Costs ``n_probes`` Hessian-vector products.
+
+    Parameters
+    ----------
+    objective:
+        Objective exposing ``hvp``.
+    w:
+        Point at which the Hessian is taken.
+    n_probes:
+        Number of Rademacher probe vectors.
+    random_state:
+        Seed for the probes.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``dim`` estimate of the Hessian diagonal.
+    """
+    if n_probes < 1:
+        raise ValueError(f"n_probes must be >= 1, got {n_probes}")
+    rng = check_random_state(random_state)
+    w = np.asarray(w, dtype=np.float64).ravel()
+    diag = np.zeros(objective.dim)
+    for _ in range(n_probes):
+        v = rng.choice([-1.0, 1.0], size=objective.dim)
+        diag += v * objective.hvp(w, v)
+    return diag / n_probes
+
+
+def jacobi_preconditioner(
+    diagonal: np.ndarray,
+    *,
+    damping: float = 0.0,
+    floor: float = 1e-12,
+) -> DiagonalOperator:
+    """Inverse-diagonal (Jacobi) preconditioner ``M^{-1} = diag(1 / (d + damping))``.
+
+    Parameters
+    ----------
+    diagonal:
+        (Estimated) diagonal of the operator to precondition.
+    damping:
+        Added to every diagonal entry before inversion (use the L2
+        regularization strength, or the ADMM penalty, to keep the
+        preconditioner SPD even when the estimate has small/negative entries).
+    floor:
+        Entries below this after damping are clamped to it.
+    """
+    diagonal = np.asarray(diagonal, dtype=np.float64).ravel()
+    if damping < 0:
+        raise ValueError(f"damping must be >= 0, got {damping}")
+    d = np.maximum(diagonal + damping, floor)
+    return DiagonalOperator(1.0 / d)
+
+
+def hessian_jacobi_preconditioner(
+    objective: Objective,
+    w: np.ndarray,
+    *,
+    n_probes: int = 10,
+    damping: float = 0.0,
+    random_state=None,
+) -> DiagonalOperator:
+    """Convenience wrapper: estimate ``diag(H(w))`` and build a Jacobi preconditioner."""
+    diag = estimate_hessian_diagonal(
+        objective, w, n_probes=n_probes, random_state=random_state
+    )
+    return jacobi_preconditioner(diag, damping=damping)
+
+
+class RegularizerPreconditioner(LinearOperator):
+    """Preconditioner ``(lam + rho)^{-1} I`` for proximally augmented objectives.
+
+    The ADMM subproblem Hessian is ``H_loss + (lam + rho) I``; when the loss
+    Hessian is small relative to the shift (strong penalties / late
+    iterations) the scaled identity is already an effective preconditioner and
+    costs nothing to build.
+    """
+
+    def __init__(self, dim: int, shift: float):
+        if shift <= 0:
+            raise ValueError(f"shift must be positive, got {shift}")
+        self.shift = float(shift)
+        super().__init__(dim, lambda v: np.asarray(v, dtype=np.float64) / self.shift)
+
+
+def make_preconditioner(
+    kind: Optional[str],
+    objective: Objective,
+    w: np.ndarray,
+    *,
+    damping: float = 0.0,
+    n_probes: int = 10,
+    random_state=None,
+) -> Optional[LinearOperator]:
+    """Build a named preconditioner (or ``None``).
+
+    Parameters
+    ----------
+    kind:
+        ``None`` / ``"none"`` (no preconditioning), ``"jacobi"`` (stochastic
+        Hessian-diagonal Jacobi), or ``"shift"`` (inverse of the damping
+        shift alone).
+    """
+    if kind is None or kind == "none":
+        return None
+    if kind == "jacobi":
+        return hessian_jacobi_preconditioner(
+            objective, w, n_probes=n_probes, damping=damping, random_state=random_state
+        )
+    if kind == "shift":
+        return RegularizerPreconditioner(objective.dim, max(damping, 1e-12))
+    raise ValueError(
+        f"unknown preconditioner {kind!r}; expected None, 'none', 'jacobi' or 'shift'"
+    )

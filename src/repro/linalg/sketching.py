@@ -1,0 +1,143 @@
+"""Randomized sketching operators.
+
+These support the Newton-Sketch solver (:mod:`repro.solvers.newton_sketch`),
+which the paper's related-work section cites (Berahas et al., "An
+Investigation of Newton-Sketch and Subsampled Newton Methods") as the other
+family of approximate second-order methods.  A sketch ``S`` of shape
+``(m, n)`` with ``m << n`` compresses the ``n``-row square-root factor
+``A(w)`` of a Gauss-Newton Hessian ``H = A^T A`` into ``S A``, so that
+``(S A)^T (S A)`` approximates ``H`` at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.rng import check_random_state
+
+
+def gaussian_sketch(
+    sketch_size: int, n_rows: int, *, random_state=None
+) -> np.ndarray:
+    """Dense Gaussian sketch ``S`` with i.i.d. ``N(0, 1/m)`` entries.
+
+    ``E[S^T S] = I`` so ``(S A)^T (S A)`` is an unbiased estimate of
+    ``A^T A``.  Cost of applying it to an ``(n, d)`` matrix is ``O(m n d)``.
+    """
+    _validate_sizes(sketch_size, n_rows)
+    rng = check_random_state(random_state)
+    return rng.standard_normal((sketch_size, n_rows)) / np.sqrt(sketch_size)
+
+
+def count_sketch(
+    sketch_size: int, n_rows: int, *, random_state=None
+) -> sp.csr_matrix:
+    """Count sketch (sparse embedding): one ``+-1`` entry per column.
+
+    Applying it costs ``O(nnz(A))`` — much cheaper than a Gaussian sketch —
+    at the price of a slightly larger sketch size for the same accuracy.
+    """
+    _validate_sizes(sketch_size, n_rows)
+    rng = check_random_state(random_state)
+    rows = rng.integers(0, sketch_size, size=n_rows)
+    signs = rng.choice([-1.0, 1.0], size=n_rows)
+    cols = np.arange(n_rows)
+    return sp.csr_matrix((signs, (rows, cols)), shape=(sketch_size, n_rows))
+
+
+def row_sampling_sketch(
+    sketch_size: int,
+    n_rows: int,
+    *,
+    probabilities: Optional[np.ndarray] = None,
+    random_state=None,
+) -> sp.csr_matrix:
+    """Row-sampling sketch: pick ``m`` rows with replacement and rescale.
+
+    With ``probabilities=None`` rows are sampled uniformly; passing leverage
+    or row-norm scores gives importance sampling.  The rescaling by
+    ``1 / sqrt(m p_i)`` keeps ``E[S^T S] = I``.
+    """
+    _validate_sizes(sketch_size, n_rows)
+    rng = check_random_state(random_state)
+    if probabilities is None:
+        probabilities = np.full(n_rows, 1.0 / n_rows)
+    else:
+        probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+        if probabilities.shape[0] != n_rows:
+            raise ValueError(
+                f"probabilities has length {probabilities.shape[0]}, expected {n_rows}"
+            )
+        if np.any(probabilities < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("probabilities must not all be zero")
+        probabilities = probabilities / total
+    chosen = rng.choice(n_rows, size=sketch_size, replace=True, p=probabilities)
+    weights = 1.0 / np.sqrt(sketch_size * probabilities[chosen])
+    rows = np.arange(sketch_size)
+    return sp.csr_matrix((weights, (rows, chosen)), shape=(sketch_size, n_rows))
+
+
+def srht_sketch(
+    sketch_size: int, n_rows: int, *, random_state=None
+) -> np.ndarray:
+    """Subsampled randomized Hadamard transform (SRHT) sketch, materialized.
+
+    ``S = sqrt(n/m) * P H D`` where ``D`` is a random sign flip, ``H`` the
+    (normalized) Walsh-Hadamard transform of the next power-of-two size, and
+    ``P`` a uniform row sample.  Returned as a dense ``(m, n)`` matrix — fine
+    at the problem sizes used here; a production implementation would apply
+    the transform implicitly in ``O(n log n)``.
+    """
+    _validate_sizes(sketch_size, n_rows)
+    rng = check_random_state(random_state)
+    n_pad = 1 << (int(n_rows - 1).bit_length() if n_rows > 1 else 0)
+    H = _hadamard(n_pad) / np.sqrt(n_pad)
+    signs = rng.choice([-1.0, 1.0], size=n_rows)
+    rows = rng.choice(n_pad, size=sketch_size, replace=False)
+    # (P H)[:, :n_rows] D, rescaled to keep E[S^T S] = I.
+    S = H[rows, :n_rows] * signs[None, :]
+    return S * np.sqrt(n_pad / sketch_size)
+
+
+def sketch_matrix(
+    kind: str,
+    sketch_size: int,
+    n_rows: int,
+    *,
+    random_state=None,
+):
+    """Build a named sketch (``"gaussian"``, ``"count"``, ``"rows"``, ``"srht"``)."""
+    builders = {
+        "gaussian": gaussian_sketch,
+        "count": count_sketch,
+        "rows": row_sampling_sketch,
+        "srht": srht_sketch,
+    }
+    if kind not in builders:
+        raise ValueError(
+            f"unknown sketch kind {kind!r}; expected one of {sorted(builders)}"
+        )
+    return builders[kind](sketch_size, n_rows, random_state=random_state)
+
+
+def _hadamard(n: int) -> np.ndarray:
+    """Walsh-Hadamard matrix of size ``n`` (a power of two)."""
+    if n & (n - 1) != 0:
+        raise ValueError(f"Hadamard size must be a power of two, got {n}")
+    H = np.ones((1, 1))
+    while H.shape[0] < n:
+        H = np.block([[H, H], [H, -H]])
+    return H
+
+
+def _validate_sizes(sketch_size: int, n_rows: int) -> None:
+    if sketch_size < 1:
+        raise ValueError(f"sketch_size must be >= 1, got {sketch_size}")
+    if n_rows < 1:
+        raise ValueError(f"n_rows must be >= 1, got {n_rows}")

@@ -1,0 +1,37 @@
+"""Evaluation metrics and run traces."""
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    error_rate,
+    precision_recall_f1,
+    roc_auc,
+    top_k_accuracy,
+)
+from repro.metrics.traces import (
+    EpochRecord,
+    RunTrace,
+    time_to_objective,
+    time_to_relative_objective,
+    speedup_ratio,
+    average_epoch_time,
+)
+from repro.metrics.summary import format_table, format_series, relative_error
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "roc_auc",
+    "top_k_accuracy",
+    "EpochRecord",
+    "RunTrace",
+    "time_to_objective",
+    "time_to_relative_objective",
+    "speedup_ratio",
+    "average_epoch_time",
+    "format_table",
+    "format_series",
+    "relative_error",
+]

@@ -1,0 +1,137 @@
+"""Classification quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of correctly classified samples, in percent-free [0, 1]."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true, y_pred) -> float:
+    """``1 - accuracy``."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def top_k_accuracy(y_true, scores, k: int = 5) -> float:
+    """Fraction of samples whose true class is among the ``k`` highest scores.
+
+    Parameters
+    ----------
+    y_true:
+        Integer labels, shape ``(n,)``.
+    scores:
+        Per-class scores or probabilities, shape ``(n, n_classes)``.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape[0] != y_true.shape[0]:
+        raise ValueError(
+            f"scores must have shape (n, n_classes); got {scores.shape} for "
+            f"{y_true.shape[0]} labels"
+        )
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError(f"k must lie in [1, {scores.shape[1]}], got {k}")
+    top_k = np.argsort(-scores, axis=1)[:, :k]
+    return float(np.mean(np.any(top_k == y_true[:, None], axis=1)))
+
+
+def precision_recall_f1(
+    y_true, y_pred, n_classes: int, *, average: str = "macro"
+) -> dict:
+    """Per-class or averaged precision / recall / F1.
+
+    Parameters
+    ----------
+    average:
+        ``"macro"`` (unweighted mean over classes, default), ``"micro"``
+        (global counts), or ``"none"`` (arrays of per-class values).
+    """
+    M = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(M).astype(np.float64)
+    predicted = M.sum(axis=0).astype(np.float64)
+    actual = M.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        f1 = np.where(
+            precision + recall > 0, 2 * precision * recall / (precision + recall), 0.0
+        )
+    if average == "none":
+        return {"precision": precision, "recall": recall, "f1": f1}
+    if average == "macro":
+        return {
+            "precision": float(precision.mean()),
+            "recall": float(recall.mean()),
+            "f1": float(f1.mean()),
+        }
+    if average == "micro":
+        total_tp = float(tp.sum())
+        total = float(M.sum())
+        p = total_tp / total if total > 0 else 0.0
+        return {"precision": p, "recall": p, "f1": p}
+    raise ValueError(f"average must be 'macro', 'micro' or 'none', got {average!r}")
+
+
+def roc_auc(y_true, scores) -> float:
+    """Area under the ROC curve for binary labels via the rank statistic.
+
+    ``scores`` are scores/probabilities for the positive class (label 1).
+    Equivalent to the Mann-Whitney U statistic normalized by the number of
+    positive/negative pairs; ties receive half credit.
+    """
+    y_true = np.asarray(y_true).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs scores {scores.shape}"
+        )
+    positives = scores[y_true == 1]
+    negatives = scores[y_true == 0]
+    if positives.size == 0 or negatives.size == 0:
+        raise ValueError("roc_auc requires at least one positive and one negative sample")
+    # Rank-based computation (average ranks handle ties).
+    order = np.argsort(np.concatenate([negatives, positives]), kind="mergesort")
+    ranks = np.empty(order.size, dtype=np.float64)
+    sorted_scores = np.concatenate([negatives, positives])[order]
+    ranks[order] = np.arange(1, order.size + 1)
+    # Average the ranks of tied groups.
+    unique, inverse, counts = np.unique(
+        sorted_scores, return_inverse=True, return_counts=True
+    )
+    cumulative = np.cumsum(counts)
+    average_rank = cumulative - (counts - 1) / 2.0
+    ranks[order] = average_rank[inverse]
+    positive_ranks = ranks[negatives.size:]
+    n_pos, n_neg = positives.size, negatives.size
+    u = positive_ranks.sum() - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int) -> np.ndarray:
+    """Counts matrix ``M[i, j]`` = samples of true class ``i`` predicted ``j``."""
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.int64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if n_classes < 2:
+        raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+    if y_true.min(initial=0) < 0 or y_pred.min(initial=0) < 0:
+        raise ValueError("labels must be non-negative")
+    if y_true.max(initial=0) >= n_classes or y_pred.max(initial=0) >= n_classes:
+        raise ValueError("labels out of range for n_classes")
+    M = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(M, (y_true, y_pred), 1)
+    return M

@@ -1,0 +1,89 @@
+"""Plain-text report formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal (no plotting dependencies are assumed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value, *, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1e5 or (abs(value) < 1e-3 and value != 0.0):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [
+        [_format_cell(row.get(c, ""), precision=precision) for c in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[j]), *(len(r[j]) for r in body)) for j in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[j]) for j, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[j] for j in range(len(columns))))
+    for r in body:
+        lines.append("  ".join(r[j].ljust(widths[j]) for j in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Iterable[Number],
+    y: Iterable[Number],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    max_points: int = 25,
+    precision: int = 4,
+) -> str:
+    """Render an (x, y) series as rows, downsampling long series evenly."""
+    xs = list(x)
+    ys = list(y)
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n > max_points:
+        step = max(n // max_points, 1)
+        keep = list(range(0, n, step))
+        if keep[-1] != n - 1:
+            keep.append(n - 1)
+        xs = [xs[i] for i in keep]
+        ys = [ys[i] for i in keep]
+    rows = [{x_label: xv, y_label: yv} for xv, yv in zip(xs, ys)]
+    return format_table(rows, columns=[x_label, y_label], title=title, precision=precision)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / |reference|`` with a guarded denominator."""
+    denom = max(abs(reference), 1e-300)
+    return abs(measured - reference) / denom

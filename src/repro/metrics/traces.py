@@ -1,0 +1,186 @@
+"""Per-epoch traces of distributed runs and derived timing metrics.
+
+These are the data structures behind every figure of the paper:
+
+* Figures 1, 4, 5 plot objective (or test accuracy) against time — that is
+  :meth:`RunTrace.series`;
+* Figure 2 plots average epoch time — :func:`average_epoch_time`;
+* Figure 3 plots the speed-up ratio of GIANT over Newton-ADMM at a relative
+  objective target ``theta < 0.05`` — :func:`time_to_relative_objective` and
+  :func:`speedup_ratio`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class EpochRecord:
+    """State of a distributed run after one outer iteration ("epoch").
+
+    Attributes
+    ----------
+    epoch:
+        1-based outer iteration index.
+    objective:
+        Global training objective (mean loss + regularizer) at the iterate.
+    grad_norm:
+        Norm of the global gradient (``nan`` if not evaluated).
+    train_accuracy, test_accuracy:
+        Classification accuracy of the current iterate (``nan`` if not
+        evaluated).
+    modelled_time:
+        Cumulative modelled cluster time (compute + communication) in seconds.
+    compute_time, comm_time:
+        Cumulative split of ``modelled_time``.
+    wall_time:
+        Cumulative measured wall-clock of the simulation.
+    comm_rounds:
+        Cumulative number of communication rounds.
+    extras:
+        Method-specific diagnostics (ADMM residuals, CG iterations, ...).
+    """
+
+    epoch: int
+    objective: float
+    grad_norm: float = float("nan")
+    train_accuracy: float = float("nan")
+    test_accuracy: float = float("nan")
+    modelled_time: float = 0.0
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+    wall_time: float = 0.0
+    comm_rounds: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunTrace:
+    """Full trace of one distributed solver run."""
+
+    method: str
+    dataset: str
+    n_workers: int
+    records: List[EpochRecord] = field(default_factory=list)
+    final_w: Optional[np.ndarray] = None
+    info: Dict[str, object] = field(default_factory=dict)
+
+    # -- accessors ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.records)
+
+    def objectives(self) -> np.ndarray:
+        return np.array([r.objective for r in self.records])
+
+    def times(self, kind: str = "modelled") -> np.ndarray:
+        """Cumulative times; ``kind`` is 'modelled', 'wall', 'compute' or 'comm'."""
+        attr = {
+            "modelled": "modelled_time",
+            "wall": "wall_time",
+            "compute": "compute_time",
+            "comm": "comm_time",
+        }.get(kind)
+        if attr is None:
+            raise ValueError(f"unknown time kind {kind!r}")
+        return np.array([getattr(r, attr) for r in self.records])
+
+    def test_accuracies(self) -> np.ndarray:
+        return np.array([r.test_accuracy for r in self.records])
+
+    def series(self, y: str = "objective", time_kind: str = "modelled"):
+        """(time, value) pairs for plotting objective/accuracy vs. time."""
+        values = {
+            "objective": self.objectives(),
+            "test_accuracy": self.test_accuracies(),
+            "train_accuracy": np.array([r.train_accuracy for r in self.records]),
+            "grad_norm": np.array([r.grad_norm for r in self.records]),
+        }.get(y)
+        if values is None:
+            raise ValueError(f"unknown series {y!r}")
+        return self.times(time_kind), values
+
+    @property
+    def final(self) -> EpochRecord:
+        if not self.records:
+            raise ValueError("trace has no records")
+        return self.records[-1]
+
+    def best_objective(self) -> float:
+        return float(np.min(self.objectives())) if self.records else float("nan")
+
+    def total_time(self, kind: str = "modelled") -> float:
+        return float(self.times(kind)[-1]) if self.records else 0.0
+
+
+def average_epoch_time(trace: RunTrace, kind: str = "modelled") -> float:
+    """Average per-epoch time — the quantity plotted in Figure 2."""
+    if not trace.records:
+        return float("nan")
+    return trace.total_time(kind) / trace.n_epochs
+
+
+def time_to_objective(
+    trace: RunTrace, target: float, *, kind: str = "modelled"
+) -> float:
+    """Earliest cumulative time at which the objective drops to ``target``.
+
+    Returns ``inf`` when the run never reaches the target.
+    """
+    times = trace.times(kind)
+    objectives = trace.objectives()
+    hits = np.flatnonzero(objectives <= target)
+    if hits.size == 0:
+        return math.inf
+    return float(times[hits[0]])
+
+
+def time_to_relative_objective(
+    trace: RunTrace,
+    f_star: float,
+    *,
+    theta: float = 0.05,
+    kind: str = "modelled",
+) -> float:
+    """Time to reach relative objective ``(F(x_k) - F*) / |F*| < theta``.
+
+    This is the criterion of the paper's Figure 3, with ``F*`` obtained from a
+    high-precision single-node Newton solve.
+    """
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    denom = max(abs(f_star), 1e-300)
+    target = f_star + theta * denom
+    return time_to_objective(trace, target, kind=kind)
+
+
+def speedup_ratio(
+    baseline: RunTrace,
+    method: RunTrace,
+    f_star: float,
+    *,
+    theta: float = 0.05,
+    kind: str = "modelled",
+) -> float:
+    """Figure-3 speed-up ratio: baseline time / method time to the target.
+
+    ``inf`` when the baseline never reaches the target but the method does;
+    ``nan`` when neither reaches it.
+    """
+    t_baseline = time_to_relative_objective(baseline, f_star, theta=theta, kind=kind)
+    t_method = time_to_relative_objective(method, f_star, theta=theta, kind=kind)
+    if math.isinf(t_method) and math.isinf(t_baseline):
+        return float("nan")
+    if math.isinf(t_method):
+        return 0.0
+    if t_method <= 0.0:
+        return math.inf
+    return t_baseline / t_method

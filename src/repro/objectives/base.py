@@ -1,0 +1,321 @@
+"""Objective-function interfaces.
+
+An :class:`Objective` binds a loss to a particular dataset (or dataset shard)
+and exposes value / gradient / Hessian-vector products of the *empirical*
+objective as a function of the flat weight vector ``w``.
+
+Scaling convention
+------------------
+``scale`` multiplies the raw per-sample loss sum:
+
+* ``"mean"`` (default) — objective is the average loss, the form used for the
+  single-machine problem and for reporting training objective values;
+* ``"sum"`` — raw finite sum, as written in the paper's eq. (1);
+* a float — arbitrary multiplier.  Distributed solvers give worker ``k`` the
+  multiplier ``1 / n_total`` so that the *sum over workers* of local
+  objectives equals the global mean objective.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+ScaleLike = Union[str, float]
+
+
+def resolve_scale(scale: ScaleLike, n_samples: int) -> float:
+    """Convert a ``scale`` specification into a float multiplier."""
+    if isinstance(scale, str):
+        if scale == "mean":
+            return 1.0 / max(n_samples, 1)
+        if scale == "sum":
+            return 1.0
+        raise ValueError(f"unknown scale {scale!r}; expected 'mean', 'sum' or a float")
+    return check_positive(scale, name="scale")
+
+
+class Objective(ABC):
+    """Abstract smooth objective ``w -> R`` with Hessian-vector products."""
+
+    #: dimension of the flat weight vector
+    dim: int
+
+    @abstractmethod
+    def value(self, w: np.ndarray) -> float:
+        """Objective value at ``w``."""
+
+    @abstractmethod
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        """Gradient at ``w`` (same shape as ``w``)."""
+
+    @abstractmethod
+    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Hessian-vector product ``H(w) @ v``."""
+
+    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Value and gradient together (overridden where sharing work helps)."""
+        return self.value(w), self.gradient(w)
+
+    def hessian(self, w: np.ndarray) -> np.ndarray:
+        """Dense Hessian at ``w`` built column-by-column from :meth:`hvp`.
+
+        Intended for small problems (tests, condition-number studies); cost is
+        ``dim`` Hessian-vector products.
+        """
+        d = self.dim
+        H = np.empty((d, d))
+        e = np.zeros(d)
+        for j in range(d):
+            e[j] = 1.0
+            H[:, j] = self.hvp(w, e)
+            e[j] = 0.0
+        return 0.5 * (H + H.T)
+
+    def initial_point(self) -> np.ndarray:
+        """Default starting iterate (all zeros)."""
+        return np.zeros(self.dim)
+
+    def check_weights(self, w: np.ndarray) -> np.ndarray:
+        w = np.asarray(w, dtype=np.float64).ravel()
+        if w.shape[0] != self.dim:
+            raise ValueError(
+                f"weight vector has length {w.shape[0]}, expected {self.dim}"
+            )
+        return w
+
+    # FLOP estimates (overridden by concrete objectives); the distributed
+    # runtime uses them to convert work into modelled compute time.
+    def flops_value(self) -> float:
+        return 0.0
+
+    def flops_gradient(self) -> float:
+        return 0.0
+
+    def flops_hvp(self) -> float:
+        return 0.0
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples behind this objective (0 for pure penalties)."""
+        return 0
+
+
+class RegularizedObjective(Objective):
+    """Sum of a data-fit objective and a regularizer: ``F(w) = L(w) + R(w)``."""
+
+    def __init__(self, loss: Objective, regularizer: Objective):
+        if loss.dim != regularizer.dim:
+            raise ValueError(
+                f"loss dim {loss.dim} != regularizer dim {regularizer.dim}"
+            )
+        self.loss = loss
+        self.regularizer = regularizer
+        self.dim = loss.dim
+
+    def value(self, w: np.ndarray) -> float:
+        w = self.check_weights(w)
+        return self.loss.value(w) + self.regularizer.value(w)
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        return self.loss.gradient(w) + self.regularizer.gradient(w)
+
+    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        w = self.check_weights(w)
+        lv, lg = self.loss.value_and_gradient(w)
+        rv, rg = self.regularizer.value_and_gradient(w)
+        return lv + rv, lg + rg
+
+    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        return self.loss.hvp(w, v) + self.regularizer.hvp(w, v)
+
+    def flops_value(self) -> float:
+        return self.loss.flops_value() + self.regularizer.flops_value()
+
+    def flops_gradient(self) -> float:
+        return self.loss.flops_gradient() + self.regularizer.flops_gradient()
+
+    def flops_hvp(self) -> float:
+        return self.loss.flops_hvp() + self.regularizer.flops_hvp()
+
+    def minibatch(self, indices: np.ndarray) -> "RegularizedObjective":
+        """Unbiased mini-batch version (requires the loss to support it)."""
+        if not hasattr(self.loss, "minibatch"):
+            raise AttributeError("underlying loss does not support minibatching")
+        return RegularizedObjective(self.loss.minibatch(indices), self.regularizer)
+
+    @property
+    def n_samples(self) -> int:
+        return self.loss.n_samples
+
+
+class ScaledObjective(Objective):
+    """``factor * f(w)`` — rescales an existing objective.
+
+    Distributed baselines use this to convert a worker's "global contribution"
+    loss (scaled by ``1 / n_total``) into the *local mean* loss GIANT/DANE
+    solve (scaled by ``1 / n_local``), without re-binding the data.
+    """
+
+    def __init__(self, base: Objective, factor: float):
+        self.base = base
+        self.factor = float(factor)
+        if not np.isfinite(self.factor):
+            raise ValueError(f"factor must be finite, got {factor}")
+        self.dim = base.dim
+
+    def value(self, w: np.ndarray) -> float:
+        return self.factor * self.base.value(w)
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        return self.factor * self.base.gradient(w)
+
+    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        v, g = self.base.value_and_gradient(w)
+        return self.factor * v, self.factor * g
+
+    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return self.factor * self.base.hvp(w, v)
+
+    def flops_value(self) -> float:
+        return self.base.flops_value()
+
+    def flops_gradient(self) -> float:
+        return self.base.flops_gradient()
+
+    def flops_hvp(self) -> float:
+        return self.base.flops_hvp()
+
+    @property
+    def n_samples(self) -> int:
+        return self.base.n_samples
+
+
+class ProximallyAugmentedObjective(Objective):
+    """``f(w) + (rho / 2) * ||w - center||^2`` — the ADMM local subproblem.
+
+    This is eq. (6a) of the paper rewritten with ``center = z + y / rho``; the
+    worker-side Newton solver minimizes exactly this object.
+    """
+
+    def __init__(self, base: Objective, rho: float, center: np.ndarray):
+        self.base = base
+        self.rho = check_positive(rho, name="rho")
+        center = np.asarray(center, dtype=np.float64).ravel()
+        if center.shape[0] != base.dim:
+            raise ValueError(
+                f"center has length {center.shape[0]}, expected {base.dim}"
+            )
+        self.center = center
+        self.dim = base.dim
+
+    def value(self, w: np.ndarray) -> float:
+        w = self.check_weights(w)
+        diff = w - self.center
+        return self.base.value(w) + 0.5 * self.rho * float(diff @ diff)
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        return self.base.gradient(w) + self.rho * (w - self.center)
+
+    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        w = self.check_weights(w)
+        v, g = self.base.value_and_gradient(w)
+        diff = w - self.center
+        return v + 0.5 * self.rho * float(diff @ diff), g + self.rho * diff
+
+    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        return self.base.hvp(w, v) + self.rho * v
+
+    def flops_value(self) -> float:
+        return self.base.flops_value() + 3.0 * self.dim
+
+    def flops_gradient(self) -> float:
+        return self.base.flops_gradient() + 3.0 * self.dim
+
+    def flops_hvp(self) -> float:
+        return self.base.flops_hvp() + 2.0 * self.dim
+
+    @property
+    def n_samples(self) -> int:
+        return self.base.n_samples
+
+
+class LinearlyPerturbedObjective(Objective):
+    """``f(w) - b @ w + (mu / 2) * ||w - center||^2``.
+
+    The DANE/AIDE local subproblem: the base local loss perturbed by a linear
+    term (built from local and global gradients) plus a proximal term.
+    """
+
+    def __init__(
+        self,
+        base: Objective,
+        linear: np.ndarray,
+        mu: float = 0.0,
+        center: Optional[np.ndarray] = None,
+    ):
+        self.base = base
+        self.linear = np.asarray(linear, dtype=np.float64).ravel()
+        if self.linear.shape[0] != base.dim:
+            raise ValueError(
+                f"linear term has length {self.linear.shape[0]}, expected {base.dim}"
+            )
+        if mu < 0:
+            raise ValueError(f"mu must be >= 0, got {mu}")
+        self.mu = float(mu)
+        if center is None:
+            center = np.zeros(base.dim)
+        self.center = np.asarray(center, dtype=np.float64).ravel()
+        self.dim = base.dim
+
+    def value(self, w: np.ndarray) -> float:
+        w = self.check_weights(w)
+        out = self.base.value(w) - float(self.linear @ w)
+        if self.mu > 0:
+            diff = w - self.center
+            out += 0.5 * self.mu * float(diff @ diff)
+        return out
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        g = self.base.gradient(w) - self.linear
+        if self.mu > 0:
+            g = g + self.mu * (w - self.center)
+        return g
+
+    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        out = self.base.hvp(w, v)
+        if self.mu > 0:
+            out = out + self.mu * v
+        return out
+
+    def flops_value(self) -> float:
+        return self.base.flops_value() + 4.0 * self.dim
+
+    def flops_gradient(self) -> float:
+        return self.base.flops_gradient() + 4.0 * self.dim
+
+    def flops_hvp(self) -> float:
+        return self.base.flops_hvp() + 2.0 * self.dim
+
+    def minibatch(self, indices: np.ndarray) -> "LinearlyPerturbedObjective":
+        """Unbiased mini-batch version: the stochastic part is the base loss;
+        the linear and proximal terms are deterministic and kept in full."""
+        if not hasattr(self.base, "minibatch"):
+            raise AttributeError("underlying objective does not support minibatching")
+        return LinearlyPerturbedObjective(
+            self.base.minibatch(indices), self.linear, self.mu, self.center
+        )
+
+    @property
+    def n_samples(self) -> int:
+        return self.base.n_samples

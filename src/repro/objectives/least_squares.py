@@ -1,0 +1,97 @@
+"""Linear least-squares objective.
+
+A quadratic objective with constant Hessian ``scale * X^T X``; useful for
+exercising the CG and Newton machinery against closed-form solutions in tests
+and for the DiSCO/CoCoA baselines' sanity checks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.objectives.base import Objective, ScaleLike, resolve_scale
+from repro.utils.flops import gemv_flops
+from repro.utils.validation import check_array
+
+
+class LeastSquares(Objective):
+    """``scale * 0.5 * ||X @ w - b||^2``."""
+
+    def __init__(self, X, b, *, scale: ScaleLike = "mean"):
+        self.X = check_array(X, name="X", allow_sparse=True)
+        b = np.asarray(b, dtype=np.float64).ravel()
+        if b.shape[0] != self.X.shape[0]:
+            raise ValueError(
+                f"b has length {b.shape[0]}, expected {self.X.shape[0]}"
+            )
+        self.b = b
+        self.dim = int(self.X.shape[1])
+        self.scale = resolve_scale(scale, self.X.shape[0])
+
+    def value(self, w: np.ndarray) -> float:
+        w = self.check_weights(w)
+        r = np.asarray(self.X @ w).ravel() - self.b
+        return 0.5 * self.scale * float(r @ r)
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        r = np.asarray(self.X @ w).ravel() - self.b
+        return self.scale * np.asarray(self.X.T @ r).ravel()
+
+    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        w = self.check_weights(w)
+        r = np.asarray(self.X @ w).ravel() - self.b
+        return 0.5 * self.scale * float(r @ r), self.scale * np.asarray(
+            self.X.T @ r
+        ).ravel()
+
+    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64).ravel()
+        if v.shape[0] != self.dim:
+            raise ValueError(f"v has length {v.shape[0]}, expected {self.dim}")
+        Xv = np.asarray(self.X @ v).ravel()
+        return self.scale * np.asarray(self.X.T @ Xv).ravel()
+
+    def hessian_sqrt(self, w: np.ndarray) -> np.ndarray:
+        """Square-root factor ``A`` with ``H = A^T A`` (here ``sqrt(scale) X``).
+
+        The least-squares Hessian is constant, so ``w`` is ignored; the
+        argument is kept for interface parity with the other objectives.
+        """
+        del w
+        if hasattr(self.X, "todense"):
+            return np.sqrt(self.scale) * np.asarray(self.X.todense())
+        return np.sqrt(self.scale) * self.X
+
+    def minibatch(self, indices: np.ndarray) -> "LeastSquares":
+        """A new objective over a row subset (mean-scaled over the batch)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return LeastSquares(self.X[indices], self.b[indices], scale="mean")
+
+    def solve_normal_equations(self, reg: float = 0.0) -> np.ndarray:
+        """Closed-form minimizer of the (optionally ridge-regularized) problem.
+
+        Minimizes ``scale * 0.5 ||X w - b||^2 + 0.5 * reg * ||w||^2``.
+        """
+        A = self.scale * np.asarray((self.X.T @ self.X).todense() if hasattr(self.X, "todense") else self.X.T @ self.X)
+        A = A + reg * np.eye(self.dim)
+        rhs = self.scale * np.asarray(self.X.T @ self.b).ravel()
+        return np.linalg.solve(A, rhs)
+
+    def flops_value(self) -> float:
+        n, p = self.X.shape
+        return gemv_flops(n, p) + 3.0 * n
+
+    def flops_gradient(self) -> float:
+        n, p = self.X.shape
+        return 2.0 * gemv_flops(n, p) + 3.0 * n
+
+    def flops_hvp(self) -> float:
+        n, p = self.X.shape
+        return 2.0 * gemv_flops(n, p)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])

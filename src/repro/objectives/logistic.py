@@ -1,0 +1,114 @@
+"""Binary logistic regression objective.
+
+Kept alongside :class:`~repro.objectives.softmax.SoftmaxCrossEntropy` because
+binary problems (HIGGS) admit a ``p``-dimensional parameterization with a
+cheaper Hessian-vector product; it is also the model CoCoA's dual formulation
+targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.objectives.base import Objective, ScaleLike, resolve_scale
+from repro.objectives.numerics import log1p_exp, sigmoid
+from repro.utils.flops import gemv_flops
+from repro.utils.validation import check_array, check_labels
+
+
+class BinaryLogistic(Objective):
+    """Logistic loss ``sum_i log(1 + exp(x_i @ w)) - y_i * (x_i @ w)``.
+
+    Labels are ``{0, 1}``; the decision rule is ``sigmoid(x @ w) > 0.5``.
+    """
+
+    def __init__(self, X, y, *, scale: ScaleLike = "mean"):
+        self.X = check_array(X, name="X", allow_sparse=True)
+        self.y, n_classes = check_labels(y, n_samples=self.X.shape[0], n_classes=2)
+        if n_classes != 2:
+            raise ValueError("BinaryLogistic requires exactly two classes")
+        self.n_features = int(self.X.shape[1])
+        self.dim = self.n_features
+        self.scale = resolve_scale(scale, self.X.shape[0])
+        self._y_float = self.y.astype(np.float64)
+
+    def _margins(self, w: np.ndarray) -> np.ndarray:
+        return np.asarray(self.X @ w).ravel()
+
+    def value(self, w: np.ndarray) -> float:
+        w = self.check_weights(w)
+        z = self._margins(w)
+        return self.scale * float(np.sum(log1p_exp(z) - self._y_float * z))
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        z = self._margins(w)
+        residual = sigmoid(z) - self._y_float
+        return self.scale * np.asarray(self.X.T @ residual).ravel()
+
+    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        w = self.check_weights(w)
+        z = self._margins(w)
+        value = self.scale * float(np.sum(log1p_exp(z) - self._y_float * z))
+        residual = sigmoid(z) - self._y_float
+        grad = self.scale * np.asarray(self.X.T @ residual).ravel()
+        return value, grad
+
+    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        v = np.asarray(v, dtype=np.float64).ravel()
+        if v.shape[0] != self.dim:
+            raise ValueError(f"v has length {v.shape[0]}, expected {self.dim}")
+        z = self._margins(w)
+        s = sigmoid(z)
+        d = s * (1.0 - s)
+        Xv = np.asarray(self.X @ v).ravel()
+        return self.scale * np.asarray(self.X.T @ (d * Xv)).ravel()
+
+    def hessian_sqrt(self, w: np.ndarray) -> np.ndarray:
+        """Square-root factor ``A(w)`` with ``H(w) = A(w)^T A(w)``.
+
+        For logistic loss ``H = scale * X^T D X`` with
+        ``D = diag(sigma(z)(1 - sigma(z)))``, so
+        ``A = sqrt(scale) * sqrt(D) X`` (one row per sample).  Used by
+        :class:`repro.solvers.newton_sketch.NewtonSketch`.
+        """
+        w = self.check_weights(w)
+        z = self._margins(w)
+        s = sigmoid(z)
+        d = np.sqrt(self.scale * s * (1.0 - s))
+        if hasattr(self.X, "multiply"):
+            return np.asarray(self.X.multiply(d[:, None]).todense())
+        return d[:, None] * self.X
+
+    def minibatch(self, indices: np.ndarray) -> "BinaryLogistic":
+        """A new objective over a row subset (mean-scaled over the batch)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return BinaryLogistic(self.X[indices], self.y[indices], scale="mean")
+
+    def predict_proba(self, w: np.ndarray, X=None) -> np.ndarray:
+        """Probability of class 1 for each sample."""
+        w = self.check_weights(w)
+        data = self.X if X is None else check_array(X, name="X", allow_sparse=True)
+        return sigmoid(np.asarray(data @ w).ravel())
+
+    def predict(self, w: np.ndarray, X=None) -> np.ndarray:
+        return (self.predict_proba(w, X) >= 0.5).astype(np.int64)
+
+    def flops_value(self) -> float:
+        n, p = self.X.shape
+        return gemv_flops(n, p) + 12.0 * n
+
+    def flops_gradient(self) -> float:
+        n, p = self.X.shape
+        return 2.0 * gemv_flops(n, p) + 12.0 * n
+
+    def flops_hvp(self) -> float:
+        n, p = self.X.shape
+        return 2.0 * gemv_flops(n, p) + 4.0 * n
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])

@@ -1,0 +1,114 @@
+"""Numerically stable primitives used by the loss functions.
+
+Implements the "Log-Sum-Exp trick" of the paper's §6: all exponentials are
+shifted by the per-sample maximum (including the implicit zero logit of the
+reference class), so every exponent is non-positive and overflow cannot occur.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def log_sum_exp(logits: np.ndarray, *, include_zero: bool = True) -> np.ndarray:
+    """Row-wise ``log(1 + sum_j exp(logits_j))`` (or without the ``1``).
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(n_samples, n_classes_minus_1)``.
+    include_zero:
+        Include the implicit zero logit of the reference class, i.e. compute
+        ``log(exp(0) + sum_j exp(l_j))``.  This matches the paper's (C-1)·p
+        parameterization (eq. 8).
+
+    Returns
+    -------
+    ndarray of shape ``(n_samples,)``.
+    """
+    logits = np.atleast_2d(logits)
+    if include_zero:
+        m = np.maximum(logits.max(axis=1), 0.0)
+        shifted = logits - m[:, None]
+        total = np.exp(-m) + np.exp(shifted).sum(axis=1)
+    else:
+        m = logits.max(axis=1)
+        shifted = logits - m[:, None]
+        total = np.exp(shifted).sum(axis=1)
+    return m + np.log(total)
+
+
+def softmax_probabilities(
+    logits: np.ndarray, *, include_zero: bool = True
+) -> np.ndarray:
+    """Row-wise softmax probabilities for the non-reference classes.
+
+    With ``include_zero`` the reference class contributes ``exp(0)`` to the
+    normalizer, so the returned matrix has row sums strictly less than one —
+    the remaining mass belongs to the reference class ``C-1``.
+
+    Returns
+    -------
+    ndarray of shape ``(n_samples, n_classes_minus_1)``.
+    """
+    logits = np.atleast_2d(logits)
+    if include_zero:
+        m = np.maximum(logits.max(axis=1), 0.0)
+        shifted = np.exp(logits - m[:, None])
+        denom = np.exp(-m) + shifted.sum(axis=1)
+    else:
+        m = logits.max(axis=1)
+        shifted = np.exp(logits - m[:, None])
+        denom = shifted.sum(axis=1)
+    return shifted / denom[:, None]
+
+
+def full_class_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Probabilities over all ``C`` classes given ``C-1`` non-reference logits.
+
+    Returns
+    -------
+    ndarray of shape ``(n_samples, n_classes)`` whose rows sum to one; the
+    last column is the reference class.
+    """
+    p_nonref = softmax_probabilities(logits, include_zero=True)
+    p_ref = 1.0 - p_nonref.sum(axis=1, keepdims=True)
+    # Guard against tiny negative values from round-off.
+    p_ref = np.clip(p_ref, 0.0, 1.0)
+    return np.hstack([p_nonref, p_ref])
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def log1p_exp(z: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(z))`` (softplus)."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z > 0
+    out[pos] = z[pos] + np.log1p(np.exp(-z[pos]))
+    out[~pos] = np.log1p(np.exp(z[~pos]))
+    return out
+
+
+def split_weights(w: np.ndarray, n_features: int, n_classes: int) -> np.ndarray:
+    """Reshape a flat ``(C-1)*p`` weight vector into a ``(p, C-1)`` matrix."""
+    c = n_classes - 1
+    if w.shape != ((n_classes - 1) * n_features,):
+        raise ValueError(
+            f"weight vector has shape {w.shape}, expected ({(n_classes - 1) * n_features},)"
+        )
+    return w.reshape(c, n_features).T
+
+
+def flatten_weights(W: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_weights`: ``(p, C-1)`` matrix to flat vector."""
+    return W.T.ravel()

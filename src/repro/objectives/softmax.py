@@ -1,0 +1,161 @@
+"""Multiclass softmax / cross-entropy objective (paper §5 and §6).
+
+The model has ``C - 1`` weight vectors of dimension ``p`` (the reference class
+``C - 1`` has an implicit zero logit), so the optimization variable is the
+flat vector ``w`` of dimension ``d = (C - 1) * p``.  All exponentials are
+evaluated with the log-sum-exp shift of §6, so the objective never overflows.
+
+The Hessian of this loss has the block structure
+``H = sum_i (diag(p_i) - p_i p_i^T) ⊗ (x_i x_i^T)`` and is positive
+semi-definite; it is never materialized — only Hessian-vector products are
+exposed (two GEMMs of the same shape as the gradient's).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.objectives.base import Objective, ScaleLike, resolve_scale
+from repro.objectives.numerics import (
+    full_class_probabilities,
+    log_sum_exp,
+    softmax_probabilities,
+)
+from repro.utils.flops import (
+    softmax_gradient_flops,
+    softmax_hvp_flops,
+    softmax_objective_flops,
+)
+from repro.utils.validation import check_array, check_labels
+
+
+class SoftmaxCrossEntropy(Objective):
+    """Cross-entropy loss for linear multiclass classification.
+
+    Parameters
+    ----------
+    X:
+        Design matrix ``(n_samples, n_features)`` — dense or CSR.
+    y:
+        Integer labels in ``{0, ..., n_classes - 1}``; class ``n_classes - 1``
+        is the reference class with an implicit zero logit.
+    n_classes:
+        Number of classes ``C`` (inferred from ``y`` if omitted).
+    scale:
+        ``"mean"`` (default), ``"sum"``, or an explicit float multiplier; see
+        :mod:`repro.objectives.base`.
+    """
+
+    def __init__(
+        self,
+        X,
+        y,
+        n_classes: Optional[int] = None,
+        *,
+        scale: ScaleLike = "mean",
+    ):
+        self.X = check_array(X, name="X", allow_sparse=True)
+        self.y, self.n_classes = check_labels(
+            y, n_samples=self.X.shape[0], n_classes=n_classes
+        )
+        if self.n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {self.n_classes}")
+        self.n_features = int(self.X.shape[1])
+        self.dim = (self.n_classes - 1) * self.n_features
+        self.scale = resolve_scale(scale, self.X.shape[0])
+        # One-hot indicator over the non-reference classes, cached because it
+        # is reused by every gradient evaluation.
+        n = self.X.shape[0]
+        c = self.n_classes - 1
+        self._indicator = np.zeros((n, c))
+        mask = self.y < c
+        self._indicator[np.flatnonzero(mask), self.y[mask]] = 1.0
+
+    # -- weight reshaping -------------------------------------------------
+    def _as_matrix(self, w: np.ndarray) -> np.ndarray:
+        """Flat ``(C-1)*p`` vector -> ``(p, C-1)`` weight matrix."""
+        w = self.check_weights(w)
+        return w.reshape(self.n_classes - 1, self.n_features).T
+
+    def _as_vector(self, W: np.ndarray) -> np.ndarray:
+        return W.T.ravel()
+
+    def _logits(self, W: np.ndarray) -> np.ndarray:
+        return np.asarray(self.X @ W)
+
+    # -- objective API -----------------------------------------------------
+    def value(self, w: np.ndarray) -> float:
+        W = self._as_matrix(w)
+        logits = self._logits(W)
+        lse = log_sum_exp(logits, include_zero=True)
+        correct = np.sum(logits * self._indicator, axis=1)
+        return self.scale * float(np.sum(lse - correct))
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        W = self._as_matrix(w)
+        logits = self._logits(W)
+        P = softmax_probabilities(logits, include_zero=True)
+        G = self.X.T @ (P - self._indicator)
+        return self.scale * self._as_vector(np.asarray(G))
+
+    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        W = self._as_matrix(w)
+        logits = self._logits(W)
+        lse = log_sum_exp(logits, include_zero=True)
+        correct = np.sum(logits * self._indicator, axis=1)
+        value = self.scale * float(np.sum(lse - correct))
+        P = softmax_probabilities(logits, include_zero=True)
+        G = self.X.T @ (P - self._indicator)
+        return value, self.scale * self._as_vector(np.asarray(G))
+
+    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+        W = self._as_matrix(w)
+        v = np.asarray(v, dtype=np.float64).ravel()
+        if v.shape[0] != self.dim:
+            raise ValueError(f"v has length {v.shape[0]}, expected {self.dim}")
+        V = v.reshape(self.n_classes - 1, self.n_features).T
+        logits = self._logits(W)
+        P = softmax_probabilities(logits, include_zero=True)
+        U = np.asarray(self.X @ V)
+        PU = P * U
+        T = PU - P * PU.sum(axis=1, keepdims=True)
+        out = self.X.T @ T
+        return self.scale * self._as_vector(np.asarray(out))
+
+    # -- prediction --------------------------------------------------------
+    def predict_proba(self, w: np.ndarray, X=None) -> np.ndarray:
+        """Class probabilities ``(n, C)`` under weights ``w`` for ``X``."""
+        W = self._as_matrix(w)
+        data = self.X if X is None else check_array(X, name="X", allow_sparse=True)
+        logits = np.asarray(data @ W)
+        return full_class_probabilities(logits)
+
+    def predict(self, w: np.ndarray, X=None) -> np.ndarray:
+        """Most likely class per sample."""
+        return np.argmax(self.predict_proba(w, X), axis=1)
+
+    # -- cost model ----------------------------------------------------------
+    def flops_value(self) -> float:
+        return softmax_objective_flops(self.X.shape[0], self.n_features, self.n_classes)
+
+    def flops_gradient(self) -> float:
+        return softmax_gradient_flops(self.X.shape[0], self.n_features, self.n_classes)
+
+    def flops_hvp(self) -> float:
+        return softmax_hvp_flops(self.X.shape[0], self.n_features, self.n_classes)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])
+
+    def minibatch(self, indices: np.ndarray) -> "SoftmaxCrossEntropy":
+        """A new objective over a row subset, keeping this objective's scale
+        semantics per-sample (i.e. the minibatch objective is a mean over the
+        batch when this objective is a mean over its samples)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return SoftmaxCrossEntropy(
+            self.X[indices], self.y[indices], self.n_classes, scale="mean"
+        )

@@ -1,0 +1,185 @@
+"""Adaptive first-order methods: Adam, Adagrad, RMSProp, Adadelta.
+
+The paper's related-work section lists these as the commonly used first-order
+alternatives; they are provided as single-node solvers so examples and
+ablations can compare them against Newton-CG and Newton-ADMM on equal
+footing.  All share the same mini-batch loop as :class:`repro.solvers.sgd.SGD`
+and differ only in the per-coordinate update rule.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.objectives.base import Objective
+from repro.solvers.base import (
+    CallbackType,
+    IterationRecord,
+    Solver,
+    SolverResult,
+)
+from repro.utils.rng import check_random_state
+from repro.utils.timer import Stopwatch
+
+
+class _AdaptiveBase(Solver):
+    """Shared epoch/mini-batch loop for the adaptive methods."""
+
+    def __init__(
+        self,
+        *,
+        step_size: float = 0.001,
+        batch_size: int = 128,
+        max_epochs: int = 20,
+        shuffle: bool = True,
+        random_state=None,
+    ):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.step_size = float(step_size)
+        self.batch_size = int(batch_size)
+        self.max_epochs = int(max_epochs)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    @abstractmethod
+    def _init_state(self, dim: int) -> dict:
+        """Per-coordinate accumulator state."""
+
+    @abstractmethod
+    def _update(self, w: np.ndarray, grad: np.ndarray, state: dict, t: int) -> np.ndarray:
+        """Return the new iterate given the mini-batch gradient."""
+
+    def minimize(
+        self,
+        objective: Objective,
+        w0: Optional[np.ndarray] = None,
+        *,
+        callback: Optional[CallbackType] = None,
+    ) -> SolverResult:
+        w = self._prepare_start(objective, w0)
+        rng = check_random_state(self.random_state)
+        stopwatch = Stopwatch().start()
+        records = []
+        state = self._init_state(w.shape[0])
+
+        n = objective.n_samples
+        supports_minibatch = hasattr(objective, "minibatch") and n > 0
+        batch = min(self.batch_size, n) if n > 0 else 0
+        f_val = objective.value(w)
+        grad_norm = float("inf")
+        t = 0
+
+        for epoch in range(1, self.max_epochs + 1):
+            if supports_minibatch:
+                order = np.arange(n)
+                if self.shuffle:
+                    rng.shuffle(order)
+                for start in range(0, n, batch):
+                    idx = order[start : start + batch]
+                    grad = objective.minibatch(idx).gradient(w)
+                    t += 1
+                    w = self._update(w, grad, state, t)
+            else:
+                grad = objective.gradient(w)
+                t += 1
+                w = self._update(w, grad, state, t)
+
+            f_val, full_grad = objective.value_and_gradient(w)
+            grad_norm = float(np.linalg.norm(full_grad))
+            record = IterationRecord(
+                iteration=epoch - 1,
+                objective=f_val,
+                grad_norm=grad_norm,
+                step_size=self.step_size,
+                wall_time=stopwatch.elapsed,
+                extras={"epoch": epoch},
+            )
+            records.append(record)
+            if callback is not None:
+                callback(record, w)
+
+        stopwatch.stop()
+        return SolverResult(
+            w=w,
+            objective=f_val,
+            grad_norm=grad_norm,
+            n_iterations=self.max_epochs,
+            converged=False,
+            records=records,
+            info={"wall_time": stopwatch.elapsed},
+        )
+
+
+class Adam(_AdaptiveBase):
+    """Adam (Kingma & Ba, 2014)."""
+
+    def __init__(self, *, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8, **kwargs):
+        super().__init__(**kwargs)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+
+    def _init_state(self, dim: int) -> dict:
+        return {"m": np.zeros(dim), "v": np.zeros(dim)}
+
+    def _update(self, w, grad, state, t):
+        state["m"] = self.beta1 * state["m"] + (1 - self.beta1) * grad
+        state["v"] = self.beta2 * state["v"] + (1 - self.beta2) * grad**2
+        m_hat = state["m"] / (1 - self.beta1**t)
+        v_hat = state["v"] / (1 - self.beta2**t)
+        return w - self.step_size * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Adagrad(_AdaptiveBase):
+    """Adagrad (Duchi et al., 2011)."""
+
+    def __init__(self, *, eps: float = 1e-8, **kwargs):
+        super().__init__(**kwargs)
+        self.eps = float(eps)
+
+    def _init_state(self, dim: int) -> dict:
+        return {"g2": np.zeros(dim)}
+
+    def _update(self, w, grad, state, t):
+        state["g2"] += grad**2
+        return w - self.step_size * grad / (np.sqrt(state["g2"]) + self.eps)
+
+
+class RMSProp(_AdaptiveBase):
+    """RMSProp (Tieleman & Hinton, 2012)."""
+
+    def __init__(self, *, decay: float = 0.9, eps: float = 1e-8, **kwargs):
+        super().__init__(**kwargs)
+        self.decay = float(decay)
+        self.eps = float(eps)
+
+    def _init_state(self, dim: int) -> dict:
+        return {"g2": np.zeros(dim)}
+
+    def _update(self, w, grad, state, t):
+        state["g2"] = self.decay * state["g2"] + (1 - self.decay) * grad**2
+        return w - self.step_size * grad / (np.sqrt(state["g2"]) + self.eps)
+
+
+class Adadelta(_AdaptiveBase):
+    """Adadelta (Zeiler, 2012) — step_size acts as an overall multiplier."""
+
+    def __init__(self, *, decay: float = 0.95, eps: float = 1e-6, step_size: float = 1.0, **kwargs):
+        super().__init__(step_size=step_size, **kwargs)
+        self.decay = float(decay)
+        self.eps = float(eps)
+
+    def _init_state(self, dim: int) -> dict:
+        return {"g2": np.zeros(dim), "dx2": np.zeros(dim)}
+
+    def _update(self, w, grad, state, t):
+        state["g2"] = self.decay * state["g2"] + (1 - self.decay) * grad**2
+        dx = -np.sqrt(state["dx2"] + self.eps) / np.sqrt(state["g2"] + self.eps) * grad
+        state["dx2"] = self.decay * state["dx2"] + (1 - self.decay) * dx**2
+        return w + self.step_size * dx

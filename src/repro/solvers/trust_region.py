@@ -1,0 +1,271 @@
+"""Trust-region Newton with a Steihaug-Toint CG subproblem solver.
+
+The line-search Newton-CG of :mod:`repro.solvers.newton_cg` is what the paper
+runs inside every ADMM subproblem; the trust-region variant is the standard
+alternative globalization (Nocedal & Wright, ch. 4) and is included both as an
+ablation of that design choice and as a robust reference solver for the
+ill-conditioned workloads.  Like the rest of the library it is Hessian-free:
+the model Hessian is only touched through Hessian-vector products inside the
+Steihaug CG loop, which truncates at the trust-region boundary or at the first
+direction of negative curvature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.objectives.base import Objective
+from repro.solvers.base import (
+    CallbackType,
+    IterationRecord,
+    Solver,
+    SolverResult,
+    TerminationCriteria,
+)
+from repro.utils.timer import Stopwatch
+
+
+@dataclass
+class SteihaugResult:
+    """Outcome of one Steihaug-Toint CG subproblem solve.
+
+    Attributes
+    ----------
+    p:
+        Approximate minimizer of the quadratic model within the trust region.
+    n_iterations:
+        CG iterations performed.
+    hit_boundary:
+        Whether the step was truncated at the trust-region boundary.
+    negative_curvature:
+        Whether a direction of negative curvature was encountered.
+    model_decrease:
+        Predicted decrease ``m(0) - m(p)`` of the quadratic model (>= 0).
+    """
+
+    p: np.ndarray
+    n_iterations: int
+    hit_boundary: bool
+    negative_curvature: bool
+    model_decrease: float
+
+
+def steihaug_cg(
+    hvp,
+    grad: np.ndarray,
+    radius: float,
+    *,
+    tol: float = 1e-4,
+    max_iter: int = 50,
+) -> SteihaugResult:
+    """Approximately minimize ``g @ p + 0.5 p @ H p`` subject to ``||p|| <= radius``.
+
+    Parameters
+    ----------
+    hvp:
+        Callable computing ``H @ v``.
+    grad:
+        Gradient ``g`` at the current iterate.
+    radius:
+        Trust-region radius.
+    tol:
+        Relative residual tolerance for the interior CG iterations.
+    max_iter:
+        CG iteration budget.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    grad = np.asarray(grad, dtype=np.float64).ravel()
+    dim = grad.shape[0]
+    p = np.zeros(dim)
+    r = -grad.copy()
+    d = r.copy()
+    g_norm = float(np.linalg.norm(grad))
+    if g_norm == 0.0:
+        return SteihaugResult(p, 0, False, False, 0.0)
+    threshold = tol * g_norm
+
+    def model_decrease(step: np.ndarray) -> float:
+        return -(float(grad @ step) + 0.5 * float(step @ hvp(step)))
+
+    for k in range(max_iter):
+        Hd = np.asarray(hvp(d)).ravel()
+        dHd = float(d @ Hd)
+        if dHd <= 0.0:
+            # Negative curvature: follow d to the boundary.
+            tau = _boundary_step(p, d, radius)
+            p_out = p + tau * d
+            return SteihaugResult(p_out, k + 1, True, True, model_decrease(p_out))
+        rr = float(r @ r)
+        alpha = rr / dHd
+        p_next = p + alpha * d
+        if float(np.linalg.norm(p_next)) >= radius:
+            tau = _boundary_step(p, d, radius)
+            p_out = p + tau * d
+            return SteihaugResult(p_out, k + 1, True, False, model_decrease(p_out))
+        r = r - alpha * Hd
+        p = p_next
+        if float(np.linalg.norm(r)) <= threshold:
+            return SteihaugResult(p, k + 1, False, False, model_decrease(p))
+        beta = float(r @ r) / rr
+        d = r + beta * d
+
+    return SteihaugResult(p, max_iter, False, False, model_decrease(p))
+
+
+def _boundary_step(p: np.ndarray, d: np.ndarray, radius: float) -> float:
+    """Positive ``tau`` with ``||p + tau d|| = radius``."""
+    dd = float(d @ d)
+    pd = float(p @ d)
+    pp = float(p @ p)
+    discriminant = pd * pd - dd * (pp - radius * radius)
+    discriminant = max(discriminant, 0.0)
+    return (-pd + np.sqrt(discriminant)) / dd
+
+
+class TrustRegionNewton(Solver):
+    """Hessian-free trust-region Newton method.
+
+    Parameters
+    ----------
+    max_iterations:
+        Outer iteration budget.
+    grad_tol:
+        Stop when ``||g(x)|| <= grad_tol``.
+    initial_radius, max_radius:
+        Starting and maximum trust-region radius.
+    eta:
+        Acceptance threshold on the actual-vs-predicted decrease ratio.
+    cg_max_iter, cg_tol:
+        Budget and relative tolerance of the Steihaug CG subproblem solves.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int = 50,
+        grad_tol: float = 1e-8,
+        initial_radius: float = 1.0,
+        max_radius: float = 100.0,
+        eta: float = 0.1,
+        cg_max_iter: int = 50,
+        cg_tol: float = 1e-4,
+        rel_obj_tol: float = 0.0,
+    ):
+        self.criteria = TerminationCriteria(
+            max_iterations=max_iterations, grad_tol=grad_tol, rel_obj_tol=rel_obj_tol
+        )
+        if initial_radius <= 0 or max_radius <= 0:
+            raise ValueError("trust-region radii must be positive")
+        if initial_radius > max_radius:
+            raise ValueError(
+                f"initial_radius {initial_radius} exceeds max_radius {max_radius}"
+            )
+        if not 0.0 <= eta < 0.25:
+            raise ValueError(f"eta must lie in [0, 0.25), got {eta}")
+        self.initial_radius = float(initial_radius)
+        self.max_radius = float(max_radius)
+        self.eta = float(eta)
+        self.cg_max_iter = int(cg_max_iter)
+        self.cg_tol = float(cg_tol)
+
+    def minimize(
+        self,
+        objective: Objective,
+        w0: Optional[np.ndarray] = None,
+        *,
+        callback: Optional[CallbackType] = None,
+    ) -> SolverResult:
+        w = self._prepare_start(objective, w0)
+        stopwatch = Stopwatch().start()
+        records = []
+        radius = self.initial_radius
+        total_cg_iters = 0
+        n_rejected = 0
+
+        f_val, grad = objective.value_and_gradient(w)
+        grad_norm = float(np.linalg.norm(grad))
+        converged = self.criteria.gradient_converged(grad_norm)
+        n_iter = 0
+
+        while not converged and n_iter < self.criteria.max_iterations:
+            sub = steihaug_cg(
+                lambda v: objective.hvp(w, v),
+                grad,
+                radius,
+                tol=self.cg_tol,
+                max_iter=self.cg_max_iter,
+            )
+            total_cg_iters += sub.n_iterations
+            step_norm = float(np.linalg.norm(sub.p))
+            if step_norm == 0.0 or sub.model_decrease <= 0.0:
+                # The model predicts no decrease: either we are at a stationary
+                # point or the radius collapsed — stop.
+                converged = True
+                break
+
+            candidate = w + sub.p
+            f_candidate = objective.value(candidate)
+            actual = f_val - f_candidate
+            ratio = actual / sub.model_decrease
+
+            # Radius update (Nocedal & Wright, Algorithm 4.1).
+            if ratio < 0.25:
+                radius = 0.25 * radius
+            elif ratio > 0.75 and sub.hit_boundary:
+                radius = min(2.0 * radius, self.max_radius)
+
+            accepted = ratio > self.eta and actual > 0
+            if accepted:
+                w = candidate
+                prev_val = f_val
+                f_val, grad = objective.value_and_gradient(w)
+                grad_norm = float(np.linalg.norm(grad))
+            else:
+                n_rejected += 1
+                prev_val = f_val
+            n_iter += 1
+
+            record = IterationRecord(
+                iteration=n_iter - 1,
+                objective=f_val,
+                grad_norm=grad_norm,
+                step_size=step_norm if accepted else 0.0,
+                wall_time=stopwatch.elapsed,
+                extras={
+                    "radius": radius,
+                    "ratio": float(ratio),
+                    "cg_iterations": sub.n_iterations,
+                    "hit_boundary": float(sub.hit_boundary),
+                    "negative_curvature": float(sub.negative_curvature),
+                    "accepted": float(accepted),
+                },
+            )
+            records.append(record)
+            if callback is not None:
+                callback(record, w)
+
+            if radius < 1e-14:
+                break
+            converged = self.criteria.gradient_converged(grad_norm) or (
+                accepted and self.criteria.objective_converged(prev_val, f_val)
+            )
+
+        stopwatch.stop()
+        return SolverResult(
+            w=w,
+            objective=f_val,
+            grad_norm=grad_norm,
+            n_iterations=n_iter,
+            converged=bool(converged),
+            records=records,
+            info={
+                "total_cg_iterations": total_cg_iters,
+                "rejected_steps": n_rejected,
+                "final_radius": radius,
+                "wall_time": stopwatch.elapsed,
+            },
+        )

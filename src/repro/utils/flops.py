@@ -1,0 +1,70 @@
+"""Floating-point-operation estimates for the kernels used by the solvers.
+
+The distributed runtime converts these counts into modelled compute time via
+:class:`repro.distributed.device.DeviceModel`.  Counts follow the usual
+convention: a fused multiply-add is two FLOPs, and we ignore lower-order terms
+(exponential/log evaluation is charged a configurable constant per element).
+"""
+
+from __future__ import annotations
+
+# Cost (in FLOP-equivalents) charged per transcendental evaluation (exp/log).
+TRANSCENDENTAL_COST = 10.0
+
+
+def dot_flops(n: int) -> float:
+    """FLOPs for an ``n``-element dot product."""
+    return 2.0 * n
+
+
+def axpy_flops(n: int) -> float:
+    """FLOPs for ``y += a * x`` over ``n`` elements."""
+    return 2.0 * n
+
+
+def gemv_flops(n_rows: int, n_cols: int) -> float:
+    """FLOPs for a dense matrix-vector product of an ``n_rows x n_cols`` matrix."""
+    return 2.0 * n_rows * n_cols
+
+
+def gemm_flops(m: int, k: int, n: int) -> float:
+    """FLOPs for a dense ``(m x k) @ (k x n)`` matrix product."""
+    return 2.0 * m * k * n
+
+
+def softmax_objective_flops(n_samples: int, n_features: int, n_classes: int) -> float:
+    """FLOPs for one evaluation of the multiclass cross-entropy objective.
+
+    Dominated by the logits GEMM ``X @ W`` with W of shape (p, C-1), plus the
+    per-sample log-sum-exp reduction.
+    """
+    c = max(n_classes - 1, 1)
+    gemm = gemm_flops(n_samples, n_features, c)
+    lse = n_samples * (c + 1) * TRANSCENDENTAL_COST
+    return gemm + lse
+
+
+def softmax_gradient_flops(n_samples: int, n_features: int, n_classes: int) -> float:
+    """FLOPs for one gradient of the multiclass cross-entropy objective.
+
+    Logits GEMM, probability normalization, and the backward GEMM
+    ``X^T @ (P - Y)``.
+    """
+    c = max(n_classes - 1, 1)
+    forward = softmax_objective_flops(n_samples, n_features, n_classes)
+    backward = gemm_flops(n_features, n_samples, c)
+    return forward + backward + 3.0 * n_samples * c
+
+
+def softmax_hvp_flops(n_samples: int, n_features: int, n_classes: int) -> float:
+    """FLOPs for one Hessian-vector product of the cross-entropy objective.
+
+    Two GEMMs of the same shape as the gradient GEMMs plus elementwise work on
+    the ``n_samples x (C-1)`` intermediate (Gauss-Newton-like structure of the
+    softmax Hessian).
+    """
+    c = max(n_classes - 1, 1)
+    forward = gemm_flops(n_samples, n_features, c)
+    backward = gemm_flops(n_features, n_samples, c)
+    elementwise = 6.0 * n_samples * c
+    return forward + backward + elementwise

@@ -1,0 +1,77 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library accepts a ``random_state`` argument
+that is normalized through :func:`check_random_state`.  Distributed components
+give each simulated worker an *independent* child generator via
+:func:`spawn_rngs`, so results are identical whether workers run serially,
+in a thread pool, or in separate processes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+RandomStateLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def check_random_state(random_state: RandomStateLike = None) -> np.random.Generator:
+    """Normalize ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh nondeterministic generator), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator (returned
+        unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, np.random.SeedSequence):
+        return np.random.default_rng(random_state)
+    if random_state is None or isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(random_state)
+    raise TypeError(
+        f"random_state must be None, an int, a SeedSequence or a Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rngs(
+    random_state: RandomStateLike, n: int, *, salt: Optional[Sequence[int]] = None
+) -> List[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    The children are derived with :class:`numpy.random.SeedSequence` spawning
+    so that they do not overlap regardless of how many draws each consumer
+    makes.  Passing an existing :class:`numpy.random.Generator` uses a seed
+    drawn from it, which keeps the overall run reproducible.
+
+    Parameters
+    ----------
+    random_state:
+        Parent seed material (see :func:`check_random_state`).
+    n:
+        Number of child generators.
+    salt:
+        Optional extra entropy words mixed into the seed sequence; useful to
+        decorrelate otherwise identically-seeded subsystems.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(random_state, np.random.SeedSequence):
+        ss = random_state
+    elif isinstance(random_state, np.random.Generator):
+        ss = np.random.SeedSequence(int(random_state.integers(0, 2**63 - 1)))
+    else:
+        ss = np.random.SeedSequence(random_state)
+    if salt is not None:
+        ss = np.random.SeedSequence(
+            entropy=ss.entropy, spawn_key=tuple(int(s) for s in salt)
+        )
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,115 @@
+"""Wall-clock and simulated-clock helpers.
+
+Distributed experiments in this reproduction report two notions of time:
+
+* *measured* time — real wall-clock of the (serial, in-process) simulation,
+  recorded with :class:`Stopwatch`;
+* *modelled* time — the time the same computation would have taken on the
+  paper's cluster, accumulated on a :class:`SimulatedClock` from FLOP counts
+  (via :class:`repro.distributed.device.DeviceModel`) and message sizes (via
+  :class:`repro.distributed.network.NetworkModel`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Stopwatch:
+    """A simple cumulative wall-clock stopwatch.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+        self._started_at: Optional[float] = None
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        delta = time.perf_counter() - self._started_at
+        self._elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Cumulative elapsed seconds (including the in-flight lap, if any)."""
+        extra = 0.0
+        if self._started_at is not None:
+            extra = time.perf_counter() - self._started_at
+        return self._elapsed + extra
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+@dataclass
+class SimulatedClock:
+    """Accumulates modelled time, broken down by named category.
+
+    The clock is advanced explicitly by the distributed runtime; categories
+    such as ``"compute"`` and ``"communication"`` allow experiments to report
+    the compute/communication split.
+    """
+
+    time: float = 0.0
+    by_category: Dict[str, float] = field(default_factory=dict)
+    _marks: List[float] = field(default_factory=list)
+
+    def advance(self, seconds: float, category: str = "compute") -> float:
+        """Advance the clock by ``seconds`` attributed to ``category``."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+        self.time += seconds
+        self.by_category[category] = self.by_category.get(category, 0.0) + seconds
+        return self.time
+
+    def mark(self) -> float:
+        """Record and return the current time (useful for per-epoch deltas)."""
+        self._marks.append(self.time)
+        return self.time
+
+    @property
+    def marks(self) -> List[float]:
+        return list(self._marks)
+
+    def category(self, name: str) -> float:
+        return self.by_category.get(name, 0.0)
+
+    def reset(self) -> None:
+        self.time = 0.0
+        self.by_category.clear()
+        self._marks.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return a copy of the per-category totals plus the overall time."""
+        snap = dict(self.by_category)
+        snap["total"] = self.time
+        return snap

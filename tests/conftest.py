@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Everything here is intentionally tiny (hundreds of samples, a handful of
+features) so the full suite stays fast; the benchmark harness covers the
+larger reproduction-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import ClassificationDataset, train_test_split
+from repro.datasets.synthetic import (
+    make_binary_margin,
+    make_multiclass_gaussian,
+    make_sparse_multiclass,
+)
+from repro.distributed.cluster import SimulatedCluster
+from repro.objectives.base import RegularizedObjective
+from repro.objectives.regularizers import L2Regularizer
+from repro.objectives.softmax import SoftmaxCrossEntropy
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_multiclass() -> ClassificationDataset:
+    """120 samples, 6 features, 3 classes — small enough for dense Hessians."""
+    return make_multiclass_gaussian(
+        120, 6, 3, condition_number=5.0, class_separation=2.0, random_state=0
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_binary() -> ClassificationDataset:
+    return make_binary_margin(150, 8, margin=1.5, random_state=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_sparse() -> ClassificationDataset:
+    return make_sparse_multiclass(
+        100, 300, 4, density=0.05, random_state=2
+    )
+
+
+@pytest.fixture(scope="session")
+def small_multiclass_split():
+    """A larger (but still quick) multiclass problem with a test split."""
+    ds = make_multiclass_gaussian(
+        600, 20, 4, condition_number=10.0, class_separation=3.0, random_state=3
+    )
+    return train_test_split(ds, test_size=120, random_state=3)
+
+
+@pytest.fixture()
+def tiny_objective(tiny_multiclass) -> RegularizedObjective:
+    loss = SoftmaxCrossEntropy(
+        tiny_multiclass.X, tiny_multiclass.y, tiny_multiclass.n_classes
+    )
+    return RegularizedObjective(loss, L2Regularizer(loss.dim, 1e-3))
+
+
+@pytest.fixture()
+def small_cluster(small_multiclass_split) -> SimulatedCluster:
+    train, _ = small_multiclass_split
+    return SimulatedCluster(train, 4, random_state=0)
+
+
+def numerical_gradient(f, w, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient used to validate analytic gradients."""
+    w = np.asarray(w, dtype=np.float64)
+    grad = np.zeros_like(w)
+    for j in range(w.size):
+        e = np.zeros_like(w)
+        e[j] = eps
+        grad[j] = (f(w + e) - f(w - e)) / (2 * eps)
+    return grad

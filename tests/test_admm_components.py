@@ -1,0 +1,242 @@
+"""Tests for the ADMM building blocks: consensus update, residuals, penalties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.admm.consensus import admm_residuals, consensus_z_update
+from repro.admm.penalty import (
+    FixedPenalty,
+    PenaltyObservation,
+    ResidualBalancing,
+    SpectralPenalty,
+    make_penalty_policy,
+)
+
+
+def make_obs(
+    iteration=2,
+    rho=1.0,
+    primal=1.0,
+    dual=1.0,
+    dim=6,
+    seed=0,
+):
+    rng = np.random.default_rng(seed)
+    return PenaltyObservation(
+        iteration=iteration,
+        x_new=rng.standard_normal(dim),
+        z_new=rng.standard_normal(dim),
+        z_old=rng.standard_normal(dim),
+        y_new=rng.standard_normal(dim),
+        y_old=rng.standard_normal(dim),
+        y_hat=rng.standard_normal(dim),
+        rho=rho,
+        primal_residual=primal,
+        dual_residual=dual,
+    )
+
+
+class TestConsensusZUpdate:
+    def test_matches_closed_form(self):
+        rng = np.random.default_rng(0)
+        x = [rng.standard_normal(5) for _ in range(3)]
+        y = [rng.standard_normal(5) for _ in range(3)]
+        rho = [0.5, 1.0, 2.0]
+        lam = 0.3
+        z = consensus_z_update(x, y, rho, lam)
+        expected = sum(r * xi - yi for xi, yi, r in zip(x, y, rho)) / (lam + sum(rho))
+        np.testing.assert_allclose(z, expected)
+
+    def test_z_minimizes_augmented_objective(self):
+        # z* should zero the gradient of lam/2||z||^2 + sum rho_i/2 ||z - x_i + y_i/rho_i||^2.
+        rng = np.random.default_rng(1)
+        x = [rng.standard_normal(4) for _ in range(4)]
+        y = [rng.standard_normal(4) for _ in range(4)]
+        rho = [0.1, 0.7, 1.3, 2.0]
+        lam = 0.05
+        z = consensus_z_update(x, y, rho, lam)
+        grad = lam * z + sum(r * (z - xi + yi / r) for xi, yi, r in zip(x, y, rho))
+        np.testing.assert_allclose(grad, 0.0, atol=1e-10)
+
+    def test_zero_lam_allowed(self):
+        x = [np.ones(3)]
+        y = [np.zeros(3)]
+        z = consensus_z_update(x, y, [2.0], 0.0)
+        np.testing.assert_allclose(z, 1.0)
+
+    def test_equal_penalties_zero_duals_give_average(self):
+        x = [np.full(3, 1.0), np.full(3, 3.0)]
+        y = [np.zeros(3), np.zeros(3)]
+        z = consensus_z_update(x, y, [1.0, 1.0], 0.0)
+        np.testing.assert_allclose(z, 2.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_z_update([np.ones(2)], [], [1.0], 0.1)
+
+    def test_negative_lam_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_z_update([np.ones(2)], [np.zeros(2)], [1.0], -0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(1, 6), lam=st.floats(0.0, 10.0))
+    def test_property_stationarity(self, seed, n, lam):
+        rng = np.random.default_rng(seed)
+        x = [rng.standard_normal(3) for _ in range(n)]
+        y = [rng.standard_normal(3) for _ in range(n)]
+        rho = list(rng.uniform(0.1, 5.0, size=n))
+        z = consensus_z_update(x, y, rho, lam)
+        grad = lam * z + sum(r * (z - xi) + yi for xi, yi, r in zip(x, y, rho))
+        np.testing.assert_allclose(grad, 0.0, atol=1e-8)
+
+
+class TestResiduals:
+    def test_zero_residuals_when_consensus_reached(self):
+        z = np.ones(4)
+        res = admm_residuals([z.copy(), z.copy()], z, z, [np.zeros(4)] * 2, [1.0, 1.0])
+        assert res.primal_norm == 0.0
+        assert res.dual_norm == 0.0
+        assert res.converged
+
+    def test_primal_norm_stacks_workers(self):
+        z = np.zeros(2)
+        x = [np.array([3.0, 4.0]), np.zeros(2)]
+        res = admm_residuals(x, z, z, [np.zeros(2)] * 2, [1.0, 1.0])
+        assert res.primal_norm == pytest.approx(5.0)
+
+    def test_dual_norm_scales_with_rho(self):
+        z_new = np.ones(3)
+        z_old = np.zeros(3)
+        small = admm_residuals([z_new], z_new, z_old, [np.zeros(3)], [0.1])
+        big = admm_residuals([z_new], z_new, z_old, [np.zeros(3)], [10.0])
+        assert big.dual_norm == pytest.approx(100 * small.dual_norm)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            admm_residuals([], np.zeros(2), np.zeros(2), [], [])
+
+
+class TestFixedAndResidualBalancing:
+    def test_fixed_never_changes(self):
+        policy = FixedPenalty(2.0)
+        assert policy.initial_rho() == 2.0
+        assert policy.update(make_obs(rho=2.0)) == 2.0
+
+    def test_residual_balancing_increases_when_primal_dominates(self):
+        policy = ResidualBalancing(1.0, mu=10.0, tau=2.0)
+        new = policy.update(make_obs(rho=1.0, primal=100.0, dual=1.0))
+        assert new == 2.0
+
+    def test_residual_balancing_decreases_when_dual_dominates(self):
+        policy = ResidualBalancing(1.0, mu=10.0, tau=2.0)
+        new = policy.update(make_obs(rho=1.0, primal=1.0, dual=100.0))
+        assert new == 0.5
+
+    def test_residual_balancing_keeps_when_balanced(self):
+        policy = ResidualBalancing(1.0)
+        assert policy.update(make_obs(rho=1.0, primal=1.0, dual=1.0)) == 1.0
+
+    def test_residual_balancing_bounds(self):
+        policy = ResidualBalancing(1.0, rho_min=0.5, rho_max=1.5, tau=10.0)
+        up = policy.update(make_obs(rho=1.0, primal=1e6, dual=1.0))
+        down = policy.update(make_obs(rho=1.0, primal=1.0, dual=1e6))
+        assert up == 1.5
+        assert down == 0.5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ResidualBalancing(1.0, rho_min=2.0, rho_max=1.0)
+
+
+class TestSpectralPenalty:
+    def test_off_period_iterations_keep_rho(self):
+        policy = SpectralPenalty(1.0, update_period=2)
+        assert policy.update(make_obs(iteration=1, rho=1.0)) == 1.0
+
+    def test_first_estimation_point_only_snapshots(self):
+        policy = SpectralPenalty(1.0, update_period=1)
+        assert policy.update(make_obs(iteration=1, rho=1.0)) == 1.0
+        # Second call now has history and may change rho (finite, positive).
+        new = policy.update(make_obs(iteration=2, rho=1.0, seed=3))
+        assert np.isfinite(new) and new > 0
+
+    def test_recovers_quadratic_curvature(self):
+        # For f_i(x) = (a/2)||x||^2 the spectral estimate of the local
+        # curvature is exactly a; construct consistent observations where
+        # y_hat = a * x (dual optimality for the quadratic) and z follows a
+        # similar relation with curvature b, so rho -> sqrt(a*b).
+        a, b = 4.0, 1.0
+        dim = 5
+        rng = np.random.default_rng(0)
+        policy = SpectralPenalty(1.0, update_period=1)
+        x0, z0 = rng.standard_normal(dim), rng.standard_normal(dim)
+        obs0 = PenaltyObservation(
+            iteration=1, x_new=x0, z_new=z0, z_old=z0, y_new=b * z0, y_old=b * z0,
+            y_hat=a * x0, rho=1.0, primal_residual=1.0, dual_residual=1.0,
+        )
+        policy.update(obs0)
+        x1, z1 = x0 + rng.standard_normal(dim), z0 + rng.standard_normal(dim)
+        obs1 = PenaltyObservation(
+            iteration=2, x_new=x1, z_new=z1, z_old=z0, y_new=b * z1, y_old=b * z0,
+            y_hat=a * x1, rho=1.0, primal_residual=1.0, dual_residual=1.0,
+        )
+        new_rho = policy.update(obs1)
+        assert new_rho == pytest.approx(np.sqrt(a * b), rel=1e-6)
+
+    def test_rho_stays_within_bounds(self):
+        policy = SpectralPenalty(1.0, update_period=1, rho_min=0.5, rho_max=2.0)
+        rng = np.random.default_rng(1)
+        rho = 1.0
+        for k in range(1, 10):
+            rho = policy.update(make_obs(iteration=k, rho=rho, seed=k))
+            assert 0.5 <= rho <= 2.0
+
+    def test_uncorrelated_signals_keep_rho(self):
+        # Orthogonal differences -> correlations ~ 0 -> safeguard keeps rho.
+        policy = SpectralPenalty(1.0, update_period=1)
+        dim = 4
+        e = np.eye(dim)
+        obs0 = PenaltyObservation(
+            iteration=1, x_new=e[0], z_new=e[1], z_old=e[1], y_new=e[2], y_old=e[2],
+            y_hat=e[3], rho=1.0, primal_residual=1.0, dual_residual=1.0,
+        )
+        policy.update(obs0)
+        obs1 = PenaltyObservation(
+            iteration=2, x_new=e[0] + e[1], z_new=e[1] + e[2], z_old=e[1],
+            y_new=e[2] + e[3], y_old=e[2], y_hat=e[3] + e[0],
+            rho=1.0, primal_residual=1.0, dual_residual=1.0,
+        )
+        # dx = e1, dyhat = e0 -> correlation 0; dz = e2, dy = e3 -> correlation 0.
+        assert policy.update(obs1) == 1.0
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SpectralPenalty(1.0, update_period=0)
+
+
+class TestPolicyFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("spectral", SpectralPenalty),
+            ("sps", SpectralPenalty),
+            ("residual_balancing", ResidualBalancing),
+            ("rb", ResidualBalancing),
+            ("fixed", FixedPenalty),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        factory = make_penalty_policy(name, rho0=0.7)
+        policy = factory()
+        assert isinstance(policy, cls)
+        assert policy.initial_rho() == 0.7
+
+    def test_factories_produce_fresh_instances(self):
+        factory = make_penalty_policy("spectral")
+        assert factory() is not factory()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_penalty_policy("magic")

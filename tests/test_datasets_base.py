@@ -1,0 +1,138 @@
+"""Tests for ClassificationDataset and train/test splitting."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.base import ClassificationDataset, train_test_split
+
+
+def make_ds(n=60, p=4, c=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, p))
+    y = rng.integers(0, c, size=n)
+    y[:c] = np.arange(c)  # guarantee every class appears
+    return ClassificationDataset(X=X, y=y, n_classes=c, name="t")
+
+
+class TestDataset:
+    def test_shapes(self):
+        ds = make_ds()
+        assert ds.n_samples == 60
+        assert ds.n_features == 4
+        assert ds.n_classes == 3
+        assert ds.dim == 2 * 4
+
+    def test_sparse_flag(self):
+        ds = make_ds()
+        assert not ds.is_sparse
+        sp_ds = ClassificationDataset(
+            X=sp.random(30, 10, density=0.2, format="csr", random_state=0),
+            y=np.arange(30) % 3,
+            n_classes=3,
+        )
+        assert sp_ds.is_sparse
+        assert sp_ds.nbytes() > 0
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ClassificationDataset(
+                X=np.zeros((3, 2)), y=np.array([0, 1, 5]), n_classes=3
+            )
+
+    def test_class_counts_sum(self):
+        ds = make_ds()
+        assert ds.class_counts().sum() == ds.n_samples
+        assert ds.class_counts().shape == (3,)
+
+    def test_subset(self):
+        ds = make_ds()
+        sub = ds.subset(np.arange(10))
+        assert sub.n_samples == 10
+        np.testing.assert_array_equal(sub.y, ds.y[:10])
+        assert sub.n_classes == ds.n_classes
+
+    def test_subsample_stratified_size(self):
+        ds = make_ds(n=200)
+        sub = ds.subsample(60, random_state=0)
+        assert sub.n_samples == 60
+
+    def test_subsample_preserves_class_proportions_roughly(self):
+        ds = make_ds(n=600)
+        sub = ds.subsample(300, random_state=0)
+        orig = ds.class_counts() / ds.n_samples
+        new = sub.class_counts() / sub.n_samples
+        assert np.max(np.abs(orig - new)) < 0.1
+
+    def test_subsample_too_large_rejected(self):
+        ds = make_ds(n=50)
+        with pytest.raises(ValueError):
+            ds.subsample(100)
+
+    def test_subsample_unstratified(self):
+        ds = make_ds(n=100)
+        sub = ds.subsample(40, random_state=1, stratified=False)
+        assert sub.n_samples == 40
+
+    def test_describe_keys(self):
+        info = make_ds().describe()
+        for key in ("name", "n_classes", "n_samples", "n_features", "dim"):
+            assert key in info
+
+    def test_nbytes_dense(self):
+        ds = make_ds()
+        assert ds.nbytes() == ds.X.nbytes
+
+
+class TestTrainTestSplit:
+    def test_fractional_size(self):
+        ds = make_ds(n=100)
+        train, test = train_test_split(ds, test_size=0.25, random_state=0)
+        assert test.n_samples == 25
+        assert train.n_samples == 75
+
+    def test_absolute_size(self):
+        ds = make_ds(n=100)
+        train, test = train_test_split(ds, test_size=30, random_state=0)
+        assert test.n_samples == 30
+        assert train.n_samples == 70
+
+    def test_no_overlap_and_full_coverage(self):
+        ds = make_ds(n=80)
+        ds_tagged = ClassificationDataset(
+            X=np.hstack([ds.X, np.arange(80)[:, None]]), y=ds.y, n_classes=3
+        )
+        train, test = train_test_split(ds_tagged, test_size=20, random_state=0)
+        train_ids = set(train.X[:, -1].astype(int))
+        test_ids = set(test.X[:, -1].astype(int))
+        assert train_ids.isdisjoint(test_ids)
+        assert len(train_ids | test_ids) == 80
+
+    def test_stratification_keeps_all_classes(self):
+        ds = make_ds(n=300)
+        train, test = train_test_split(ds, test_size=60, random_state=0)
+        assert set(np.unique(test.y)) == set(range(3))
+        assert set(np.unique(train.y)) == set(range(3))
+
+    def test_invalid_fraction_rejected(self):
+        ds = make_ds()
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_size=1.5)
+
+    def test_invalid_absolute_rejected(self):
+        ds = make_ds(n=10)
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_size=10)
+
+    def test_deterministic_given_seed(self):
+        ds = make_ds(n=100)
+        _, t1 = train_test_split(ds, test_size=20, random_state=5)
+        _, t2 = train_test_split(ds, test_size=20, random_state=5)
+        np.testing.assert_array_equal(t1.y, t2.y)
+
+    def test_unstratified_split(self):
+        ds = make_ds(n=100)
+        train, test = train_test_split(
+            ds, test_size=20, random_state=0, stratified=False
+        )
+        assert train.n_samples == 80 and test.n_samples == 20

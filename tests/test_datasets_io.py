@@ -1,0 +1,146 @@
+"""Tests for the LIBSVM / CSV dataset readers and writers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.base import ClassificationDataset
+from repro.datasets.io import load_csv, load_libsvm, save_csv, save_libsvm
+from repro.datasets.synthetic import make_sparse_multiclass
+from repro.distributed.cluster import SimulatedCluster
+from repro.admm.newton_admm import NewtonADMM
+
+
+class TestLibsvm:
+    def test_parse_small_file(self, tmp_path):
+        path = tmp_path / "toy.libsvm"
+        path.write_text(
+            "\n".join(
+                [
+                    "+1 1:0.5 3:2.0   # a comment",
+                    "-1 2:1.5",
+                    "",
+                    "+1 1:1.0 2:1.0 3:1.0",
+                ]
+            )
+        )
+        ds = load_libsvm(path)
+        assert ds.n_samples == 3
+        assert ds.n_features == 3
+        assert ds.is_sparse
+        # -1 maps to 0, +1 maps to 1 (sorted order of the original labels).
+        np.testing.assert_array_equal(ds.y, [1, 0, 1])
+        assert ds.X[0, 2] == 2.0
+        assert ds.metadata["format"] == "libsvm"
+
+    def test_zero_based_indices(self, tmp_path):
+        path = tmp_path / "zero.libsvm"
+        path.write_text("0 0:1.0 2:3.0\n1 1:2.0\n")
+        ds = load_libsvm(path, zero_based=True)
+        assert ds.n_features == 3
+        assert ds.X[0, 0] == 1.0
+
+    def test_n_features_override_and_validation(self, tmp_path):
+        path = tmp_path / "wide.libsvm"
+        path.write_text("0 1:1.0\n1 2:1.0\n")
+        ds = load_libsvm(path, n_features=10)
+        assert ds.n_features == 10
+        with pytest.raises(ValueError):
+            load_libsvm(path, n_features=1)
+
+    def test_invalid_tokens_raise_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.libsvm"
+        path.write_text("1 1:0.5\nnot_a_label 1:1\n")
+        with pytest.raises(ValueError, match="bad.libsvm:2"):
+            load_libsvm(path)
+        path.write_text("1 broken\n")
+        with pytest.raises(ValueError, match="invalid feature token"):
+            load_libsvm(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.libsvm"
+        path.write_text("\n# nothing here\n")
+        with pytest.raises(ValueError):
+            load_libsvm(path)
+
+    def test_round_trip_preserves_matrix(self, tmp_path):
+        train, _ = (
+            make_sparse_multiclass(
+                n_samples=60, n_features=40, n_classes=3, density=0.1, random_state=0
+            ),
+            None,
+        )
+        path = save_libsvm(train, tmp_path / "roundtrip.libsvm")
+        restored = load_libsvm(path, n_features=train.n_features)
+        assert restored.n_samples == train.n_samples
+        np.testing.assert_array_equal(restored.y, train.y)
+        np.testing.assert_allclose(
+            np.asarray(restored.X.todense()), np.asarray(train.X.todense()), atol=1e-12
+        )
+
+    def test_loaded_dataset_trains_with_newton_admm(self, tmp_path):
+        ds = make_sparse_multiclass(
+            n_samples=120, n_features=30, n_classes=3, density=0.2, random_state=1
+        )
+        path = save_libsvm(ds, tmp_path / "train.libsvm")
+        loaded = load_libsvm(path, n_features=30)
+        cluster = SimulatedCluster(loaded, 2, random_state=0)
+        trace = NewtonADMM(lam=1e-3, max_epochs=3, record_accuracy=False).fit(cluster)
+        assert np.isfinite(trace.final.objective)
+
+
+class TestCsv:
+    def test_parse_label_first(self, tmp_path):
+        path = tmp_path / "toy.csv"
+        path.write_text("1,0.5,2.0\n0,1.5,3.0\n1,0.0,1.0\n")
+        ds = load_csv(path)
+        assert ds.n_samples == 3
+        assert ds.n_features == 2
+        np.testing.assert_array_equal(ds.y, [1, 0, 1])
+        assert not ds.is_sparse
+
+    def test_label_last_column(self, tmp_path):
+        path = tmp_path / "last.csv"
+        path.write_text("0.5,2.0,1\n1.5,3.0,0\n")
+        ds = load_csv(path, label_column=-1)
+        assert ds.n_features == 2
+        np.testing.assert_array_equal(ds.y, [1, 0])
+
+    def test_skip_header(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("label,f1,f2\n0,1.0,2.0\n1,3.0,4.0\n")
+        ds = load_csv(path, skip_header=1)
+        assert ds.n_samples == 2
+
+    def test_single_column_rejected(self, tmp_path):
+        path = tmp_path / "thin.csv"
+        path.write_text("1\n0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        ds = ClassificationDataset(
+            X=rng.standard_normal((25, 4)), y=rng.integers(0, 3, 25), n_classes=3
+        )
+        path = save_csv(ds, tmp_path / "roundtrip.csv")
+        restored = load_csv(path)
+        np.testing.assert_array_equal(restored.y, ds.y)
+        np.testing.assert_allclose(restored.X, ds.X, atol=1e-12)
+
+    def test_sparse_dataset_saved_densely(self, tmp_path):
+        ds = ClassificationDataset(
+            X=sp.random(10, 5, density=0.4, format="csr", random_state=0),
+            y=np.arange(10) % 2,
+            n_classes=2,
+        )
+        path = save_csv(ds, tmp_path / "sparse.csv")
+        restored = load_csv(path)
+        np.testing.assert_allclose(restored.X, np.asarray(ds.X.todense()), atol=1e-12)
+
+    def test_noninteger_labels_remapped(self, tmp_path):
+        path = tmp_path / "pm1.csv"
+        path.write_text("-1,0.1,0.2\n1,0.3,0.4\n-1,0.5,0.6\n")
+        ds = load_csv(path)
+        np.testing.assert_array_equal(ds.y, [0, 1, 0])
+        assert ds.metadata["label_mapping"] == {-1: 0, 1: 1}

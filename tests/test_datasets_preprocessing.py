@@ -1,0 +1,109 @@
+"""Tests for preprocessing (standardization, bias column, row normalization)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.base import ClassificationDataset
+from repro.datasets.preprocessing import (
+    Standardizer,
+    add_bias_column,
+    normalize_rows,
+    standardize,
+)
+from repro.datasets.synthetic import make_multiclass_gaussian, make_sparse_multiclass
+
+
+@pytest.fixture()
+def dense_ds():
+    return make_multiclass_gaussian(200, 6, 3, random_state=0)
+
+
+@pytest.fixture()
+def sparse_ds():
+    return make_sparse_multiclass(100, 50, 3, density=0.2, random_state=0)
+
+
+class TestStandardizer:
+    def test_dense_zero_mean_unit_variance(self, dense_ds):
+        Z = Standardizer().fit_transform(dense_ds.X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-8)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.eye(3))
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        Z = Standardizer().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_sparse_scaling_preserves_sparsity(self, sparse_ds):
+        scaler = Standardizer()
+        Z = scaler.fit_transform(sparse_ds.X)
+        assert sp.issparse(Z)
+        assert Z.nnz == sparse_ds.X.nnz
+
+    def test_sparse_no_centering(self, sparse_ds):
+        scaler = Standardizer().fit(sparse_ds.X)
+        assert not scaler.with_mean
+        np.testing.assert_allclose(scaler.mean_, 0.0)
+
+
+class TestStandardizeDatasets:
+    def test_train_only(self, dense_ds):
+        out = standardize(dense_ds)
+        assert isinstance(out, ClassificationDataset)
+        np.testing.assert_allclose(out.X.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_train_and_test_use_train_statistics(self, dense_ds):
+        train = dense_ds.subset(np.arange(150))
+        test = dense_ds.subset(np.arange(150, 200))
+        new_train, new_test = standardize(train, test)
+        # Test set transformed with train statistics: not exactly zero-mean.
+        np.testing.assert_allclose(new_train.X.mean(axis=0), 0.0, atol=1e-10)
+        assert abs(new_test.X.mean()) > 0.0
+        assert new_test.n_samples == 50
+
+    def test_originals_not_mutated(self, dense_ds):
+        before = dense_ds.X.copy()
+        standardize(dense_ds)
+        np.testing.assert_array_equal(dense_ds.X, before)
+
+
+class TestBiasColumn:
+    def test_dense(self, dense_ds):
+        out = add_bias_column(dense_ds)
+        assert out.n_features == dense_ds.n_features + 1
+        np.testing.assert_allclose(out.X[:, -1], 1.0)
+
+    def test_sparse(self, sparse_ds):
+        out = add_bias_column(sparse_ds)
+        assert sp.issparse(out.X)
+        assert out.n_features == sparse_ds.n_features + 1
+        np.testing.assert_allclose(np.asarray(out.X[:, -1].todense()).ravel(), 1.0)
+
+    def test_metadata_flag(self, dense_ds):
+        assert add_bias_column(dense_ds).metadata["bias_column"] is True
+
+
+class TestRowNormalization:
+    def test_dense_unit_norms(self, dense_ds):
+        out = normalize_rows(dense_ds)
+        norms = np.linalg.norm(out.X, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-10)
+
+    def test_sparse_unit_norms(self, sparse_ds):
+        out = normalize_rows(sparse_ds)
+        norms = np.sqrt(np.asarray(out.X.multiply(out.X).sum(axis=1)).ravel())
+        nonzero = norms > 0
+        np.testing.assert_allclose(norms[nonzero], 1.0, atol=1e-10)
+
+    def test_zero_row_handled(self):
+        X = np.zeros((3, 4))
+        X[1, 0] = 2.0
+        ds = ClassificationDataset(X=X, y=np.array([0, 1, 1]), n_classes=2)
+        out = normalize_rows(ds)
+        assert np.all(np.isfinite(out.X))

@@ -1,0 +1,93 @@
+"""Tests for the dataset registry (Table 1 stand-ins)."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_REGISTRY,
+    PAPER_TABLE1,
+    cifar_like,
+    e18_like,
+    higgs_like,
+    load_dataset,
+    mnist_like,
+)
+
+
+class TestRegistryContents:
+    def test_all_four_workloads_registered(self):
+        assert set(DATASET_REGISTRY) == {
+            "higgs_like",
+            "mnist_like",
+            "cifar_like",
+            "e18_like",
+        }
+
+    def test_paper_table_matches_paper(self):
+        assert PAPER_TABLE1["higgs"]["n_features"] == 28
+        assert PAPER_TABLE1["mnist"]["n_features"] == 784
+        assert PAPER_TABLE1["cifar10"]["n_features"] == 3072
+        assert PAPER_TABLE1["e18"]["n_features"] == 279_998
+        assert PAPER_TABLE1["e18"]["n_classes"] == 20
+
+    def test_spec_fields(self):
+        spec = DATASET_REGISTRY["mnist_like"]
+        assert spec.paper_name == "MNIST"
+        assert spec.n_classes == 10
+        assert spec.n_features == 784
+
+
+class TestFactories:
+    def test_higgs_shapes(self):
+        train, test = higgs_like(n_train=500, n_test=100, random_state=0)
+        assert train.n_classes == 2
+        assert train.n_features == 28
+        assert train.n_samples == 500
+        assert test.n_samples == 100
+
+    def test_mnist_shapes(self):
+        train, test = mnist_like(n_train=400, n_test=100, random_state=0)
+        assert train.n_classes == 10
+        assert train.n_features == 784
+
+    def test_cifar_shapes(self):
+        train, test = cifar_like(n_train=200, n_test=50, random_state=0)
+        assert train.n_classes == 10
+        assert train.n_features == 3072
+
+    def test_e18_shapes_and_sparsity(self):
+        train, test = e18_like(n_train=200, n_test=50, random_state=0)
+        assert train.n_classes == 20
+        assert train.is_sparse
+        assert train.n_features == int(279_998 * 0.05)
+
+    def test_e18_feature_scale(self):
+        train, _ = e18_like(n_train=100, n_test=20, feature_scale=0.01, random_state=0)
+        assert train.n_features == int(279_998 * 0.01)
+
+
+class TestLoadDataset:
+    def test_load_by_name(self):
+        train, test = load_dataset("higgs_like", n_train=300, n_test=60, random_state=1)
+        assert train.n_samples == 300
+        assert test.n_samples == 60
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_defaults_used_when_sizes_omitted(self):
+        spec = DATASET_REGISTRY["mnist_like"]
+        train, test = load_dataset("mnist_like", random_state=0)
+        assert train.n_samples == spec.default_train
+        assert test.n_samples == spec.default_test
+
+    def test_deterministic_given_seed(self):
+        a_train, _ = load_dataset("mnist_like", n_train=200, n_test=40, random_state=3)
+        b_train, _ = load_dataset("mnist_like", n_train=200, n_test=40, random_state=3)
+        assert (a_train.y == b_train.y).all()
+
+    def test_kwargs_forwarded(self):
+        train, _ = load_dataset(
+            "e18_like", n_train=100, n_test=20, feature_scale=0.02, random_state=0
+        )
+        assert train.n_features == int(279_998 * 0.02)

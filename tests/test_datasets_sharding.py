@@ -1,0 +1,109 @@
+"""Tests for dataset sharding (consensus partitioning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.base import ClassificationDataset
+from repro.datasets.sharding import (
+    shard_contiguous,
+    shard_dataset,
+    shard_round_robin,
+    shard_stratified,
+)
+
+
+def tagged_dataset(n=120, c=4, seed=0):
+    """Dataset whose last feature is the row id, so shards can be traced."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 3))
+    X = np.hstack([X, np.arange(n)[:, None].astype(float)])
+    y = rng.integers(0, c, size=n)
+    y[:c] = np.arange(c)
+    return ClassificationDataset(X=X, y=y, n_classes=c)
+
+
+def row_ids(shard):
+    return set(shard.X[:, -1].astype(int).tolist())
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("strategy", ["contiguous", "round_robin", "stratified"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 8])
+    def test_partition_is_exact(self, strategy, n_shards):
+        ds = tagged_dataset()
+        shards = shard_dataset(ds, n_shards, strategy=strategy, random_state=0)
+        assert len(shards) == n_shards
+        all_ids = [row_ids(s) for s in shards]
+        union = set().union(*all_ids)
+        assert union == set(range(ds.n_samples))
+        total = sum(len(ids) for ids in all_ids)
+        assert total == ds.n_samples  # disjoint
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "round_robin", "stratified"])
+    def test_balanced_sizes(self, strategy):
+        ds = tagged_dataset(n=100)
+        shards = shard_dataset(ds, 4, strategy=strategy, random_state=0)
+        sizes = [s.n_samples for s in shards]
+        assert max(sizes) - min(sizes) <= ds.n_classes
+
+    def test_stratified_every_shard_sees_every_class(self):
+        ds = tagged_dataset(n=400, c=4)
+        shards = shard_stratified(ds, 4, random_state=0)
+        for s in shards:
+            assert set(np.unique(s.y)) == set(range(4))
+
+    def test_contiguous_order_preserved(self):
+        ds = tagged_dataset(n=40)
+        shards = shard_contiguous(ds, 4)
+        for i, s in enumerate(shards):
+            ids = sorted(row_ids(s))
+            assert ids == list(range(i * 10, (i + 1) * 10))
+
+    def test_round_robin_assignment(self):
+        ds = tagged_dataset(n=20)
+        shards = shard_round_robin(ds, 4)
+        assert row_ids(shards[0]) == set(range(0, 20, 4))
+
+    def test_single_shard_is_whole_dataset(self):
+        ds = tagged_dataset(n=30)
+        (shard,) = shard_dataset(ds, 1)
+        assert shard.n_samples == 30
+
+
+class TestErrors:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_contiguous(tagged_dataset(), 0)
+
+    def test_more_shards_than_samples_rejected(self):
+        with pytest.raises(ValueError):
+            shard_contiguous(tagged_dataset(n=5), 10)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            shard_dataset(tagged_dataset(), 2, strategy="zigzag")
+
+    def test_stratified_deterministic_given_seed(self):
+        ds = tagged_dataset(n=100)
+        a = shard_stratified(ds, 3, random_state=5)
+        b = shard_stratified(ds, 3, random_state=5)
+        for s1, s2 in zip(a, b):
+            assert row_ids(s1) == row_ids(s2)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=10, max_value=200),
+        n_shards=st.integers(min_value=1, max_value=8),
+        strategy=st.sampled_from(["contiguous", "round_robin", "stratified"]),
+    )
+    def test_partition_property(self, n, n_shards, strategy):
+        n_shards = min(n_shards, n)
+        ds = tagged_dataset(n=n, c=3, seed=1)
+        shards = shard_dataset(ds, n_shards, strategy=strategy, random_state=0)
+        union = set().union(*(row_ids(s) for s in shards))
+        assert union == set(range(n))
+        assert sum(s.n_samples for s in shards) == n

@@ -1,0 +1,317 @@
+"""Tests for collective algorithms, straggler injection, heterogeneous devices
+and the asynchronous parameter-server SGD baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.async_sgd import AsynchronousSGD
+from repro.datasets.synthetic import make_multiclass_gaussian
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.collectives import (
+    TunedNetworkModel,
+    bruck_allgather_time,
+    recursive_doubling_allreduce_time,
+    ring_allgather_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+    tuned_network,
+)
+from repro.distributed.device import DeviceModel, cpu_xeon_gold, tesla_p100
+from repro.distributed.network import ethernet_10g, infiniband_100g
+from repro.distributed.stragglers import StragglerModel
+from repro.admm.newton_admm import NewtonADMM
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return make_multiclass_gaussian(
+        n_samples=240, n_features=12, n_classes=3, random_state=0, name="tiny"
+    )
+
+
+class TestCollectiveAlgorithms:
+    def test_ring_beats_tree_for_large_messages(self):
+        net = ethernet_10g()
+        big = 64 * 2**20  # 64 MiB
+        assert ring_allreduce_time(net, 8, big) < tree_allreduce_time(net, 8, big)
+
+    def test_tree_beats_ring_for_small_messages(self):
+        net = ethernet_10g()
+        small = 64.0  # bytes: latency bound
+        assert tree_allreduce_time(net, 16, small) < ring_allreduce_time(net, 16, small)
+
+    def test_single_worker_costs_nothing(self):
+        net = infiniband_100g()
+        assert ring_allreduce_time(net, 1, 1e6) == 0.0
+        assert recursive_doubling_allreduce_time(net, 1, 1e6) == 0.0
+        assert bruck_allgather_time(net, 1, 1e6) == 0.0
+        assert ring_allgather_time(net, 1, 1e6) == 0.0
+
+    def test_costs_increase_with_message_size(self):
+        net = infiniband_100g()
+        for fn in (
+            ring_allreduce_time,
+            recursive_doubling_allreduce_time,
+            tree_allreduce_time,
+        ):
+            assert fn(net, 8, 2e6) > fn(net, 8, 1e6)
+
+    def test_tuned_network_dispatch(self):
+        base = infiniband_100g()
+        ring = tuned_network(base, allreduce_algorithm="ring")
+        rd = tuned_network(base, allreduce_algorithm="recursive_doubling")
+        tree = tuned_network(base, allreduce_algorithm="tree")
+        nbytes = 8e6
+        assert ring.allreduce(8, nbytes) == pytest.approx(
+            ring_allreduce_time(base, 8, nbytes)
+        )
+        assert rd.allreduce(8, nbytes) == pytest.approx(
+            recursive_doubling_allreduce_time(base, 8, nbytes)
+        )
+        assert tree.allreduce(8, nbytes) == pytest.approx(
+            tree_allreduce_time(base, 8, nbytes)
+        )
+
+    def test_tuned_network_allgather_dispatch(self):
+        base = infiniband_100g()
+        bruck = tuned_network(base, allgather_algorithm="bruck")
+        ring = tuned_network(base, allgather_algorithm="ring")
+        assert bruck.allgather(8, 64.0) == pytest.approx(
+            bruck_allgather_time(base, 8, 64.0)
+        )
+        assert ring.allgather(8, 64.0) == pytest.approx(
+            ring_allgather_time(base, 8, 64.0)
+        )
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            tuned_network(infiniband_100g(), allreduce_algorithm="carrier_pigeon")
+        with pytest.raises(ValueError):
+            tuned_network(infiniband_100g(), allgather_algorithm="smoke_signal")
+
+    def test_point_to_point_inherited(self):
+        tuned = tuned_network(infiniband_100g())
+        assert tuned.point_to_point(1e6) == infiniband_100g().point_to_point(1e6)
+
+    def test_cluster_accepts_tuned_network(self, small_dataset):
+        cluster = SimulatedCluster(
+            small_dataset,
+            4,
+            network=tuned_network(infiniband_100g(), allreduce_algorithm="ring"),
+            random_state=0,
+        )
+        solver = NewtonADMM(lam=1e-3, max_epochs=2, record_accuracy=False)
+        trace = solver.fit(cluster)
+        assert trace.final.comm_time > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_workers=st.integers(2, 64),
+        nbytes=st.floats(8.0, 1e8),
+    )
+    def test_property_costs_positive(self, n_workers, nbytes):
+        net = ethernet_10g()
+        for fn in (
+            ring_allreduce_time,
+            recursive_doubling_allreduce_time,
+            tree_allreduce_time,
+            ring_allgather_time,
+            bruck_allgather_time,
+        ):
+            assert fn(net, n_workers, nbytes) > 0.0
+
+
+class TestStragglerModel:
+    def test_no_straggling_by_default_probability_zero(self):
+        model = StragglerModel(probability=0.0, jitter=0.0)
+        np.testing.assert_array_equal(model.sample_factors(5), np.ones(5))
+
+    def test_persistent_straggler_always_slowed(self):
+        model = StragglerModel(slowdown=3.0, persistent_stragglers=[1], random_state=0)
+        for _ in range(5):
+            factors = model.sample_factors(4)
+            assert factors[1] == pytest.approx(3.0)
+            assert factors[0] == pytest.approx(1.0)
+
+    def test_probability_one_slows_everyone(self):
+        model = StragglerModel(slowdown=2.0, probability=1.0, random_state=0)
+        np.testing.assert_allclose(model.sample_factors(6), np.full(6, 2.0))
+
+    def test_jitter_produces_positive_factors(self):
+        model = StragglerModel(jitter=0.5, random_state=1)
+        factors = model.sample_factors(100)
+        assert np.all(factors > 0)
+        assert factors.std() > 0
+
+    def test_deterministic_given_seed(self):
+        a = StragglerModel(probability=0.5, random_state=7)
+        b = StragglerModel(probability=0.5, random_state=7)
+        np.testing.assert_array_equal(a.sample_factors(10), b.sample_factors(10))
+
+    def test_reset_restarts_sequence(self):
+        model = StragglerModel(probability=0.5, random_state=3)
+        first = model.sample_factors(8)
+        model.reset()
+        np.testing.assert_array_equal(model.sample_factors(8), first)
+        assert model.n_rounds == 1
+
+    def test_summary_counts_rounds(self):
+        model = StragglerModel(probability=1.0, slowdown=5.0, random_state=0)
+        model.sample_factors(4)
+        model.sample_factors(4)
+        summary = model.summary()
+        assert summary["rounds"] == 2
+        assert summary["max_factor"] == pytest.approx(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StragglerModel(slowdown=0.5)
+        with pytest.raises(ValueError):
+            StragglerModel(probability=1.5)
+        with pytest.raises(ValueError):
+            StragglerModel(jitter=-1.0)
+        with pytest.raises(ValueError):
+            StragglerModel().sample_factors(0)
+
+    def test_straggling_cluster_has_larger_epoch_time(self, small_dataset):
+        def run(straggler):
+            cluster = SimulatedCluster(
+                small_dataset, 4, straggler=straggler, random_state=0
+            )
+            solver = NewtonADMM(lam=1e-3, max_epochs=3, record_accuracy=False)
+            return solver.fit(cluster).final.compute_time
+
+        baseline = run(None)
+        slowed = run(StragglerModel(slowdown=10.0, persistent_stragglers=[0]))
+        assert slowed > baseline * 5
+
+    def test_straggler_does_not_change_iterates(self, small_dataset):
+        def final_w(straggler):
+            cluster = SimulatedCluster(
+                small_dataset, 4, straggler=straggler, random_state=0
+            )
+            solver = NewtonADMM(lam=1e-3, max_epochs=3, record_accuracy=False)
+            return solver.fit(cluster).final_w
+
+        np.testing.assert_allclose(
+            final_w(None),
+            final_w(StragglerModel(slowdown=10.0, probability=0.5, random_state=0)),
+        )
+
+
+class TestHeterogeneousDevices:
+    def test_per_worker_devices_accepted(self, small_dataset):
+        devices = [tesla_p100(), cpu_xeon_gold(), tesla_p100(), cpu_xeon_gold()]
+        cluster = SimulatedCluster(small_dataset, 4, device=devices, random_state=0)
+        assert [w.device.name for w in cluster.workers] == [d.name for d in devices]
+
+    def test_wrong_device_count_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            SimulatedCluster(small_dataset, 4, device=[tesla_p100()] * 3)
+
+    def test_slow_device_dominates_epoch_time(self, small_dataset):
+        slow = DeviceModel(
+            name="slow", peak_flops=1e9, memory_bandwidth=1e9, efficiency=0.5
+        )
+        fast_cluster = SimulatedCluster(
+            small_dataset, 2, device=tesla_p100(), random_state=0
+        )
+        mixed_cluster = SimulatedCluster(
+            small_dataset, 2, device=[tesla_p100(), slow], random_state=0
+        )
+        solver = NewtonADMM(lam=1e-3, max_epochs=2, record_accuracy=False)
+        fast_time = solver.fit(fast_cluster).final.compute_time
+        mixed_time = solver.fit(mixed_cluster).final.compute_time
+        assert mixed_time > fast_time * 10
+
+
+class TestAsynchronousSGD:
+    def make_cluster(self, small_dataset, n_workers=4):
+        return SimulatedCluster(small_dataset, n_workers, random_state=0)
+
+    def test_objective_decreases(self, small_dataset):
+        cluster = self.make_cluster(small_dataset)
+        solver = AsynchronousSGD(
+            lam=1e-3, max_epochs=10, step_size=0.5, batch_size=32, random_state=0
+        )
+        trace = solver.fit(cluster)
+        assert trace.final.objective < trace.records[0].objective
+        assert np.isfinite(trace.final.objective)
+
+    def test_staleness_defaults_to_workers_minus_one(self, small_dataset):
+        cluster = self.make_cluster(small_dataset, n_workers=4)
+        solver = AsynchronousSGD(lam=1e-3, max_epochs=1, random_state=0)
+        trace = solver.fit(cluster)
+        assert trace.final.extras["staleness"] == 3.0
+
+    def test_zero_staleness_matches_serial_updates(self, small_dataset):
+        cluster = self.make_cluster(small_dataset)
+        solver = AsynchronousSGD(
+            lam=1e-3, max_epochs=5, step_size=0.2, staleness=0, random_state=0
+        )
+        trace = solver.fit(cluster)
+        assert np.isfinite(trace.final.objective)
+        assert trace.final.extras["staleness"] == 0.0
+
+    def test_high_staleness_converges_slower_than_fresh_updates(self, small_dataset):
+        # The claim the paper makes when it restricts the comparison to
+        # synchronous SGD: stale gradient updates slow convergence.  Here the
+        # only difference between the two runs is the staleness, so the
+        # comparison isolates exactly that effect.
+        def run(staleness):
+            cluster = self.make_cluster(small_dataset)
+            return AsynchronousSGD(
+                lam=1e-3,
+                max_epochs=10,
+                step_size=1.0,
+                batch_size=32,
+                staleness=staleness,
+                random_state=0,
+            ).fit(cluster)
+
+        fresh = run(0)
+        stale = run(40)
+        assert fresh.final.objective <= stale.final.objective + 1e-9
+
+    def test_epoch_advances_both_clock_categories(self, small_dataset):
+        cluster = self.make_cluster(small_dataset)
+        trace = AsynchronousSGD(lam=1e-3, max_epochs=2, random_state=0).fit(cluster)
+        assert trace.final.comm_time > 0
+        assert trace.final.modelled_time >= trace.final.comm_time
+
+    def test_comm_bytes_accounted(self, small_dataset):
+        cluster = self.make_cluster(small_dataset)
+        AsynchronousSGD(lam=1e-3, max_epochs=1, random_state=0).fit(cluster)
+        assert cluster.comm.log.bytes_transferred > 0
+
+    def test_steps_per_epoch_override(self, small_dataset):
+        cluster = self.make_cluster(small_dataset)
+        trace = AsynchronousSGD(
+            lam=1e-3, max_epochs=1, steps_per_epoch=7, random_state=0
+        ).fit(cluster)
+        assert trace.final.extras["updates"] == 7.0
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            AsynchronousSGD(step_size=0.0)
+        with pytest.raises(ValueError):
+            AsynchronousSGD(batch_size=0)
+        with pytest.raises(ValueError):
+            AsynchronousSGD(staleness=-1)
+
+    def test_registered_in_solver_registry(self):
+        from repro.harness.runner import SOLVER_REGISTRY
+
+        assert SOLVER_REGISTRY["async_sgd"] is AsynchronousSGD
+
+    def test_deterministic_given_seed(self, small_dataset):
+        results = []
+        for _ in range(2):
+            cluster = self.make_cluster(small_dataset)
+            trace = AsynchronousSGD(
+                lam=1e-3, max_epochs=3, step_size=0.3, random_state=5
+            ).fit(cluster)
+            results.append(trace.final_w)
+        np.testing.assert_array_equal(results[0], results[1])

@@ -1,0 +1,180 @@
+"""Tests for classification metrics, run traces and report formatting."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.classification import accuracy, confusion_matrix, error_rate
+from repro.metrics.summary import format_series, format_table, relative_error
+from repro.metrics.traces import (
+    EpochRecord,
+    RunTrace,
+    average_epoch_time,
+    speedup_ratio,
+    time_to_objective,
+    time_to_relative_objective,
+)
+
+
+class TestClassificationMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy([0, 1, 2], [0, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_perfect_and_zero(self):
+        assert accuracy([1, 1], [1, 1]) == 1.0
+        assert accuracy([0, 0], [1, 1]) == 0.0
+
+    def test_error_rate_complement(self):
+        y_true = [0, 1, 0, 1]
+        y_pred = [0, 0, 0, 1]
+        assert accuracy(y_true, y_pred) + error_rate(y_true, y_pred) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_confusion_matrix(self):
+        M = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], 3)
+        assert M[0, 0] == 1 and M[0, 1] == 1 and M[1, 1] == 1 and M[2, 2] == 1
+        assert M.sum() == 4
+
+    def test_confusion_matrix_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0], [0], 1)
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 3], [0, 1], 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=50))
+    def test_property_accuracy_bounds(self, labels):
+        preds = list(reversed(labels))
+        a = accuracy(labels, preds)
+        assert 0.0 <= a <= 1.0
+        M = confusion_matrix(labels, preds, 5)
+        assert M.trace() == pytest.approx(a * len(labels))
+
+
+def make_trace(objectives, times=None, accs=None, method="m", n_workers=4):
+    times = times if times is not None else np.arange(1, len(objectives) + 1, dtype=float)
+    records = []
+    for i, obj in enumerate(objectives):
+        records.append(
+            EpochRecord(
+                epoch=i + 1,
+                objective=float(obj),
+                modelled_time=float(times[i]),
+                compute_time=float(times[i]) * 0.8,
+                comm_time=float(times[i]) * 0.2,
+                wall_time=float(times[i]) * 2,
+                test_accuracy=float(accs[i]) if accs is not None else float("nan"),
+                comm_rounds=i + 1,
+            )
+        )
+    return RunTrace(method=method, dataset="d", n_workers=n_workers, records=records)
+
+
+class TestRunTrace:
+    def test_basic_accessors(self):
+        trace = make_trace([3.0, 2.0, 1.0])
+        assert trace.n_epochs == 3
+        np.testing.assert_allclose(trace.objectives(), [3, 2, 1])
+        np.testing.assert_allclose(trace.times(), [1, 2, 3])
+        np.testing.assert_allclose(trace.times("wall"), [2, 4, 6])
+        assert trace.final.objective == 1.0
+        assert trace.best_objective() == 1.0
+        assert trace.total_time() == 3.0
+
+    def test_series(self):
+        trace = make_trace([3.0, 2.0], accs=[0.5, 0.7])
+        t, v = trace.series("test_accuracy")
+        np.testing.assert_allclose(v, [0.5, 0.7])
+        with pytest.raises(ValueError):
+            trace.series("loss_landscape")
+
+    def test_unknown_time_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace([1.0]).times("cpu")
+
+    def test_empty_trace_final_raises(self):
+        with pytest.raises(ValueError):
+            RunTrace(method="m", dataset="d", n_workers=1).final
+
+    def test_average_epoch_time(self):
+        trace = make_trace([3, 2, 1], times=[2.0, 4.0, 6.0])
+        assert average_epoch_time(trace) == pytest.approx(2.0)
+
+    def test_average_epoch_time_empty(self):
+        assert math.isnan(average_epoch_time(RunTrace("m", "d", 1)))
+
+
+class TestTimeToTarget:
+    def test_time_to_objective(self):
+        trace = make_trace([3.0, 1.5, 0.5], times=[1.0, 2.0, 3.0])
+        assert time_to_objective(trace, 2.0) == 2.0
+        assert time_to_objective(trace, 0.5) == 3.0
+        assert math.isinf(time_to_objective(trace, 0.1))
+
+    def test_time_to_relative_objective(self):
+        trace = make_trace([2.0, 1.2, 1.04, 1.0], times=[1, 2, 3, 4])
+        # f_star = 1.0, theta = 0.05 -> target 1.05 reached at t=3
+        assert time_to_relative_objective(trace, 1.0, theta=0.05) == 3.0
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ValueError):
+            time_to_relative_objective(make_trace([1.0]), 1.0, theta=0.0)
+
+    def test_speedup_ratio(self):
+        fast = make_trace([2.0, 1.0], times=[1.0, 2.0])
+        slow = make_trace([2.0, 1.5, 1.0], times=[2.0, 4.0, 6.0])
+        ratio = speedup_ratio(slow, fast, f_star=1.0, theta=0.05)
+        assert ratio == pytest.approx(3.0)
+
+    def test_speedup_ratio_edge_cases(self):
+        reaches = make_trace([1.0], times=[1.0])
+        never = make_trace([5.0], times=[1.0])
+        assert math.isnan(speedup_ratio(never, never, f_star=1.0))
+        assert speedup_ratio(never, reaches, f_star=1.0) == math.inf
+        assert speedup_ratio(reaches, never, f_star=1.0) == 0.0
+
+
+class TestSummaryFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.000123}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="T")
+
+    def test_format_table_missing_key(self):
+        out = format_table([{"a": 1}], columns=["a", "b"])
+        assert "b" in out
+
+    def test_format_series_downsampling(self):
+        x = list(range(100))
+        y = list(range(100))
+        out = format_series(x, y, max_points=10)
+        assert len(out.splitlines()) <= 15
+        assert "99" in out  # last point retained
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [1])
+
+    def test_nan_and_inf_rendering(self):
+        out = format_table([{"a": float("nan"), "b": float("inf")}])
+        assert "nan" in out and "inf" in out
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0

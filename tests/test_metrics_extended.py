@@ -1,0 +1,139 @@
+"""Tests for the extended classification metrics (top-k, precision/recall/F1, AUC)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    precision_recall_f1,
+    roc_auc,
+    top_k_accuracy,
+)
+
+
+class TestTopKAccuracy:
+    def test_top_1_equals_accuracy(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal((50, 4))
+        y = rng.integers(0, 4, 50)
+        preds = scores.argmax(axis=1)
+        assert top_k_accuracy(y, scores, k=1) == pytest.approx(accuracy(y, preds))
+
+    def test_top_full_is_one(self):
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal((30, 5))
+        y = rng.integers(0, 5, 30)
+        assert top_k_accuracy(y, scores, k=5) == 1.0
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(2)
+        scores = rng.standard_normal((40, 6))
+        y = rng.integers(0, 6, 40)
+        values = [top_k_accuracy(y, scores, k=k) for k in range(1, 7)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_invalid_inputs(self):
+        scores = np.zeros((10, 3))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            top_k_accuracy(y, scores, k=0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(y, scores, k=4)
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros(5, dtype=int), scores)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_predictions(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        out = precision_recall_f1(y, y, 3)
+        assert out["precision"] == 1.0
+        assert out["recall"] == 1.0
+        assert out["f1"] == 1.0
+
+    def test_known_binary_case(self):
+        y_true = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 0, 1, 0, 0, 0])
+        out = precision_recall_f1(y_true, y_pred, 2, average="none")
+        # class 1: tp=2, fp=1, fn=2 -> precision 2/3, recall 1/2
+        assert out["precision"][1] == pytest.approx(2 / 3)
+        assert out["recall"][1] == pytest.approx(0.5)
+
+    def test_micro_equals_accuracy_for_single_label(self):
+        rng = np.random.default_rng(3)
+        y_true = rng.integers(0, 4, 60)
+        y_pred = rng.integers(0, 4, 60)
+        micro = precision_recall_f1(y_true, y_pred, 4, average="micro")
+        assert micro["f1"] == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_macro_handles_empty_class(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 0, 0])
+        out = precision_recall_f1(y_true, y_pred, 3)
+        assert 0.0 <= out["f1"] <= 1.0
+
+    def test_invalid_average(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([0, 1], [0, 1], 2, average="weighted")
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_values_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 3, 30)
+        y_pred = rng.integers(0, 3, 30)
+        out = precision_recall_f1(y_true, y_pred, 3)
+        for key in ("precision", "recall", "f1"):
+            assert 0.0 <= out[key] <= 1.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 0, 1, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.7, 0.8, 0.9])
+        assert roc_auc(y, scores) == 1.0
+
+    def test_inverted_scores_give_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(4)
+        y = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_half_credit(self):
+        y = np.array([0, 1])
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(y, scores) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(5, dtype=int), np.random.default_rng(0).random(5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0, 1]), np.array([0.1, 0.2, 0.3]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_auc_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        y = np.concatenate([np.zeros(10, dtype=int), np.ones(10, dtype=int)])
+        scores = rng.standard_normal(20)
+        a = roc_auc(y, scores)
+        b = roc_auc(y, 3.0 * scores + 7.0)  # strictly increasing transform
+        assert a == pytest.approx(b)
+
+
+class TestConfusionMatrixStillWorks:
+    def test_diagonal_for_perfect_predictions(self):
+        y = np.array([0, 1, 2, 2])
+        M = confusion_matrix(y, y, 3)
+        assert M.trace() == 4
+        assert M.sum() == 4

@@ -1,0 +1,179 @@
+"""Integration-level tests for the Newton-ADMM solver (the core contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.admm.newton_admm import NewtonADMM
+from repro.admm.penalty import FixedPenalty
+from repro.distributed.cluster import SimulatedCluster
+from repro.harness.runner import reference_optimum
+from repro.solvers.newton_cg import NewtonCG
+
+
+class TestNewtonADMMBasics:
+    def test_objective_decreases_substantially(self, small_multiclass_split):
+        train, test = small_multiclass_split
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=15).fit(cluster, test=test)
+        start = np.log(train.n_classes)
+        assert trace.final.objective < 0.5 * start
+
+    def test_converges_close_to_single_node_optimum(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        lam = 1e-3
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        trace = NewtonADMM(lam=lam, max_epochs=40).fit(cluster)
+        _, f_star = reference_optimum(train, lam, max_iterations=60, cg_max_iter=80)
+        assert trace.best_objective() <= f_star + 0.05 * abs(f_star) + 1e-3
+
+    def test_one_communication_round_per_iteration(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        epochs = 7
+        trace = NewtonADMM(lam=1e-4, max_epochs=epochs).fit(cluster)
+        # The paper's Remark 1: exactly one round (gather + scatter) per iteration.
+        assert trace.final.comm_rounds == epochs
+
+    def test_trace_records_one_per_epoch(self, small_multiclass_split):
+        train, test = small_multiclass_split
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=6).fit(cluster, test=test)
+        assert trace.n_epochs == 6
+        assert [r.epoch for r in trace.records] == list(range(1, 7))
+        assert np.all(np.diff(trace.times("modelled")) > 0)
+
+    def test_accuracy_reported(self, small_multiclass_split):
+        train, test = small_multiclass_split
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=10).fit(cluster, test=test)
+        assert 0.0 <= trace.final.test_accuracy <= 1.0
+        assert trace.final.test_accuracy > 1.5 / train.n_classes
+
+    def test_deterministic_across_runs(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        a = NewtonADMM(lam=1e-4, max_epochs=5).fit(cluster)
+        b = NewtonADMM(lam=1e-4, max_epochs=5).fit(cluster)
+        np.testing.assert_allclose(a.final_w, b.final_w)
+        np.testing.assert_allclose(a.objectives(), b.objectives())
+
+    def test_single_worker_close_to_newton(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        lam = 1e-3
+        cluster = SimulatedCluster(train, 1, random_state=0)
+        trace = NewtonADMM(lam=lam, max_epochs=25).fit(cluster)
+        _, f_star = reference_optimum(train, lam, max_iterations=60, cg_max_iter=80)
+        assert trace.best_objective() <= f_star + 0.05 * abs(f_star) + 1e-3
+
+    def test_extras_present(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 3, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=3).fit(cluster)
+        for key in ("primal_residual", "dual_residual", "mean_rho", "local_cg_iters"):
+            assert key in trace.final.extras
+
+    def test_modelled_time_split(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=4).fit(cluster)
+        final = trace.final
+        assert final.compute_time > 0
+        assert final.comm_time > 0
+        assert final.modelled_time == pytest.approx(
+            final.compute_time + final.comm_time
+        )
+
+
+class TestNewtonADMMOptions:
+    def test_penalty_policies_all_run(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        results = {}
+        for penalty in ("spectral", "residual_balancing", "fixed"):
+            trace = NewtonADMM(lam=1e-4, max_epochs=8, penalty=penalty).fit(cluster)
+            results[penalty] = trace.final.objective
+            assert np.isfinite(trace.final.objective)
+        assert len(results) == 3
+
+    def test_custom_policy_factory(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 2, random_state=0)
+        trace = NewtonADMM(
+            lam=1e-4, max_epochs=4, penalty=lambda: FixedPenalty(0.01)
+        ).fit(cluster)
+        assert trace.final.extras["mean_rho"] == pytest.approx(0.01)
+
+    def test_explicit_rho0_used(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 2, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=2, rho0=0.5, penalty="fixed").fit(cluster)
+        assert trace.final.extras["mean_rho"] == pytest.approx(0.5)
+
+    def test_auto_rho0_scales_with_dataset(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 2, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=2, penalty="fixed").fit(cluster)
+        assert trace.final.extras["mean_rho"] == pytest.approx(1.0 / train.n_samples)
+
+    def test_more_cg_iterations_lower_objective_per_epoch(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 4, random_state=0)
+        small_cg = NewtonADMM(lam=1e-4, max_epochs=6, cg_max_iter=1, cg_tol=1e-12).fit(cluster)
+        big_cg = NewtonADMM(lam=1e-4, max_epochs=6, cg_max_iter=30, cg_tol=1e-12).fit(cluster)
+        assert big_cg.best_objective() <= small_cg.best_objective() + 1e-6
+
+    def test_local_newton_iters_option(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 2, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=3, local_newton_iters=3).fit(cluster)
+        assert trace.final.extras["local_newton_iters"] <= 3
+
+    def test_w0_respected(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 2, random_state=0)
+        solver = NewtonADMM(lam=1e-3, max_epochs=1)
+        w0 = np.full(cluster.dim, 0.1)
+        trace = solver.fit(cluster, w0=w0)
+        assert trace.final_w.shape == (cluster.dim,)
+
+    def test_wrong_w0_length_rejected(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 2, random_state=0)
+        with pytest.raises(ValueError):
+            NewtonADMM(lam=1e-3, max_epochs=1).fit(cluster, w0=np.zeros(3))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            NewtonADMM(rho0=-1.0)
+        with pytest.raises(ValueError):
+            NewtonADMM(local_newton_iters=0)
+        with pytest.raises(ValueError):
+            NewtonADMM(max_epochs=0)
+        with pytest.raises(ValueError):
+            NewtonADMM(lam=-1e-3)
+
+    def test_evaluate_every(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 2, random_state=0)
+        trace = NewtonADMM(lam=1e-4, max_epochs=6, evaluate_every=3).fit(cluster)
+        assert [r.epoch for r in trace.records] == [3, 6]
+
+    def test_grad_tolerance_early_stop(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 2, random_state=0)
+        trace = NewtonADMM(lam=1e-2, max_epochs=60, tol_grad=1e-2).fit(cluster)
+        assert trace.n_epochs < 60
+
+
+class TestNewtonADMMBinary:
+    def test_binary_problem(self, tiny_binary):
+        cluster = SimulatedCluster(tiny_binary, 3, random_state=0)
+        trace = NewtonADMM(lam=1e-3, max_epochs=15).fit(cluster)
+        assert trace.final.objective < np.log(2)
+        assert trace.final.train_accuracy > 0.6
+
+    def test_sparse_highdim_problem(self, tiny_sparse):
+        cluster = SimulatedCluster(tiny_sparse, 2, random_state=0)
+        trace = NewtonADMM(lam=1e-3, max_epochs=10).fit(cluster)
+        assert np.isfinite(trace.final.objective)
+        assert trace.final.objective < np.log(tiny_sparse.n_classes)

@@ -1,0 +1,222 @@
+"""Tests for regularizers and composite objectives (regularized / scaled /
+proximally-augmented / linearly-perturbed wrappers)."""
+
+import numpy as np
+import pytest
+
+from repro.objectives.base import (
+    LinearlyPerturbedObjective,
+    ProximallyAugmentedObjective,
+    RegularizedObjective,
+    ScaledObjective,
+    resolve_scale,
+)
+from repro.objectives.regularizers import L2Regularizer, ZeroRegularizer
+from repro.objectives.softmax import SoftmaxCrossEntropy
+from tests.conftest import numerical_gradient
+
+
+@pytest.fixture()
+def loss():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((30, 4))
+    y = rng.integers(0, 3, size=30)
+    return SoftmaxCrossEntropy(X, y, 3)
+
+
+class TestResolveScale:
+    def test_mean(self):
+        assert resolve_scale("mean", 10) == pytest.approx(0.1)
+
+    def test_sum(self):
+        assert resolve_scale("sum", 10) == 1.0
+
+    def test_float(self):
+        assert resolve_scale(0.25, 10) == 0.25
+
+    def test_invalid_string(self):
+        with pytest.raises(ValueError):
+            resolve_scale("median", 10)
+
+    def test_negative_float_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_scale(-1.0, 10)
+
+
+class TestL2Regularizer:
+    def test_value(self):
+        reg = L2Regularizer(4, lam=2.0)
+        np.testing.assert_allclose(reg.value(np.ones(4)), 4.0)
+
+    def test_gradient_and_hvp(self):
+        reg = L2Regularizer(3, lam=0.5)
+        w = np.array([1.0, -2.0, 3.0])
+        np.testing.assert_allclose(reg.gradient(w), 0.5 * w)
+        np.testing.assert_allclose(reg.hvp(w, np.ones(3)), 0.5 * np.ones(3))
+
+    def test_hessian(self):
+        reg = L2Regularizer(3, lam=0.1)
+        np.testing.assert_allclose(reg.hessian(np.zeros(3)), 0.1 * np.eye(3))
+
+    def test_zero_lambda_allowed(self):
+        reg = L2Regularizer(3, lam=0.0)
+        assert reg.value(np.ones(3)) == 0.0
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            L2Regularizer(3, lam=-1.0)
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ValueError):
+            L2Regularizer(0, lam=1.0)
+
+
+class TestZeroRegularizer:
+    def test_all_zero(self):
+        reg = ZeroRegularizer(5)
+        w = np.ones(5)
+        assert reg.value(w) == 0.0
+        np.testing.assert_allclose(reg.gradient(w), 0.0)
+        np.testing.assert_allclose(reg.hvp(w, w), 0.0)
+        np.testing.assert_allclose(reg.hessian(w), 0.0)
+
+
+class TestRegularizedObjective:
+    def test_value_is_sum(self, loss):
+        reg = L2Regularizer(loss.dim, 0.1)
+        obj = RegularizedObjective(loss, reg)
+        w = np.random.default_rng(1).standard_normal(loss.dim)
+        np.testing.assert_allclose(obj.value(w), loss.value(w) + reg.value(w))
+
+    def test_gradient_is_sum(self, loss):
+        reg = L2Regularizer(loss.dim, 0.1)
+        obj = RegularizedObjective(loss, reg)
+        w = np.random.default_rng(2).standard_normal(loss.dim)
+        np.testing.assert_allclose(obj.gradient(w), loss.gradient(w) + reg.gradient(w))
+
+    def test_dim_mismatch_rejected(self, loss):
+        with pytest.raises(ValueError):
+            RegularizedObjective(loss, L2Regularizer(loss.dim + 1, 0.1))
+
+    def test_hessian_strictly_pd_with_regularization(self, loss):
+        obj = RegularizedObjective(loss, L2Regularizer(loss.dim, 0.5))
+        H = obj.hessian(np.zeros(obj.dim))
+        assert np.linalg.eigvalsh(H).min() >= 0.5 - 1e-8
+
+    def test_minibatch_passthrough(self, loss):
+        obj = RegularizedObjective(loss, L2Regularizer(loss.dim, 0.1))
+        sub = obj.minibatch(np.arange(5))
+        assert isinstance(sub, RegularizedObjective)
+        assert sub.n_samples == 5
+
+    def test_n_samples(self, loss):
+        obj = RegularizedObjective(loss, L2Regularizer(loss.dim, 0.1))
+        assert obj.n_samples == 30
+
+
+class TestScaledObjective:
+    def test_scaling(self, loss):
+        scaled = ScaledObjective(loss, 3.0)
+        w = np.random.default_rng(3).standard_normal(loss.dim)
+        v = np.random.default_rng(4).standard_normal(loss.dim)
+        np.testing.assert_allclose(scaled.value(w), 3.0 * loss.value(w))
+        np.testing.assert_allclose(scaled.gradient(w), 3.0 * loss.gradient(w))
+        np.testing.assert_allclose(scaled.hvp(w, v), 3.0 * loss.hvp(w, v))
+
+    def test_nonfinite_factor_rejected(self, loss):
+        with pytest.raises(ValueError):
+            ScaledObjective(loss, float("nan"))
+
+    def test_value_and_gradient(self, loss):
+        scaled = ScaledObjective(loss, 0.5)
+        w = np.zeros(loss.dim)
+        v, g = scaled.value_and_gradient(w)
+        np.testing.assert_allclose(v, 0.5 * loss.value(w))
+
+
+class TestProximallyAugmented:
+    def test_value_adds_quadratic(self, loss):
+        center = np.random.default_rng(5).standard_normal(loss.dim)
+        obj = ProximallyAugmentedObjective(loss, rho=2.0, center=center)
+        w = np.random.default_rng(6).standard_normal(loss.dim)
+        expected = loss.value(w) + 1.0 * float((w - center) @ (w - center))
+        np.testing.assert_allclose(obj.value(w), expected)
+
+    def test_gradient_matches_finite_differences(self, loss):
+        center = np.zeros(loss.dim)
+        obj = ProximallyAugmentedObjective(loss, rho=0.7, center=center)
+        w = np.random.default_rng(7).standard_normal(loss.dim) * 0.3
+        np.testing.assert_allclose(
+            obj.gradient(w), numerical_gradient(obj.value, w), atol=1e-6
+        )
+
+    def test_hvp_adds_rho_identity(self, loss):
+        center = np.zeros(loss.dim)
+        obj = ProximallyAugmentedObjective(loss, rho=1.5, center=center)
+        w = np.zeros(loss.dim)
+        v = np.random.default_rng(8).standard_normal(loss.dim)
+        np.testing.assert_allclose(obj.hvp(w, v), loss.hvp(w, v) + 1.5 * v)
+
+    def test_minimizer_pulled_toward_center_as_rho_grows(self, loss):
+        center = np.random.default_rng(9).standard_normal(loss.dim)
+        w = np.random.default_rng(10).standard_normal(loss.dim)
+        # gradient at the center should be dominated by the loss for small rho
+        small = ProximallyAugmentedObjective(loss, rho=1e-8, center=center)
+        large = ProximallyAugmentedObjective(loss, rho=1e8, center=center)
+        g_small = small.gradient(w)
+        g_large = large.gradient(w)
+        # for huge rho the gradient points (almost exactly) along w - center
+        cos = (g_large @ (w - center)) / (
+            np.linalg.norm(g_large) * np.linalg.norm(w - center)
+        )
+        assert cos > 0.999999
+        assert np.linalg.norm(g_small - loss.gradient(w)) < 1e-6
+
+    def test_invalid_rho_rejected(self, loss):
+        with pytest.raises(ValueError):
+            ProximallyAugmentedObjective(loss, rho=0.0, center=np.zeros(loss.dim))
+
+    def test_center_length_checked(self, loss):
+        with pytest.raises(ValueError):
+            ProximallyAugmentedObjective(loss, rho=1.0, center=np.zeros(3))
+
+
+class TestLinearlyPerturbed:
+    def test_value(self, loss):
+        rng = np.random.default_rng(11)
+        linear = rng.standard_normal(loss.dim)
+        center = rng.standard_normal(loss.dim)
+        obj = LinearlyPerturbedObjective(loss, linear, mu=0.3, center=center)
+        w = rng.standard_normal(loss.dim)
+        expected = (
+            loss.value(w)
+            - float(linear @ w)
+            + 0.15 * float((w - center) @ (w - center))
+        )
+        np.testing.assert_allclose(obj.value(w), expected)
+
+    def test_gradient_matches_finite_differences(self, loss):
+        rng = np.random.default_rng(12)
+        linear = rng.standard_normal(loss.dim)
+        obj = LinearlyPerturbedObjective(loss, linear, mu=0.2, center=np.zeros(loss.dim))
+        w = rng.standard_normal(loss.dim) * 0.3
+        np.testing.assert_allclose(
+            obj.gradient(w), numerical_gradient(obj.value, w), atol=1e-6
+        )
+
+    def test_negative_mu_rejected(self, loss):
+        with pytest.raises(ValueError):
+            LinearlyPerturbedObjective(loss, np.zeros(loss.dim), mu=-1.0)
+
+    def test_linear_length_checked(self, loss):
+        with pytest.raises(ValueError):
+            LinearlyPerturbedObjective(loss, np.zeros(3))
+
+    def test_minibatch_keeps_deterministic_terms(self, loss):
+        rng = np.random.default_rng(13)
+        linear = rng.standard_normal(loss.dim)
+        obj = LinearlyPerturbedObjective(loss, linear, mu=0.1, center=np.zeros(loss.dim))
+        sub = obj.minibatch(np.arange(6))
+        assert isinstance(sub, LinearlyPerturbedObjective)
+        np.testing.assert_allclose(sub.linear, linear)
+        assert sub.mu == pytest.approx(0.1)

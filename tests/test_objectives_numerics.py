@@ -1,0 +1,130 @@
+"""Tests for the numerically stable primitives (log-sum-exp trick, §6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.objectives.numerics import (
+    flatten_weights,
+    full_class_probabilities,
+    log1p_exp,
+    log_sum_exp,
+    sigmoid,
+    softmax_probabilities,
+    split_weights,
+)
+
+
+def naive_lse_with_zero(logits):
+    return np.log(1.0 + np.exp(logits).sum(axis=1))
+
+
+class TestLogSumExp:
+    def test_matches_naive_for_moderate_inputs(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((50, 4))
+        np.testing.assert_allclose(
+            log_sum_exp(logits), naive_lse_with_zero(logits), rtol=1e-12
+        )
+
+    def test_no_overflow_for_huge_logits(self):
+        logits = np.full((3, 4), 1e4)
+        out = log_sum_exp(logits)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, 1e4 + np.log(4), rtol=1e-10)
+
+    def test_no_underflow_for_tiny_logits(self):
+        logits = np.full((3, 4), -1e4)
+        out = log_sum_exp(logits)
+        np.testing.assert_allclose(out, 0.0, atol=1e-10)
+
+    def test_without_zero_class(self):
+        logits = np.array([[0.0, 0.0]])
+        np.testing.assert_allclose(
+            log_sum_exp(logits, include_zero=False), np.log(2.0)
+        )
+
+    def test_lower_bound(self):
+        # log(1 + sum exp) >= max(0, max logit)
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((20, 3)) * 5
+        out = log_sum_exp(logits)
+        assert np.all(out >= np.maximum(logits.max(axis=1), 0.0) - 1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+            elements=st.floats(-50, 50),
+        )
+    )
+    def test_property_matches_naive(self, logits):
+        np.testing.assert_allclose(
+            log_sum_exp(logits), naive_lse_with_zero(logits), rtol=1e-9, atol=1e-9
+        )
+
+
+class TestSoftmaxProbabilities:
+    def test_rows_sum_below_one_with_zero_class(self):
+        rng = np.random.default_rng(0)
+        P = softmax_probabilities(rng.standard_normal((30, 5)))
+        sums = P.sum(axis=1)
+        assert np.all(sums < 1.0)
+        assert np.all(P >= 0.0)
+
+    def test_full_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        P = full_class_probabilities(rng.standard_normal((30, 5)) * 10)
+        np.testing.assert_allclose(P.sum(axis=1), 1.0, atol=1e-12)
+        assert P.shape == (30, 6)
+
+    def test_extreme_logits_stable(self):
+        P = full_class_probabilities(np.array([[1e4, -1e4]]))
+        assert np.all(np.isfinite(P))
+        np.testing.assert_allclose(P[0, 0], 1.0, atol=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=5),
+            elements=st.floats(-200, 200),
+        )
+    )
+    def test_property_valid_distribution(self, logits):
+        P = full_class_probabilities(logits)
+        assert np.all(P >= 0.0)
+        assert np.all(P <= 1.0 + 1e-12)
+        np.testing.assert_allclose(P.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestScalarHelpers:
+    def test_sigmoid_range_and_symmetry(self):
+        z = np.linspace(-700, 700, 101)
+        s = sigmoid(z)
+        assert np.all((s >= 0) & (s <= 1))
+        np.testing.assert_allclose(s + sigmoid(-z), 1.0, atol=1e-12)
+
+    def test_log1p_exp_matches_naive(self):
+        z = np.linspace(-30, 30, 61)
+        np.testing.assert_allclose(log1p_exp(z), np.log1p(np.exp(z)), rtol=1e-12)
+
+    def test_log1p_exp_no_overflow(self):
+        out = log1p_exp(np.array([1e4]))
+        np.testing.assert_allclose(out, 1e4)
+
+
+class TestWeightReshaping:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        W = rng.standard_normal((7, 4))  # (p, C-1)
+        w = flatten_weights(W)
+        assert w.shape == (28,)
+        np.testing.assert_array_equal(split_weights(w, 7, 5), W)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            split_weights(np.zeros(10), 3, 5)

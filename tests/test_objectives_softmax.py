@@ -1,0 +1,197 @@
+"""Tests for the multiclass softmax cross-entropy objective."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objectives.softmax import SoftmaxCrossEntropy
+from tests.conftest import numerical_gradient
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((40, 5))
+    y = rng.integers(0, 3, size=40)
+    y[:3] = [0, 1, 2]
+    return X, y
+
+
+class TestBasics:
+    def test_dimension(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        assert obj.dim == 2 * 5
+
+    def test_value_at_zero_is_log_C(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        np.testing.assert_allclose(obj.value(np.zeros(obj.dim)), np.log(3), rtol=1e-12)
+
+    def test_sum_vs_mean_scaling(self, problem):
+        X, y = problem
+        mean_obj = SoftmaxCrossEntropy(X, y, 3, scale="mean")
+        sum_obj = SoftmaxCrossEntropy(X, y, 3, scale="sum")
+        w = np.random.default_rng(1).standard_normal(mean_obj.dim)
+        np.testing.assert_allclose(sum_obj.value(w), 40 * mean_obj.value(w), rtol=1e-12)
+
+    def test_explicit_float_scale(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3, scale=0.5)
+        sum_obj = SoftmaxCrossEntropy(X, y, 3, scale="sum")
+        w = np.ones(obj.dim) * 0.1
+        np.testing.assert_allclose(obj.value(w), 0.5 * sum_obj.value(w))
+
+    def test_wrong_weight_length_rejected(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        with pytest.raises(ValueError):
+            obj.value(np.zeros(obj.dim + 1))
+
+    def test_single_class_count_rejected(self, problem):
+        X, y = problem
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy(X, np.zeros(40, dtype=int), 1)
+
+    def test_value_and_gradient_consistent(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        w = np.random.default_rng(2).standard_normal(obj.dim) * 0.3
+        v, g = obj.value_and_gradient(w)
+        np.testing.assert_allclose(v, obj.value(w))
+        np.testing.assert_allclose(g, obj.gradient(w))
+
+
+class TestDerivatives:
+    def test_gradient_matches_finite_differences(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        w = np.random.default_rng(3).standard_normal(obj.dim) * 0.2
+        np.testing.assert_allclose(
+            obj.gradient(w), numerical_gradient(obj.value, w), atol=1e-6
+        )
+
+    def test_hvp_matches_finite_difference_of_gradient(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        rng = np.random.default_rng(4)
+        w = rng.standard_normal(obj.dim) * 0.2
+        v = rng.standard_normal(obj.dim)
+        eps = 1e-6
+        fd = (obj.gradient(w + eps * v) - obj.gradient(w - eps * v)) / (2 * eps)
+        np.testing.assert_allclose(obj.hvp(w, v), fd, atol=1e-5)
+
+    def test_hessian_symmetric_psd(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        w = np.random.default_rng(5).standard_normal(obj.dim) * 0.1
+        H = obj.hessian(w)
+        np.testing.assert_allclose(H, H.T, atol=1e-10)
+        eigs = np.linalg.eigvalsh(H)
+        assert eigs.min() >= -1e-8
+
+    def test_hvp_linear_in_v(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        rng = np.random.default_rng(6)
+        w = rng.standard_normal(obj.dim) * 0.2
+        v1, v2 = rng.standard_normal((2, obj.dim))
+        lhs = obj.hvp(w, 2.0 * v1 - 3.0 * v2)
+        rhs = 2.0 * obj.hvp(w, v1) - 3.0 * obj.hvp(w, v2)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_hvp_psd(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((15, 4))
+        y = rng.integers(0, 3, size=15)
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        w = rng.standard_normal(obj.dim)
+        v = rng.standard_normal(obj.dim)
+        assert float(v @ obj.hvp(w, v)) >= -1e-9
+
+
+class TestSparseAndBinary:
+    def test_sparse_matches_dense(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((30, 8))
+        X[np.abs(X) < 0.8] = 0.0
+        y = rng.integers(0, 4, size=30)
+        dense = SoftmaxCrossEntropy(X, y, 4)
+        sparse = SoftmaxCrossEntropy(sp.csr_matrix(X), y, 4)
+        w = rng.standard_normal(dense.dim) * 0.3
+        v = rng.standard_normal(dense.dim)
+        np.testing.assert_allclose(dense.value(w), sparse.value(w), rtol=1e-12)
+        np.testing.assert_allclose(dense.gradient(w), sparse.gradient(w), rtol=1e-10)
+        np.testing.assert_allclose(dense.hvp(w, v), sparse.hvp(w, v), rtol=1e-10)
+
+    def test_binary_case_matches_logistic_form(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((25, 6))
+        y = rng.integers(0, 2, size=25)
+        obj = SoftmaxCrossEntropy(X, y, 2)
+        w = rng.standard_normal(6) * 0.5
+        # For C=2 the loss per sample is log(1 + exp(z)) - 1{y=0} z, z = x@w.
+        z = X @ w
+        expected = np.mean(np.log1p(np.exp(z)) - (y == 0) * z)
+        np.testing.assert_allclose(obj.value(w), expected, rtol=1e-10)
+
+
+class TestPrediction:
+    def test_predict_shapes(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        w = np.zeros(obj.dim)
+        proba = obj.predict_proba(w)
+        assert proba.shape == (40, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-12)
+        preds = obj.predict(w)
+        assert preds.shape == (40,)
+        assert set(np.unique(preds)).issubset({0, 1, 2})
+
+    def test_predict_on_new_data(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        X_new = np.random.default_rng(7).standard_normal((5, 5))
+        assert obj.predict(np.zeros(obj.dim), X_new).shape == (5,)
+
+    def test_training_improves_fit(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        w = np.zeros(obj.dim)
+        # a few gradient steps should reduce the loss
+        for _ in range(50):
+            w = w - 0.5 * obj.gradient(w)
+        assert obj.value(w) < np.log(3) - 0.05
+
+
+class TestMinibatchAndFlops:
+    def test_minibatch_mean_semantics(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        idx = np.arange(10)
+        batch = obj.minibatch(idx)
+        assert batch.n_samples == 10
+        full_on_subset = SoftmaxCrossEntropy(X[idx], y[idx], 3)
+        w = np.random.default_rng(8).standard_normal(obj.dim)
+        np.testing.assert_allclose(batch.value(w), full_on_subset.value(w))
+
+    def test_minibatch_gradient_unbiased(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        w = np.random.default_rng(9).standard_normal(obj.dim) * 0.1
+        grads = np.zeros(obj.dim)
+        n = X.shape[0]
+        for start in range(0, n, 10):
+            idx = np.arange(start, start + 10)
+            grads += obj.minibatch(idx).gradient(w) * 10
+        np.testing.assert_allclose(grads / n, obj.gradient(w), atol=1e-12)
+
+    def test_flop_counts_positive_and_ordered(self, problem):
+        X, y = problem
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        assert 0 < obj.flops_value() < obj.flops_gradient()
+        assert obj.flops_hvp() > 0

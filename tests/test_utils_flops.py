@@ -1,0 +1,45 @@
+"""Tests for the FLOP-count estimates."""
+
+import pytest
+
+from repro.utils import flops
+
+
+class TestPrimitiveCounts:
+    def test_dot(self):
+        assert flops.dot_flops(10) == 20.0
+
+    def test_axpy(self):
+        assert flops.axpy_flops(10) == 20.0
+
+    def test_gemv(self):
+        assert flops.gemv_flops(3, 4) == 24.0
+
+    def test_gemm(self):
+        assert flops.gemm_flops(2, 3, 4) == 48.0
+
+
+class TestSoftmaxCounts:
+    def test_gradient_costs_more_than_value(self):
+        v = flops.softmax_objective_flops(100, 20, 5)
+        g = flops.softmax_gradient_flops(100, 20, 5)
+        assert g > v > 0
+
+    def test_hvp_within_factor_of_gradient(self):
+        g = flops.softmax_gradient_flops(1000, 50, 10)
+        h = flops.softmax_hvp_flops(1000, 50, 10)
+        assert 0.3 * g < h < 3.0 * g
+
+    def test_scaling_linear_in_samples(self):
+        one = flops.softmax_gradient_flops(100, 20, 5)
+        ten = flops.softmax_gradient_flops(1000, 20, 5)
+        assert ten == pytest.approx(10 * one, rel=0.01)
+
+    def test_binary_class_edge_case(self):
+        assert flops.softmax_objective_flops(10, 5, 2) > 0
+
+    @pytest.mark.parametrize("n,p,c", [(1, 1, 2), (10, 3, 3), (500, 100, 20)])
+    def test_all_positive(self, n, p, c):
+        assert flops.softmax_objective_flops(n, p, c) > 0
+        assert flops.softmax_gradient_flops(n, p, c) > 0
+        assert flops.softmax_hvp_flops(n, p, c) > 0

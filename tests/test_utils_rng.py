@@ -1,0 +1,72 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import check_random_state, spawn_rngs
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).integers(0, 1000, size=10)
+        b = check_random_state(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).integers(0, 10**9, size=10)
+        b = check_random_state(2).integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        gen = check_random_state(ss)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            check_random_state("not-a-seed")
+
+    def test_numpy_integer_seed(self):
+        gen = check_random_state(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.standard_normal(50) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_reproducible_from_int_seed(self):
+        a = [g.standard_normal(10) for g in spawn_rngs(99, 3)]
+        b = [g.standard_normal(10) for g in spawn_rngs(99, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_salt_changes_streams(self):
+        a = spawn_rngs(0, 2, salt=[1])[0].standard_normal(10)
+        b = spawn_rngs(0, 2, salt=[2])[0].standard_normal(10)
+        assert not np.allclose(a, b)
+
+    def test_generator_parent_accepted(self):
+        parent = np.random.default_rng(3)
+        children = spawn_rngs(parent, 2)
+        assert len(children) == 2

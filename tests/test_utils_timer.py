@@ -1,0 +1,98 @@
+"""Tests for repro.utils.timer."""
+
+import pytest
+
+from repro.utils.timer import SimulatedClock, Stopwatch
+
+
+class TestStopwatch:
+    def test_initially_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        assert sw.elapsed >= 0.0
+        first = sw.elapsed
+        with sw:
+            pass
+        assert sw.elapsed >= first
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_elapsed_while_running_grows(self):
+        sw = Stopwatch().start()
+        a = sw.elapsed
+        b = sw.elapsed
+        assert b >= a
+        sw.stop()
+
+
+class TestSimulatedClock:
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5, "compute")
+        clock.advance(0.5, "communication")
+        assert clock.time == pytest.approx(2.0)
+        assert clock.category("compute") == pytest.approx(1.5)
+        assert clock.category("communication") == pytest.approx(0.5)
+
+    def test_negative_advance_raises(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_unknown_category_zero(self):
+        assert SimulatedClock().category("nope") == 0.0
+
+    def test_marks(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        clock.mark()
+        clock.advance(2.0)
+        clock.mark()
+        assert clock.marks == [1.0, 3.0]
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(1.0, "x")
+        clock.mark()
+        clock.reset()
+        assert clock.time == 0.0
+        assert clock.by_category == {}
+        assert clock.marks == []
+
+    def test_snapshot_includes_total(self):
+        clock = SimulatedClock()
+        clock.advance(1.0, "compute")
+        snap = clock.snapshot()
+        assert snap["total"] == pytest.approx(1.0)
+        assert snap["compute"] == pytest.approx(1.0)
+
+    def test_default_category_is_compute(self):
+        clock = SimulatedClock()
+        clock.advance(0.25)
+        assert clock.category("compute") == pytest.approx(0.25)

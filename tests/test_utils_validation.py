@@ -1,0 +1,132 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_labels,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_dense_passthrough(self):
+        X = check_array([[1.0, 2.0], [3.0, 4.0]])
+        assert X.dtype == np.float64
+        assert X.shape == (2, 2)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError, match="ndim"):
+            check_array([1.0, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[np.nan, 1.0]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            check_array([[np.inf, 1.0]])
+
+    def test_sparse_rejected_by_default(self):
+        with pytest.raises(TypeError):
+            check_array(sp.eye(3).tocsr())
+
+    def test_sparse_allowed(self):
+        X = check_array(sp.eye(3).tocoo(), allow_sparse=True)
+        assert sp.isspmatrix_csr(X)
+
+    def test_sparse_nan_rejected(self):
+        X = sp.csr_matrix(np.array([[np.nan, 0.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            check_array(X, allow_sparse=True)
+
+    def test_1d_allowed_when_requested(self):
+        v = check_array([1.0, 2.0], ndim=1)
+        assert v.shape == (2,)
+
+
+class TestCheckLabels:
+    def test_basic(self):
+        y, c = check_labels([0, 1, 2, 1])
+        assert c == 3
+        assert y.dtype == np.int64
+
+    def test_binary_inferred_as_two_classes(self):
+        _, c = check_labels([0, 0, 1])
+        assert c == 2
+
+    def test_all_zeros_still_two_classes(self):
+        _, c = check_labels([0, 0, 0])
+        assert c == 2
+
+    def test_float_integers_accepted(self):
+        y, _ = check_labels([0.0, 1.0, 2.0])
+        assert y.dtype == np.int64
+
+    def test_non_integer_floats_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([0.5, 1.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([-1, 0, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([0, 5], n_classes=3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([0, 1], n_samples=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([[0], [1]])
+
+
+class TestScalarChecks:
+    def test_positive_ok(self):
+        assert check_positive(2.0, name="x") == 2.0
+
+    def test_positive_zero_rejected_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, name="x")
+
+    def test_positive_zero_allowed_nonstrict(self):
+        assert check_positive(0.0, name="x", strict=False) == 0.0
+
+    def test_positive_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), name="x")
+
+    def test_positive_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), name="x")
+
+    def test_probability_open_interval(self):
+        assert check_probability(0.5, name="p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(0.0, name="p")
+        with pytest.raises(ValueError):
+            check_probability(1.0, name="p")
+
+    def test_probability_inclusive(self):
+        assert check_probability(0.0, name="p", inclusive=True) == 0.0
+        assert check_probability(1.0, name="p", inclusive=True) == 1.0
+
+    def test_in_range(self):
+        assert check_in_range(3, name="x", low=1, high=5) == 3.0
+        with pytest.raises(ValueError):
+            check_in_range(6, name="x", low=1, high=5)
+
+    def test_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range(1, name="x", low=1, high=5, inclusive=False)
