@@ -29,6 +29,12 @@ The package is organized as:
 
 from repro.admm.newton_admm import NewtonADMM
 from repro.admm.penalty import FixedPenalty, ResidualBalancing, SpectralPenalty
+from repro.backend import (
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    set_default_backend,
+)
 from repro.baselines import (
     AIDE,
     AsynchronousSGD,
@@ -56,6 +62,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "NewtonADMM",
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
     "SpectralPenalty",
     "ResidualBalancing",
     "FixedPenalty",

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.admm.penalty import PenaltyObservation, PolicyFactory, make_penalty_policy
+from repro.backend import copy_array
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.solver_base import DistributedSolver
 from repro.distributed.worker import Worker
@@ -135,7 +136,9 @@ class NewtonADMM(DistributedSolver):
 
     # -- hooks ---------------------------------------------------------------
     def _initialize(self, cluster: SimulatedCluster, w0: np.ndarray) -> None:
-        self._z = w0.copy()
+        backend = cluster.backend
+        w0 = backend.as_vector(w0, cluster.dim, name="w0")
+        self._z = copy_array(w0)
         self._last_extras = {}
         # Auto rho0: a unit penalty in the paper's sum-form objective equals
         # 1/n_total under this library's mean-loss scaling.
@@ -147,7 +150,9 @@ class NewtonADMM(DistributedSolver):
             policy_factory = make_penalty_policy(self.penalty, rho0=rho0)
         for worker in cluster.workers:
             worker.set_vector("x", w0)
-            worker.set_vector("y", np.zeros(cluster.dim))
+            worker.set_vector(
+                "y", backend.zeros(cluster.dim, dtype=getattr(w0, "dtype", None))
+            )
             worker.state["rho"] = rho0
             worker.state["policy"] = policy_factory()
 
@@ -166,6 +171,7 @@ class NewtonADMM(DistributedSolver):
         if z_old is None:
             raise RuntimeError("NewtonADMM._epoch called before _initialize")
         alpha = self.over_relaxation
+        backend = cluster.backend
 
         # ---- 1. local x-updates (parallel across workers) -------------------
         def local_x_update(worker: Worker) -> dict:
@@ -210,8 +216,8 @@ class NewtonADMM(DistributedSolver):
             y_hat = worker.get_vector("y_hat")
             rho = float(worker.state["rho"])
             y_new = y + rho * (z_new - x_new)
-            primal_res = float(np.linalg.norm(x_new - z_new))
-            dual_res = float(rho * np.linalg.norm(z_new - z_old))
+            primal_res = backend.norm(x_new - z_new)
+            dual_res = rho * backend.norm(z_new - z_old)
             obs = PenaltyObservation(
                 iteration=epoch,
                 x_new=x_new,
@@ -233,8 +239,8 @@ class NewtonADMM(DistributedSolver):
                 "primal": primal_res**2,
                 "dual": dual_res**2,
                 "rho": new_rho,
-                "x_norm_sq": float(x_new @ x_new),
-                "y_norm_sq": float(y_new @ y_new),
+                "x_norm_sq": backend.dot(x_new, x_new),
+                "y_norm_sq": backend.dot(y_new, y_new),
             }
 
         dual_results = cluster.map_workers(local_dual_update)
@@ -258,7 +264,7 @@ class NewtonADMM(DistributedSolver):
             dim = cluster.dim
             x_norm = float(np.sqrt(sum(r["x_norm_sq"] for r in dual_results)))
             y_norm = float(np.sqrt(sum(r["y_norm_sq"] for r in dual_results)))
-            z_norm = float(np.sqrt(n_workers) * np.linalg.norm(z_new))
+            z_norm = float(np.sqrt(n_workers)) * backend.norm(z_new)
             primal_tol = (
                 np.sqrt(n_workers * dim) * self.stop_abs_tol
                 + self.stop_rel_tol * max(x_norm, z_norm)

@@ -17,6 +17,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.backend import copy_array, vdot, vector_norm
 from repro.utils.validation import check_positive
 
 
@@ -154,9 +155,9 @@ class SpectralPenalty(PenaltyPolicy):
         the dual-like variable; the estimates are the standard BB step sizes
         ``<dv, dv>/<du, dv>`` and ``<du, dv>/<du, du>``.
         """
-        uv = float(du @ dv)
-        vv = float(dv @ dv)
-        uu = float(du @ du)
+        uv = vdot(du, dv)
+        vv = vdot(dv, dv)
+        uu = vdot(du, du)
         if uv <= 0 or uu <= 0 or vv <= 0:
             return 0.0, 0.0
         return vv / uv, uv / uu
@@ -172,18 +173,18 @@ class SpectralPenalty(PenaltyPolicy):
 
     @staticmethod
     def _correlation(du: np.ndarray, dv: np.ndarray) -> float:
-        nu = float(np.linalg.norm(du))
-        nv = float(np.linalg.norm(dv))
+        nu = vector_norm(du)
+        nv = vector_norm(dv)
         if nu <= 0 or nv <= 0:
             return 0.0
-        return float(du @ dv) / (nu * nv)
+        return vdot(du, dv) / (nu * nv)
 
     # -- policy ------------------------------------------------------------
     def _remember(self, obs: PenaltyObservation) -> None:
-        self._x_old = obs.x_new.copy()
-        self._yhat_old = obs.y_hat.copy()
-        self._z_old = obs.z_new.copy()
-        self._y_old = obs.y_new.copy()
+        self._x_old = copy_array(obs.x_new)
+        self._yhat_old = copy_array(obs.y_hat)
+        self._z_old = copy_array(obs.z_new)
+        self._y_old = copy_array(obs.y_new)
 
     def update(self, obs: PenaltyObservation) -> float:
         if obs.iteration % self.update_period != 0:

@@ -1,0 +1,59 @@
+"""Pluggable array backends (NumPy default; optional CuPy / Torch).
+
+Public surface::
+
+    from repro.backend import get_backend, set_default_backend
+
+    backend = get_backend("auto")          # best available accelerator
+    xp = backend.xp                        # numpy-compatible namespace
+
+See :mod:`repro.backend.base` for the protocol and
+:mod:`repro.backend.registry` for resolution rules.
+"""
+
+from repro.backend.base import ArrayBackend, BackendUnavailableError
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    AUTO_ORDER,
+    BackendLike,
+    available_backends,
+    backend_available,
+    default_backend,
+    get_backend,
+    infer_backend,
+    register_backend,
+    registered_backends,
+    set_default_backend,
+)
+from repro.backend.ops import (
+    copy_array,
+    ensure_float_array,
+    host_matrix,
+    is_float_dtype,
+    to_host,
+    vdot,
+    vector_norm,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "BackendLike",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "AUTO_ORDER",
+    "available_backends",
+    "backend_available",
+    "default_backend",
+    "get_backend",
+    "infer_backend",
+    "register_backend",
+    "registered_backends",
+    "set_default_backend",
+    "copy_array",
+    "ensure_float_array",
+    "host_matrix",
+    "is_float_dtype",
+    "to_host",
+    "vdot",
+    "vector_norm",
+]

@@ -1,0 +1,150 @@
+"""The array-backend protocol.
+
+Every compute layer of this library (objectives -> linalg -> solvers -> ADMM)
+is written against :class:`ArrayBackend` instead of calling ``numpy``
+directly.  A backend bundles:
+
+* ``xp`` — a NumPy-compatible array namespace (``numpy`` itself, ``cupy``, or
+  an adapter around ``torch``) providing the ufuncs and reductions the hot
+  paths use;
+* conversion helpers (``asarray`` / ``as_vector`` / ``asarray_data`` /
+  ``to_numpy`` / ``to_float``) that move data across the host/device boundary
+  exactly once, at API boundaries;
+* a :meth:`default_device_model` hook so the simulated cluster's cost
+  accounting keys off where the arrays actually live.
+
+Inside hot loops only *array methods and operators* (``@``, ``+``, ``.T``,
+``.reshape``, ``.ravel()``, ``.sum(...)`` via ``xp``) are used — these are the
+intersection of the NumPy, CuPy and Torch APIs, so a single code path serves
+every backend with zero dispatch overhead on the NumPy default (``xp`` *is*
+the ``numpy`` module there).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+import numpy as np
+
+
+class BackendUnavailableError(ImportError):
+    """Raised when a requested backend's library is not importable."""
+
+
+class ArrayBackend(ABC):
+    """Abstract device/array backend.
+
+    Concrete implementations: :class:`~repro.backend.numpy_backend.NumpyBackend`
+    (always available, zero overhead), CuPy and Torch backends (optional,
+    imported lazily), and :class:`~repro.backend.testing.TracingBackend`
+    (a NumPy-semantics double that records dispatch for tests).
+    """
+
+    #: registry name (``"numpy"``, ``"cupy"``, ``"torch"``, ...)
+    name: str = "abstract"
+
+    # -- namespace ---------------------------------------------------------
+    @property
+    @abstractmethod
+    def xp(self) -> Any:
+        """NumPy-compatible namespace used for ufuncs and reductions."""
+
+    # -- conversions -------------------------------------------------------
+    @abstractmethod
+    def asarray(self, x, dtype=None):
+        """Convert ``x`` to a native array of this backend (device transfer)."""
+
+    @abstractmethod
+    def to_numpy(self, x) -> np.ndarray:
+        """Copy a native array back to a host :class:`numpy.ndarray`."""
+
+    @abstractmethod
+    def asarray_data(self, X):
+        """Convert a design matrix (dense or CSR) to its native representation.
+
+        Dense inputs become 2-D device arrays; scipy CSR inputs stay sparse in
+        the backend's CSR format.  The returned object supports ``X @ W``,
+        ``X.T @ M``, ``X.shape`` and (for minibatching) row indexing.
+        """
+
+    def to_float(self, x) -> float:
+        """Python float from a scalar / 0-d array."""
+        return float(x)
+
+    def as_vector(self, v, dim: Optional[int] = None, *, name: str = "vector"):
+        """Native 1-D floating vector, optionally validated against ``dim``.
+
+        Integer inputs are promoted to the backend's default float; float32 /
+        float64 inputs keep their dtype (no silent up- or down-casting).
+        """
+        v = self.asarray(v).ravel()
+        if dim is not None and v.shape[0] != dim:
+            raise ValueError(f"{name} has length {v.shape[0]}, expected {dim}")
+        return v
+
+    # -- allocation --------------------------------------------------------
+    @abstractmethod
+    def zeros(self, shape, dtype=None):
+        """Native zero-filled array."""
+
+    # -- reductions used outside xp ---------------------------------------
+    def norm(self, v) -> float:
+        """Euclidean norm as a Python float."""
+        return float(self.xp.sqrt((v * v).sum()))
+
+    def dot(self, a, b) -> float:
+        """Inner product as a Python float."""
+        return float((a * b).sum())
+
+    def any_nonzero(self, v) -> bool:
+        """Whether any entry of ``v`` is non-zero."""
+        return bool((v != 0).any())
+
+    # -- classification ----------------------------------------------------
+    @abstractmethod
+    def is_native(self, x) -> bool:
+        """Whether ``x`` is already an array of this backend (no transfer)."""
+
+    def is_sparse(self, X) -> bool:
+        """Whether ``X`` is a sparse matrix in this backend's representation."""
+        return False
+
+    def is_accelerator(self) -> bool:
+        """Whether this backend's arrays live on an accelerator device.
+
+        ``get_backend("auto")`` only selects backends that report ``True`` —
+        an importable but CPU-bound library (e.g. CPU-only torch) must not
+        displace the zero-overhead NumPy default.
+        """
+        return False
+
+    # -- randomness (host-seeded for cross-backend determinism) ------------
+    def standard_normal(self, shape, seed=None, *, dtype=None):
+        """Standard-normal sample, generated on the host for determinism
+        across backends, then transferred.  ``seed`` may be an int or an
+        existing :class:`numpy.random.Generator` (passed through)."""
+        rng = np.random.default_rng(seed)
+        return self.asarray(rng.standard_normal(shape), dtype=dtype)
+
+    def rademacher(self, shape, seed=None, *, dtype=None):
+        """±1 sample (Hessian-diagonal probes), host-seeded like
+        :meth:`standard_normal`."""
+        rng = np.random.default_rng(seed)
+        return self.asarray(rng.choice([-1.0, 1.0], size=shape), dtype=dtype)
+
+    # -- cost accounting ---------------------------------------------------
+    def default_device_model(self):
+        """The :class:`~repro.distributed.device.DeviceModel` matching where
+        this backend's arrays live.
+
+        The NumPy default returns the paper's Tesla P100 — the simulation
+        stands in for the GPU cluster while computing on the host — whereas
+        accelerator backends report the device they actually execute on.
+        """
+        from repro.distributed.device import tesla_p100
+
+        return tesla_p100()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,79 @@
+"""CuPy GPU backend (optional).
+
+CuPy mirrors the NumPy API closely enough that ``xp`` is the ``cupy`` module
+itself and sparse matrices go through ``cupyx.scipy.sparse`` — the same code
+path the NumPy backend executes runs unmodified on the GPU.
+
+The import happens lazily inside the constructor so merely *registering* the
+backend (or running ``get_backend("auto")``) never requires CUDA; a missing
+or broken CuPy install raises :class:`BackendUnavailableError`, which the
+registry turns into a graceful fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.backend.base import ArrayBackend, BackendUnavailableError
+
+
+class CupyBackend(ArrayBackend):
+    """Device-memory backend over :mod:`cupy` + :mod:`cupyx.scipy.sparse`."""
+
+    name = "cupy"
+
+    def __init__(self):
+        try:
+            import cupy
+            import cupyx.scipy.sparse as cupy_sparse
+        except Exception as exc:  # pragma: no cover - requires CUDA machine
+            raise BackendUnavailableError(
+                "the 'cupy' backend requires CuPy with a working CUDA runtime "
+                "(pip install 'repro-newton-admm[gpu-cupy]')"
+            ) from exc
+        self._cupy = cupy
+        self._sparse = cupy_sparse
+
+    @property
+    def xp(self):
+        return self._cupy
+
+    def asarray(self, x, dtype=None):
+        x = self._cupy.asarray(x, dtype=dtype)
+        if x.dtype.kind != "f":
+            x = x.astype(self._cupy.float64)
+        return x
+
+    def to_numpy(self, x) -> np.ndarray:
+        if self.is_sparse(x):
+            return np.asarray(x.get().todense())
+        return self._cupy.asnumpy(x)
+
+    def asarray_data(self, X):
+        if sp.issparse(X):
+            return self._sparse.csr_matrix(X.tocsr())
+        if self.is_sparse(X):
+            return X.tocsr()
+        return self.asarray(X)
+
+    def zeros(self, shape, dtype=None):
+        return self._cupy.zeros(shape, dtype=dtype or self._cupy.float64)
+
+    def norm(self, v) -> float:
+        return float(self._cupy.linalg.norm(v))
+
+    def dot(self, a, b) -> float:
+        return float(a @ b)
+
+    def any_nonzero(self, v) -> bool:
+        return bool(self._cupy.any(v))
+
+    def is_native(self, x) -> bool:
+        return isinstance(x, self._cupy.ndarray) or self.is_sparse(x)
+
+    def is_sparse(self, X) -> bool:
+        return self._sparse.issparse(X)
+
+    def is_accelerator(self) -> bool:
+        return True  # constructing this backend requires a CUDA runtime

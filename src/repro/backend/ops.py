@@ -1,0 +1,76 @@
+"""Backend-generic scalar reductions for code without an explicit backend.
+
+Helpers for layers that receive vectors of unknown provenance (penalty
+policies, trace recording): the owning backend is inferred from the array
+type, so NumPy inputs take the exact pre-backend code path while device
+arrays avoid a host round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.registry import infer_backend
+
+
+def vector_norm(v) -> float:
+    """Euclidean norm of ``v`` on whichever backend owns it."""
+    return infer_backend(v).norm(v)
+
+
+def vdot(a, b) -> float:
+    """Inner product ``a @ b`` on whichever backend owns ``a``."""
+    return infer_backend(a).dot(a, b)
+
+
+def to_host(v):
+    """Host NumPy copy of ``v`` (identity for NumPy arrays)."""
+    return infer_backend(v).to_numpy(v)
+
+
+def host_matrix(X):
+    """Host representation of a design matrix for host-only helpers.
+
+    CuPy arrays and cupyx sparse matrices expose ``.get()`` and come back as
+    NumPy / scipy objects; host inputs are returned unchanged.  (Torch's
+    sparse wrapper is handled by its backend's ``to_numpy``.)
+    """
+    if hasattr(X, "get"):
+        return X.get()
+    return X
+
+
+def copy_array(v):
+    """Backend-preserving copy (``.copy()`` for numpy/cupy, ``.clone()`` for torch)."""
+    return v.copy() if hasattr(v, "copy") else v.clone()
+
+
+def is_float_dtype(dtype) -> bool:
+    """Whether ``dtype`` is a floating dtype, for NumPy and torch dtypes alike."""
+    kind = getattr(dtype, "kind", None)
+    if kind is not None:
+        return kind == "f"
+    # torch dtypes expose is_floating_point
+    return bool(getattr(dtype, "is_floating_point", False))
+
+
+def ensure_float_array(x, dtype=None):
+    """Coerce host inputs to a floating array; pass device floats through.
+
+    Untyped inputs (lists, scalars) become ``np.asarray(x, dtype or float64)``;
+    NumPy integer/bool arrays are promoted the same way; arrays that already
+    carry a floating dtype — including cupy/torch device arrays — are returned
+    untouched so no host round-trip or precision change ever happens to them.
+    A backend-specific ``dtype`` (e.g. ``torch.float32``) cannot seed NumPy
+    coercion and falls back to float64 for host inputs.
+    """
+    if dtype is not None:
+        try:
+            dtype = np.dtype(dtype)
+        except TypeError:
+            dtype = None
+    if not hasattr(x, "dtype"):
+        return np.asarray(x, dtype=dtype or np.float64)
+    if isinstance(x, np.ndarray) and x.dtype.kind != "f":
+        return x.astype(dtype or np.float64)
+    return x

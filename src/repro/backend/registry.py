@@ -1,0 +1,144 @@
+"""Backend registry and resolution.
+
+``get_backend`` accepts a name (``"numpy"``, ``"cupy"``, ``"torch"``,
+``"auto"``), an existing :class:`ArrayBackend` instance, or ``None`` (the
+session default, settable with :func:`set_default_backend` — this is what the
+CLI's ``--backend`` flag drives).  Optional backends import lazily;
+``"auto"`` probes accelerators in preference order and silently falls back to
+NumPy, while asking for an unavailable backend *by name* raises
+:class:`BackendUnavailableError` with an actionable message.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Union
+
+from repro.backend.base import ArrayBackend, BackendUnavailableError
+from repro.backend.numpy_backend import NumpyBackend
+
+BackendLike = Union[str, ArrayBackend, None]
+
+#: name -> zero-argument factory; extend with :func:`register_backend`
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+
+#: probe order for ``get_backend("auto")``
+AUTO_ORDER = ("cupy", "torch", "numpy")
+
+_lock = threading.Lock()
+_instances: Dict[str, ArrayBackend] = {}
+_default_name = "numpy"
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    with _lock:
+        _FACTORIES[name] = factory
+        _instances.pop(name, None)
+
+
+def _builtin_factories() -> None:
+    from repro.backend.cupy_backend import CupyBackend
+    from repro.backend.torch_backend import TorchBackend
+
+    _FACTORIES.setdefault("numpy", NumpyBackend)
+    _FACTORIES.setdefault("cupy", CupyBackend)
+    _FACTORIES.setdefault("torch", TorchBackend)
+
+
+_builtin_factories()
+
+
+def registered_backends() -> tuple:
+    """Names every ``get_backend`` call may resolve (availability not probed)."""
+    return tuple(sorted(_FACTORIES))
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can actually be constructed (imports its library)."""
+    try:
+        get_backend(name)
+    except (BackendUnavailableError, KeyError):
+        return False
+    return True
+
+
+def available_backends() -> Dict[str, bool]:
+    """Map of registered backend name -> constructable right now."""
+    return {name: backend_available(name) for name in registered_backends()}
+
+
+def get_backend(spec: BackendLike = None) -> ArrayBackend:
+    """Resolve ``spec`` to a (cached) :class:`ArrayBackend` instance.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` (session default), ``"auto"`` (best available accelerator,
+        NumPy fallback), a registered name, or an instance (returned as-is).
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if spec is None:
+        spec = _default_name
+    if spec == "auto":
+        for name in AUTO_ORDER:
+            if name == "numpy":
+                break
+            try:
+                candidate = get_backend(name)
+            except BackendUnavailableError:
+                continue
+            # Only a real accelerator displaces the zero-overhead NumPy
+            # default (CPU-only torch imports fine but is not one).
+            if candidate.is_accelerator():
+                return candidate
+        return get_backend("numpy")
+    with _lock:
+        if spec in _instances:
+            return _instances[spec]
+        if spec not in _FACTORIES:
+            raise KeyError(
+                f"unknown backend {spec!r}; registered: {sorted(_FACTORIES)}"
+            )
+        backend = _FACTORIES[spec]()
+        _instances[spec] = backend
+        return backend
+
+
+def set_default_backend(spec: BackendLike) -> ArrayBackend:
+    """Set the session default returned by ``get_backend(None)``.
+
+    Accepts the same specs as :func:`get_backend` (including ``"auto"``) and
+    returns the resolved backend.  Used by the CLI's ``--backend`` flag so the
+    choice reaches every cluster/objective built afterwards without threading
+    it through each experiment driver.
+    """
+    global _default_name
+    backend = get_backend(spec if spec is not None else "numpy")
+    with _lock:
+        _instances.setdefault(backend.name, backend)
+        _default_name = backend.name
+    return backend
+
+
+def default_backend() -> ArrayBackend:
+    """The current session default backend."""
+    return get_backend(None)
+
+
+def infer_backend(array) -> ArrayBackend:
+    """Best-effort backend owning ``array`` (NumPy when in doubt).
+
+    Detection is by type module, so it never imports an optional library that
+    is not already loaded.
+    """
+    module = type(array).__module__ or ""
+    root = module.split(".", 1)[0]
+    if root in ("cupy", "cupyx"):
+        return get_backend("cupy")
+    if root == "torch" or module.startswith("repro.backend.torch_backend"):
+        return get_backend("torch")
+    return get_backend("numpy")

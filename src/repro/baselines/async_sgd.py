@@ -103,6 +103,7 @@ class AsynchronousSGD(DistributedSolver):
                 worker.shard.y,
                 worker.shard.n_classes,
                 scale="mean",
+                backend=cluster.backend,
             )
             worker.state["rng"] = check_random_state(int(rng.integers(0, 2**31 - 1)))
 

@@ -100,6 +100,7 @@ class InexactDANE(DistributedSolver):
                 worker.shard.y,
                 worker.shard.n_classes,
                 scale="mean",
+                backend=cluster.backend,
             )
             worker.state["local_objective"] = RegularizedObjective(
                 loss, L2Regularizer(loss.dim, self.lam)

@@ -10,15 +10,17 @@ algorithm code.
 
 from __future__ import annotations
 
+import inspect
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, BackendLike, get_backend
 from repro.datasets.base import ClassificationDataset
 from repro.datasets.sharding import shard_dataset
 from repro.distributed.comm import Communicator
-from repro.distributed.device import DeviceModel, tesla_p100
+from repro.distributed.device import DeviceModel
 from repro.distributed.network import NetworkModel, infiniband_100g
 from repro.distributed.stragglers import StragglerModel
 from repro.distributed.worker import Worker
@@ -32,20 +34,45 @@ from repro.utils.timer import SimulatedClock, Stopwatch
 LossFactory = Callable[[ClassificationDataset, int], Objective]
 
 
-def _softmax_factory(shard: ClassificationDataset, n_total: int) -> Objective:
+def _softmax_factory(
+    shard: ClassificationDataset, n_total: int, backend: BackendLike = None
+) -> Objective:
     return SoftmaxCrossEntropy(
-        shard.X, shard.y, shard.n_classes, scale=1.0 / n_total
+        shard.X, shard.y, shard.n_classes, scale=1.0 / n_total, backend=backend
     )
 
 
-def _logistic_factory(shard: ClassificationDataset, n_total: int) -> Objective:
-    return BinaryLogistic(shard.X, shard.y, scale=1.0 / n_total)
+def _logistic_factory(
+    shard: ClassificationDataset, n_total: int, backend: BackendLike = None
+) -> Objective:
+    return BinaryLogistic(shard.X, shard.y, scale=1.0 / n_total, backend=backend)
 
 
 LOSS_FACTORIES = {
     "softmax": _softmax_factory,
     "logistic": _logistic_factory,
 }
+
+
+def _call_loss_factory(
+    factory: LossFactory, shard: ClassificationDataset, n_total: int, backend
+) -> Objective:
+    """Invoke a loss factory, forwarding ``backend=`` when it accepts one.
+
+    Custom two-argument callables (the documented ``(shard, n_total)``
+    signature) keep working; factories that take a ``backend`` keyword get the
+    cluster's backend so their data loads onto the right device.
+    """
+    try:
+        params = inspect.signature(factory).parameters
+        accepts_backend = "backend" in params or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        )
+    except (TypeError, ValueError):  # builtins / C callables
+        accepts_backend = False
+    if accepts_backend:
+        return factory(shard, n_total, backend=backend)
+    return factory(shard, n_total)
 
 
 class SimulatedCluster:
@@ -76,6 +103,11 @@ class SimulatedCluster:
         Optional :class:`~repro.distributed.stragglers.StragglerModel` that
         multiplies per-worker modelled compute times by sampled slowdowns at
         every synchronization round.
+    backend:
+        Array backend name or instance every worker's objective and state
+        vectors live on (``None`` -> the session default, normally NumPy).
+        When ``device`` is omitted the cost model keys off this backend via
+        :meth:`~repro.backend.base.ArrayBackend.default_device_model`.
     """
 
     def __init__(
@@ -90,6 +122,7 @@ class SimulatedCluster:
         executor: str = "serial",
         max_threads: Optional[int] = None,
         straggler: Optional[StragglerModel] = None,
+        backend: BackendLike = None,
         random_state=None,
     ):
         if n_workers < 1:
@@ -100,9 +133,13 @@ class SimulatedCluster:
             )
         self.train = train
         self.n_workers = int(n_workers)
+        self.backend: ArrayBackend = get_backend(backend)
         self.network = network or infiniband_100g()
         if device is None:
-            devices: List[DeviceModel] = [tesla_p100()] * self.n_workers
+            # Cost accounting keys off where the arrays actually live.
+            devices: List[DeviceModel] = [
+                self.backend.default_device_model()
+            ] * self.n_workers
         elif isinstance(device, DeviceModel):
             devices = [device] * self.n_workers
         else:
@@ -137,9 +174,17 @@ class SimulatedCluster:
         )
         self.workers: List[Worker] = []
         for i, shard in enumerate(shards):
-            local = loss_factory(shard, train.n_samples)
+            local = _call_loss_factory(
+                loss_factory, shard, train.n_samples, self.backend
+            )
             self.workers.append(
-                Worker(i, shard, CountingObjective(local), self.devices[i])
+                Worker(
+                    i,
+                    shard,
+                    CountingObjective(local),
+                    self.devices[i],
+                    backend=self.backend,
+                )
             )
         dims = {w.dim for w in self.workers}
         if len(dims) != 1:
@@ -194,7 +239,9 @@ class SimulatedCluster:
     # -- objectives -------------------------------------------------------
     def global_loss(self) -> Objective:
         """The global mean loss over the full (unsharded) training set."""
-        return self._loss_factory(self.train, self.train.n_samples)
+        return _call_loss_factory(
+            self._loss_factory, self.train, self.train.n_samples, self.backend
+        )
 
     def global_objective(self, lam: float) -> RegularizedObjective:
         """Global regularized objective ``mean loss + (lam/2)||w||^2``.
@@ -230,6 +277,7 @@ class SimulatedCluster:
             "loss": self._loss_name,
             "network": self.network.name,
             "device": self.device.name,
+            "backend": self.backend.name,
             "worker_sizes": self.worker_sizes(),
         }
 

@@ -16,6 +16,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.backend.ops import copy_array as _copy
+from repro.backend.ops import ensure_float_array
 from repro.distributed.network import NetworkModel
 from repro.utils.timer import SimulatedClock
 
@@ -39,7 +41,11 @@ class CommunicationLog:
         self.by_operation[operation] = self.by_operation.get(operation, 0) + 1
 
 
-def _nbytes(array: np.ndarray) -> float:
+def _nbytes(array) -> float:
+    if hasattr(array, "nbytes"):  # numpy / cupy
+        return float(array.nbytes)
+    if hasattr(array, "element_size"):  # torch
+        return float(array.numel() * array.element_size())
     return float(np.asarray(array).nbytes)
 
 
@@ -87,7 +93,12 @@ class Communicator:
             raise ValueError(
                 f"expected {n_expected} buffers (one per worker), got {len(buffers)}"
             )
-        return [np.asarray(b, dtype=np.float64) for b in buffers]
+        # Backend-native float buffers (numpy/cupy/torch) pass through
+        # untouched so collectives never bounce device arrays through host
+        # memory; host integer/untyped inputs keep the historical float64
+        # coercion (integer allreduce would otherwise crash or change
+        # semantics).
+        return [ensure_float_array(b) for b in buffers]
 
     # -- collectives -------------------------------------------------------
     def gather(
@@ -99,7 +110,7 @@ class Communicator:
         seconds = self.network.gather(self.n_workers, per_worker)
         self._account("gather", per_worker * self.n_workers, seconds,
                       joint_with_previous=joint_with_previous)
-        return [b.copy() for b in buffers]
+        return [_copy(b) for b in buffers]
 
     def scatter(
         self, buffers: Sequence[np.ndarray], *, joint_with_previous: bool = False
@@ -110,17 +121,17 @@ class Communicator:
         seconds = self.network.scatter(self.n_workers, per_worker)
         self._account("scatter", per_worker * self.n_workers, seconds,
                       joint_with_previous=joint_with_previous)
-        return [b.copy() for b in buffers]
+        return [_copy(b) for b in buffers]
 
     def broadcast(
         self, buffer: np.ndarray, *, joint_with_previous: bool = False
     ) -> List[np.ndarray]:
         """Replicate a master buffer on every worker."""
-        buffer = np.asarray(buffer, dtype=np.float64)
+        buffer = ensure_float_array(buffer)
         seconds = self.network.broadcast(self.n_workers, _nbytes(buffer))
         self._account("broadcast", _nbytes(buffer) * self.n_workers, seconds,
                       joint_with_previous=joint_with_previous)
-        return [buffer.copy() for _ in range(self.n_workers)]
+        return [_copy(buffer) for _ in range(self.n_workers)]
 
     def allreduce(
         self, buffers: Sequence[np.ndarray], *, joint_with_previous: bool = False
@@ -130,12 +141,19 @@ class Communicator:
         shapes = {b.shape for b in buffers}
         if len(shapes) != 1:
             raise ValueError(f"allreduce buffers must share a shape, got {shapes}")
+        if len({str(b.dtype) for b in buffers}) > 1:
+            # Mixed precisions: accumulate in float64 (the historical
+            # behavior) rather than silently truncating to buffers[0]'s dtype.
+            buffers = [
+                b.astype(np.float64) if hasattr(b, "astype") else b.double()
+                for b in buffers
+            ]
         nbytes = _nbytes(buffers[0])
         seconds = self.network.allreduce(self.n_workers, nbytes)
         self._account("allreduce", nbytes * self.n_workers, seconds,
                       joint_with_previous=joint_with_previous)
-        total = np.zeros_like(buffers[0])
-        for b in buffers:
+        total = _copy(buffers[0])
+        for b in buffers[1:]:
             total += b
         return total
 
@@ -148,7 +166,7 @@ class Communicator:
         seconds = self.network.allgather(self.n_workers, per_worker)
         self._account("allgather", per_worker * self.n_workers, seconds,
                       joint_with_previous=joint_with_previous)
-        return [b.copy() for b in buffers]
+        return [_copy(b) for b in buffers]
 
     def reduce_scalar(
         self, values: Sequence[float], *, joint_with_previous: bool = False

@@ -85,3 +85,18 @@ def cpu_xeon_gold() -> DeviceModel:
         efficiency=0.5,
         kernel_overhead=1e-6,
     )
+
+
+def device_for_backend(backend=None) -> DeviceModel:
+    """The :class:`DeviceModel` matching where the active array backend's
+    data lives.
+
+    Keys cost accounting off the execution substrate: the NumPy default keeps
+    modelling the paper's P100 cluster (the simulation stands in for the GPUs
+    while computing on the host), CuPy maps to the P100, and Torch maps to
+    the P100 or the host CPU depending on CUDA availability.  This is what
+    ``device="auto"`` resolves through in the harness.
+    """
+    from repro.backend import get_backend
+
+    return get_backend(backend).default_device_model()

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import copy_array
 from repro.datasets.base import ClassificationDataset
 from repro.distributed.cluster import SimulatedCluster
 from repro.metrics.classification import accuracy
@@ -90,16 +91,13 @@ class DistributedSolver(ABC):
         """Run the solver on ``cluster`` and return the per-epoch trace."""
         if reset_cluster:
             cluster.reset_accounting()
-        if w0 is None:
-            w0 = np.zeros(cluster.dim)
-        else:
-            w0 = np.asarray(w0, dtype=np.float64).ravel().copy()
-            if w0.shape[0] != cluster.dim:
-                raise ValueError(
-                    f"w0 has length {w0.shape[0]}, expected {cluster.dim}"
-                )
-
+        backend = cluster.backend
         global_objective = cluster.global_objective(self.lam)
+        if w0 is None:
+            # Zeros on the cluster backend, in the data's floating dtype.
+            w0 = global_objective.initial_point()
+        else:
+            w0 = copy_array(backend.as_vector(w0, cluster.dim, name="w0"))
         global_loss = global_objective.loss
         trace = RunTrace(
             method=self.name,
@@ -136,7 +134,7 @@ class DistributedSolver(ABC):
                 break
 
         cluster.wall.stop()
-        trace.final_w = np.asarray(w, dtype=np.float64).copy()
+        trace.final_w = np.asarray(backend.to_numpy(w), dtype=np.float64).copy()
         trace.info["total_flops"] = cluster.total_flops()
         trace.info["communication"] = {
             "rounds": cluster.comm.log.n_rounds,
@@ -155,7 +153,9 @@ class DistributedSolver(ABC):
         global_loss,
         test: Optional[ClassificationDataset],
     ) -> EpochRecord:
-        value, grad = global_objective.value_and_gradient(w)
+        value, grad = global_objective.value_and_gradient(
+            global_objective.backend.as_vector(w, global_objective.dim, name="w")
+        )
         train_acc = float("nan")
         test_acc = float("nan")
         if self.record_accuracy and hasattr(global_loss, "predict"):
@@ -165,7 +165,7 @@ class DistributedSolver(ABC):
         return EpochRecord(
             epoch=epoch,
             objective=float(value),
-            grad_norm=float(np.linalg.norm(grad)),
+            grad_norm=global_objective.backend.norm(grad),
             train_accuracy=train_acc,
             test_accuracy=test_acc,
             modelled_time=cluster.clock.time,

@@ -6,6 +6,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.backend import ArrayBackend, BackendLike, copy_array, get_backend
 from repro.datasets.base import ClassificationDataset
 from repro.distributed.device import DeviceModel
 from repro.objectives.base import Objective
@@ -26,6 +27,10 @@ class Worker:
         wrapper's FLOP counter feeds the device cost model.
     device:
         Device cost model used to convert FLOPs into modelled compute time.
+    backend:
+        Array backend the worker's state vectors (and its objective) live on;
+        defaults to the objective's backend, so per-worker x-updates run on
+        the configured device.
     state:
         Algorithm-specific per-worker state (e.g. ADMM's ``x_i``/``y_i``).
     """
@@ -36,6 +41,8 @@ class Worker:
         shard: ClassificationDataset,
         objective: Objective,
         device: DeviceModel,
+        *,
+        backend: BackendLike = None,
     ):
         if worker_id < 0:
             raise ValueError(f"worker_id must be >= 0, got {worker_id}")
@@ -47,6 +54,10 @@ class Worker:
             else CountingObjective(objective)
         )
         self.device = device
+        if backend is None:
+            self.backend: ArrayBackend = self.objective.backend
+        else:
+            self.backend = get_backend(backend)
         self.state: Dict[str, object] = {}
         self._flops_mark = 0.0
 
@@ -76,10 +87,11 @@ class Worker:
         value = self.state.get(key, default)
         if value is None:
             raise KeyError(f"worker {self.worker_id} has no state {key!r}")
-        return np.asarray(value, dtype=np.float64)
+        return self.backend.as_vector(value, name=key)
 
     def set_vector(self, key: str, value: np.ndarray) -> None:
-        self.state[key] = np.asarray(value, dtype=np.float64).copy()
+        value = self.backend.as_vector(value, name=key)
+        self.state[key] = copy_array(value)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -100,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the available experiments")
     sub.add_parser("datasets", help="describe the registered workloads")
     sub.add_parser("solvers", help="list the registered distributed solvers")
+    sub.add_parser("backends", help="list array backends and their availability")
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
@@ -120,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write rows/traces/report artifacts into",
     )
     run.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    run.add_argument(
+        "--backend",
+        choices=["numpy", "cupy", "torch", "auto"],
+        default=None,
+        help=(
+            "array backend for all compute (default: numpy; 'auto' picks the "
+            "best available accelerator and falls back to numpy)"
+        ),
+    )
     run.add_argument(
         "--no-plot",
         action="store_true",
@@ -176,7 +186,33 @@ def _collect_traces(result: dict) -> Dict[str, RunTrace]:
     return flat
 
 
+def _cmd_backends(print_fn: Callable[[str], None]) -> int:
+    from repro.backend import available_backends, default_backend
+
+    current = default_backend().name
+    rows = [
+        {
+            "name": name,
+            "available": "yes" if ok else "no",
+            "default": "*" if name == current else "",
+        }
+        for name, ok in sorted(available_backends().items())
+    ]
+    print_fn(format_table(rows, title="Array backends (select with run --backend)"))
+    return 0
+
+
 def _cmd_run(args, print_fn: Callable[[str], None]) -> int:
+    if getattr(args, "backend", None):
+        from repro.backend import BackendUnavailableError, set_default_backend
+
+        try:
+            backend = set_default_backend(args.backend)
+        except BackendUnavailableError as exc:
+            print_fn(f"error: {exc}")
+            print_fn("hint: run 'python -m repro backends' to see what is available")
+            return 2
+        print_fn(f"using array backend: {backend.name}")
     names: List[str] = (
         sorted(EXPERIMENT_REGISTRY) if args.experiment == "all" else [args.experiment]
     )
@@ -214,6 +250,8 @@ def main(argv: Optional[Sequence[str]] = None, *, print_fn: Callable[[str], None
         return _cmd_datasets(print_fn)
     if args.command == "solvers":
         return _cmd_solvers(print_fn)
+    if args.command == "backends":
+        return _cmd_backends(print_fn)
     if args.command == "run":
         return _cmd_run(args, print_fn)
     parser.error(f"unknown command {args.command!r}")

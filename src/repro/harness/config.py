@@ -86,7 +86,12 @@ class ClusterConfig:
     n_train, n_test:
         Sample counts; ``None`` defers to the registry defaults.
     network, device:
-        Cost-model names understood by :func:`repro.harness.runner.build_cluster`.
+        Cost-model names understood by :func:`repro.harness.runner.build_cluster`;
+        ``device="auto"`` keys the cost model off the active array backend.
+    backend:
+        Array backend name (``"numpy"``, ``"cupy"``, ``"torch"``, ``"auto"``)
+        or ``None`` for the session default set via
+        :func:`repro.backend.set_default_backend` (the CLI's ``--backend``).
     """
 
     dataset: str
@@ -97,6 +102,7 @@ class ClusterConfig:
     device: str = "tesla_p100"
     sharding: str = "stratified"
     executor: str = "serial"
+    backend: Optional[str] = None
     seed: int = 0
     dataset_kwargs: Dict[str, object] = field(default_factory=dict)
 

@@ -17,7 +17,12 @@ from repro.baselines.sync_sgd import SynchronousSGD
 from repro.datasets.base import ClassificationDataset
 from repro.datasets.registry import load_dataset
 from repro.distributed.cluster import SimulatedCluster
-from repro.distributed.device import DeviceModel, cpu_xeon_gold, tesla_p100
+from repro.distributed.device import (
+    DeviceModel,
+    cpu_xeon_gold,
+    device_for_backend,
+    tesla_p100,
+)
 from repro.distributed.network import (
     NetworkModel,
     ethernet_10g,
@@ -67,14 +72,20 @@ def resolve_network(name_or_model) -> NetworkModel:
     )
 
 
-def resolve_device(name_or_model) -> DeviceModel:
-    """Accept a registry name or an existing :class:`DeviceModel`."""
+def resolve_device(name_or_model, *, backend=None) -> DeviceModel:
+    """Accept a registry name, ``"auto"``, or an existing :class:`DeviceModel`.
+
+    ``"auto"`` keys the cost model off the active array backend (the device
+    the arrays actually live on).
+    """
     if isinstance(name_or_model, DeviceModel):
         return name_or_model
+    if name_or_model == "auto":
+        return device_for_backend(backend)
     if name_or_model in _DEVICES:
         return _DEVICES[name_or_model]()
     raise KeyError(
-        f"unknown device {name_or_model!r}; available: {sorted(_DEVICES)}"
+        f"unknown device {name_or_model!r}; available: {sorted(_DEVICES) + ['auto']}"
     )
 
 
@@ -93,9 +104,10 @@ def build_cluster(
         train,
         config.n_workers,
         network=resolve_network(config.network),
-        device=resolve_device(config.device),
+        device=resolve_device(config.device, backend=config.backend),
         sharding=config.sharding,
         executor=config.executor,
+        backend=config.backend,
         random_state=config.seed,
     )
     return cluster, test

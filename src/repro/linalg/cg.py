@@ -4,6 +4,12 @@ This is the inner solver of the inexact Newton iteration (paper eq. 3b/4):
 CG is run on ``H p = -g`` until ``||H p + g|| <= theta * ||g||`` or the
 iteration budget is exhausted.  The paper uses 10 CG iterations with a 1e-4
 tolerance in Figure 1 and sweeps 10/20/30 iterations in Figure 4.
+
+The solve is dtype- and backend-agnostic: vectors keep the dtype they arrive
+with (float32 stays float32 — no silent ``float64`` round-trip through host
+memory for GPU arrays) and every reduction runs on the backend that owns
+``b`` (see :mod:`repro.backend`).  Scalar recurrence coefficients are Python
+floats, which multiply into any dtype without promotion.
 """
 
 from __future__ import annotations
@@ -13,7 +19,9 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
-from repro.linalg.operators import LinearOperator
+from repro.backend import ArrayBackend, infer_backend
+from repro.backend.ops import copy_array as _copy
+from repro.linalg.operators import LinearOperator, check_dtype_match
 
 
 @dataclass
@@ -47,6 +55,14 @@ class CGResult:
 MatvecLike = Union[LinearOperator, Callable[[np.ndarray], np.ndarray]]
 
 
+def _as_vec(out):
+    """Flatten a matvec/preconditioner result, tolerating bare callables that
+    return plain sequences (coerced on the host, like the pre-backend code)."""
+    if hasattr(out, "ravel"):
+        return out.ravel()
+    return np.asarray(out, dtype=np.float64).ravel()
+
+
 def conjugate_gradient(
     A: MatvecLike,
     b: np.ndarray,
@@ -55,6 +71,7 @@ def conjugate_gradient(
     tol: float = 1e-4,
     max_iter: int = 10,
     preconditioner: Optional[MatvecLike] = None,
+    backend: Optional[ArrayBackend] = None,
 ) -> CGResult:
     """Solve ``A x = b`` for symmetric positive (semi-)definite ``A``.
 
@@ -63,9 +80,9 @@ def conjugate_gradient(
     A:
         A :class:`LinearOperator` or a bare matvec callable.
     b:
-        Right-hand side.
+        Right-hand side; its dtype and backend are preserved throughout.
     x0:
-        Starting point (zeros by default).
+        Starting point (zeros by default); must match ``b``'s dtype.
     tol:
         Relative residual tolerance ``||b - A x|| <= tol * ||b||``.
     max_iter:
@@ -73,12 +90,11 @@ def conjugate_gradient(
         needs a ``theta``-relative solution).
     preconditioner:
         Optional SPD preconditioner ``M^{-1}`` applied as a matvec.
-
-    Returns
-    -------
-    CGResult
+    backend:
+        Array backend owning the vectors (inferred from ``b`` when omitted).
     """
-    b = np.asarray(b, dtype=np.float64).ravel()
+    bk = backend if backend is not None else infer_backend(b)
+    b = bk.as_vector(b, name="b")
     dim = b.shape[0]
     matvec = A.matvec if isinstance(A, LinearOperator) else A
     if preconditioner is None:
@@ -93,12 +109,19 @@ def conjugate_gradient(
         raise ValueError(f"max_iter must be >= 0, got {max_iter}")
     if tol < 0:
         raise ValueError(f"tol must be >= 0, got {tol}")
+    if isinstance(A, LinearOperator):
+        check_dtype_match(A.dtype, b.dtype, context="conjugate_gradient")
 
-    x = np.zeros(dim) if x0 is None else np.asarray(x0, dtype=np.float64).ravel().copy()
-    b_norm = float(np.linalg.norm(b))
+    if x0 is None:
+        x = bk.zeros(dim, dtype=b.dtype)
+    else:
+        x = _copy(bk.as_vector(x0, dim, name="x0"))
+        check_dtype_match(b.dtype, x.dtype, context="conjugate_gradient(x0)")
+    b_norm = bk.norm(b)
     if b_norm == 0.0:
+        zero = bk.zeros(dim, dtype=b.dtype)
         return CGResult(
-            x=np.zeros(dim),
+            x=zero,
             converged=True,
             n_iterations=0,
             residual_norm=0.0,
@@ -106,37 +129,37 @@ def conjugate_gradient(
             residual_history=[0.0],
         )
 
-    r = b - np.asarray(matvec(x)).ravel() if np.any(x) else b.copy()
-    z = apply_prec(r) if apply_prec is not None else r
-    p = np.asarray(z, dtype=np.float64).copy()
-    rz = float(r @ z)
-    history = [float(np.linalg.norm(r))]
+    r = b - _as_vec(matvec(x)) if bk.any_nonzero(x) else _copy(b)
+    z = _as_vec(apply_prec(r)) if apply_prec is not None else r
+    p = _copy(z)
+    rz = bk.dot(r, z)
+    history = [bk.norm(r)]
     threshold = tol * b_norm
     converged = history[-1] <= threshold
     n_iter = 0
 
     while not converged and n_iter < max_iter:
-        Ap = np.asarray(matvec(p)).ravel()
-        pAp = float(p @ Ap)
+        Ap = _as_vec(matvec(p))
+        pAp = bk.dot(p, Ap)
         if pAp <= 0.0:
             # Negative / zero curvature: the operator is not PD along p.  For
             # the convex problems here this only happens from round-off on a
             # nearly-singular Hessian; fall back to the current iterate (or
             # the steepest-descent direction if nothing was done yet).
             if n_iter == 0:
-                x = b.copy()
+                x = _copy(b)
             break
         alpha = rz / pAp
         x += alpha * p
         r -= alpha * Ap
         n_iter += 1
-        res_norm = float(np.linalg.norm(r))
+        res_norm = bk.norm(r)
         history.append(res_norm)
         if res_norm <= threshold:
             converged = True
             break
-        z = apply_prec(r) if apply_prec is not None else r
-        rz_new = float(r @ z)
+        z = _as_vec(apply_prec(r)) if apply_prec is not None else r
+        rz_new = bk.dot(r, z)
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p

@@ -50,11 +50,21 @@ def estimate_hessian_diagonal(
     if n_probes < 1:
         raise ValueError(f"n_probes must be >= 1, got {n_probes}")
     rng = check_random_state(random_state)
-    w = np.asarray(w, dtype=np.float64).ravel()
-    diag = np.zeros(objective.dim)
+    backend = getattr(objective, "backend", None)
+    if backend is None:
+        from repro.backend import get_backend
+
+        backend = get_backend("numpy")
+    w = objective.check_weights(w) if hasattr(objective, "check_weights") else w
+    dtype = getattr(w, "dtype", None)
+    diag = backend.zeros(objective.dim, dtype=dtype)
     for _ in range(n_probes):
-        v = rng.choice([-1.0, 1.0], size=objective.dim)
-        diag += v * objective.hvp(w, v)
+        # Probes are drawn on the host (via the backend helper) for
+        # determinism across backends and follow the weight dtype so the
+        # resulting Jacobi preconditioner can be applied inside a
+        # same-precision CG solve.
+        v = backend.rademacher(objective.dim, rng, dtype=dtype)
+        diag = diag + v * objective.hvp(w, v)
     return diag / n_probes
 
 
@@ -77,10 +87,15 @@ def jacobi_preconditioner(
     floor:
         Entries below this after damping are clamped to it.
     """
-    diagonal = np.asarray(diagonal, dtype=np.float64).ravel()
+    from repro.backend.ops import ensure_float_array
+
+    diagonal = ensure_float_array(diagonal).ravel()
     if damping < 0:
         raise ValueError(f"damping must be >= 0, got {damping}")
-    d = np.maximum(diagonal + damping, floor)
+    from repro.backend import infer_backend
+
+    xp = infer_backend(diagonal).xp
+    d = xp.maximum(diagonal + damping, floor)
     return DiagonalOperator(1.0 / d)
 
 
@@ -112,7 +127,8 @@ class RegularizerPreconditioner(LinearOperator):
         if shift <= 0:
             raise ValueError(f"shift must be positive, got {shift}")
         self.shift = float(shift)
-        super().__init__(dim, lambda v: np.asarray(v, dtype=np.float64) / self.shift)
+        # No cast: dtype and backend of the incoming vector are preserved.
+        super().__init__(dim, lambda v: v / self.shift)
 
 
 def make_preconditioner(

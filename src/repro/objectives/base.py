@@ -23,9 +23,44 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend, is_float_dtype as _is_float_dtype
 from repro.utils.validation import check_positive
 
 ScaleLike = Union[str, float]
+
+
+def validate_design_matrix(X, backend: ArrayBackend, *, name: str = "X"):
+    """Validate a design matrix at the API boundary, trusting device arrays.
+
+    Host inputs — NumPy arrays, scipy sparse matrices, lists — get the full
+    :func:`~repro.utils.validation.check_array` treatment (finiteness, shape,
+    float coercion).  A host input that already carries a floating dtype keeps
+    it (float32 data stays float32 through the whole pipeline); non-float
+    inputs are promoted to float64.  Arrays already native to an *accelerator*
+    backend are trusted as validated when first loaded, so construction never
+    forces a device-to-host round-trip.
+    """
+    import scipy.sparse as sp
+
+    from repro.utils.validation import check_array
+
+    if isinstance(X, np.ndarray) or sp.issparse(X) or not backend.is_native(X):
+        dtype = getattr(X, "dtype", None)
+        target = dtype if dtype is not None and _is_float_dtype(dtype) else np.float64
+        X = check_array(X, name=name, allow_sparse=True, dtype=target)
+    return X
+
+
+def data_float_dtype(X):
+    """The floating dtype of a design matrix, or ``None`` when not exposed.
+
+    Used so auxiliary caches (indicators, label vectors) follow the data's
+    precision instead of hard-coding float64.
+    """
+    dtype = getattr(X, "dtype", None)
+    if dtype is None or not _is_float_dtype(dtype):
+        return None
+    return dtype
 
 
 def resolve_scale(scale: ScaleLike, n_samples: int) -> float:
@@ -40,10 +75,36 @@ def resolve_scale(scale: ScaleLike, n_samples: int) -> float:
 
 
 class Objective(ABC):
-    """Abstract smooth objective ``w -> R`` with Hessian-vector products."""
+    """Abstract smooth objective ``w -> R`` with Hessian-vector products.
+
+    Concrete data-bound objectives accept a ``backend=`` argument and store it
+    as ``self._backend``; composite objectives delegate :attr:`backend` to
+    their inner objective, so an entire objective tree computes on one array
+    backend (see :mod:`repro.backend`).
+    """
 
     #: dimension of the flat weight vector
     dim: int
+
+    #: array backend set by concrete objectives at construction (their
+    #: ``backend=None`` resolves the *session default* at that moment);
+    #: ``None`` here means "never set", and :attr:`backend` then falls back
+    #: to plain NumPy for determinism
+    _backend: Optional[ArrayBackend] = None
+
+    @property
+    def backend(self) -> ArrayBackend:
+        """The array backend this objective computes on."""
+        if self._backend is None:
+            return get_backend("numpy")
+        return self._backend
+
+    def _adopt_backend(self, backend: Optional[ArrayBackend]) -> None:
+        """Inherit ``backend`` unless one was set explicitly (used by
+        composites to push the data-bound loss's backend into data-free
+        terms like regularizers)."""
+        if self._backend is None and backend is not None:
+            self._backend = backend
 
     @abstractmethod
     def value(self, w: np.ndarray) -> float:
@@ -68,25 +129,40 @@ class Objective(ABC):
         ``dim`` Hessian-vector products.
         """
         d = self.dim
+        backend = self.backend
         H = np.empty((d, d))
         e = np.zeros(d)
         for j in range(d):
             e[j] = 1.0
-            H[:, j] = self.hvp(w, e)
+            H[:, j] = backend.to_numpy(self.hvp(w, e))
             e[j] = 0.0
         return 0.5 * (H + H.T)
 
     def initial_point(self) -> np.ndarray:
-        """Default starting iterate (all zeros)."""
-        return np.zeros(self.dim)
+        """Default starting iterate (all zeros, on this objective's backend).
+
+        Follows the design matrix's floating dtype where one is exposed, so
+        native float32 problems start from float32 zeros instead of forcing a
+        float64 promotion on the first matmul.
+        """
+        dtype = getattr(getattr(self, "X", None), "dtype", None)
+        if dtype is not None and not _is_float_dtype(dtype):
+            dtype = None
+        return self.backend.zeros(self.dim, dtype=dtype)
 
     def check_weights(self, w: np.ndarray) -> np.ndarray:
-        w = np.asarray(w, dtype=np.float64).ravel()
-        if w.shape[0] != self.dim:
-            raise ValueError(
-                f"weight vector has length {w.shape[0]}, expected {self.dim}"
-            )
-        return w
+        return self.backend.as_vector(w, self.dim, name="weight vector")
+
+    def _rows(self, indices: np.ndarray):
+        """Row subset of this objective's design matrix (for minibatching),
+        with a clear error for backend sparse formats that cannot be indexed."""
+        try:
+            return self.X[indices]
+        except TypeError as exc:
+            raise NotImplementedError(
+                f"backend {self.backend.name!r} does not support row "
+                "subsetting of sparse design matrices"
+            ) from exc
 
     # FLOP estimates (overridden by concrete objectives); the distributed
     # runtime uses them to convert work into modelled compute time.
@@ -115,7 +191,19 @@ class RegularizedObjective(Objective):
             )
         self.loss = loss
         self.regularizer = regularizer
+        # Data-free regularizers inherit the loss's backend so the whole tree
+        # computes on one device.  The *resolved* backend is used so wrapper
+        # losses (ScaledObjective, CountingObjective, ...) that delegate their
+        # backend propagate it too.
+        regularizer._adopt_backend(loss.backend)
         self.dim = loss.dim
+
+    @property
+    def backend(self) -> ArrayBackend:
+        return self.loss.backend
+
+    def initial_point(self) -> np.ndarray:
+        return self.loss.initial_point()
 
     def value(self, w: np.ndarray) -> float:
         w = self.check_weights(w)
@@ -170,6 +258,13 @@ class ScaledObjective(Objective):
             raise ValueError(f"factor must be finite, got {factor}")
         self.dim = base.dim
 
+    @property
+    def backend(self) -> ArrayBackend:
+        return self.base.backend
+
+    def initial_point(self) -> np.ndarray:
+        return self.base.initial_point()
+
     def value(self, w: np.ndarray) -> float:
         return self.factor * self.base.value(w)
 
@@ -207,13 +302,12 @@ class ProximallyAugmentedObjective(Objective):
     def __init__(self, base: Objective, rho: float, center: np.ndarray):
         self.base = base
         self.rho = check_positive(rho, name="rho")
-        center = np.asarray(center, dtype=np.float64).ravel()
-        if center.shape[0] != base.dim:
-            raise ValueError(
-                f"center has length {center.shape[0]}, expected {base.dim}"
-            )
-        self.center = center
+        self.center = base.backend.as_vector(center, base.dim, name="center")
         self.dim = base.dim
+
+    @property
+    def backend(self) -> ArrayBackend:
+        return self.base.backend
 
     def value(self, w: np.ndarray) -> float:
         w = self.check_weights(w)
@@ -263,18 +357,20 @@ class LinearlyPerturbedObjective(Objective):
         center: Optional[np.ndarray] = None,
     ):
         self.base = base
-        self.linear = np.asarray(linear, dtype=np.float64).ravel()
-        if self.linear.shape[0] != base.dim:
-            raise ValueError(
-                f"linear term has length {self.linear.shape[0]}, expected {base.dim}"
-            )
+        self.linear = base.backend.as_vector(linear, base.dim, name="linear term")
         if mu < 0:
             raise ValueError(f"mu must be >= 0, got {mu}")
         self.mu = float(mu)
         if center is None:
-            center = np.zeros(base.dim)
-        self.center = np.asarray(center, dtype=np.float64).ravel()
+            center = base.backend.zeros(
+                base.dim, dtype=getattr(self.linear, "dtype", None)
+            )
+        self.center = base.backend.as_vector(center, base.dim, name="center")
         self.dim = base.dim
+
+    @property
+    def backend(self) -> ArrayBackend:
+        return self.base.backend
 
     def value(self, w: np.ndarray) -> float:
         w = self.check_weights(w)

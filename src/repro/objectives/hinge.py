@@ -12,6 +12,8 @@ The squared hinge ``max(0, 1 - m)^2`` is continuously differentiable with a
 (generalized) Hessian that is piecewise constant in the margin; the
 Hessian-vector product below uses that generalized Hessian, which is the
 standard choice for Newton-type SVM training (Keerthi & DeCoste, 2005).
+
+Both losses compute on a configurable :mod:`repro.backend`.
 """
 
 from __future__ import annotations
@@ -20,7 +22,14 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.objectives.base import Objective, ScaleLike, resolve_scale
+from repro.backend import BackendLike, get_backend, host_matrix
+from repro.objectives.base import (
+    Objective,
+    ScaleLike,
+    data_float_dtype,
+    resolve_scale,
+    validate_design_matrix,
+)
 from repro.utils.flops import gemm_flops, gemv_flops
 from repro.utils.validation import check_array, check_labels
 
@@ -31,63 +40,79 @@ class BinarySquaredHinge(Objective):
     Labels are ``{0, 1}``; internally they are mapped to ``{-1, +1}``.
     """
 
-    def __init__(self, X, y, *, scale: ScaleLike = "mean"):
-        self.X = check_array(X, name="X", allow_sparse=True)
-        self.y, n_classes = check_labels(y, n_samples=self.X.shape[0], n_classes=2)
+    def __init__(self, X, y, *, scale: ScaleLike = "mean", backend: BackendLike = None):
+        self._backend = get_backend(backend)
+        X = validate_design_matrix(X, self._backend)
+        self.y, n_classes = check_labels(y, n_samples=X.shape[0], n_classes=2)
         if n_classes != 2:
             raise ValueError("BinarySquaredHinge requires exactly two classes")
+        self.X = self._backend.asarray_data(X)
         self.n_features = int(self.X.shape[1])
         self.dim = self.n_features
         self.scale = resolve_scale(scale, self.X.shape[0])
-        self._signs = 2.0 * self.y.astype(np.float64) - 1.0
+        self._signs = self._backend.asarray(
+            2.0 * self.y.astype(np.float64) - 1.0, dtype=data_float_dtype(self.X)
+        )
 
-    def _margins(self, w: np.ndarray) -> np.ndarray:
-        return self._signs * np.asarray(self.X @ w).ravel()
+    def _margins(self, w):
+        return self._signs * (self.X @ w).ravel()
 
-    def value(self, w: np.ndarray) -> float:
+    def value(self, w) -> float:
+        xp = self._backend.xp
         w = self.check_weights(w)
-        violation = np.maximum(0.0, 1.0 - self._margins(w))
-        return self.scale * float(violation @ violation)
+        violation = xp.maximum(0.0, 1.0 - self._margins(w))
+        return self.scale * self._backend.dot(violation, violation)
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
+    def gradient(self, w):
+        xp = self._backend.xp
         w = self.check_weights(w)
-        violation = np.maximum(0.0, 1.0 - self._margins(w))
+        violation = xp.maximum(0.0, 1.0 - self._margins(w))
         coeff = -2.0 * self._signs * violation
-        return self.scale * np.asarray(self.X.T @ coeff).ravel()
+        return self.scale * (self.X.T @ coeff).ravel()
 
-    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+    def value_and_gradient(self, w) -> Tuple[float, np.ndarray]:
+        xp = self._backend.xp
         w = self.check_weights(w)
-        violation = np.maximum(0.0, 1.0 - self._margins(w))
-        value = self.scale * float(violation @ violation)
+        violation = xp.maximum(0.0, 1.0 - self._margins(w))
+        value = self.scale * self._backend.dot(violation, violation)
         coeff = -2.0 * self._signs * violation
-        return value, self.scale * np.asarray(self.X.T @ coeff).ravel()
+        return value, self.scale * (self.X.T @ coeff).ravel()
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+    def hvp(self, w, v):
         w = self.check_weights(w)
-        v = np.asarray(v, dtype=np.float64).ravel()
-        if v.shape[0] != self.dim:
-            raise ValueError(f"v has length {v.shape[0]}, expected {self.dim}")
-        active = (self._margins(w) < 1.0).astype(np.float64)
-        Xv = np.asarray(self.X @ v).ravel()
-        return self.scale * 2.0 * np.asarray(self.X.T @ (active * Xv)).ravel()
+        v = self._backend.as_vector(v, self.dim, name="v")
+        active = 1.0 * (self._margins(w) < 1.0)
+        Xv = (self.X @ v).ravel()
+        return self.scale * 2.0 * (self.X.T @ (active * Xv)).ravel()
 
-    def hessian_sqrt(self, w: np.ndarray) -> np.ndarray:
-        """Square-root factor of the generalized Hessian ``2 * X_A^T X_A``."""
+    def hessian_sqrt(self, w) -> np.ndarray:
+        """Square-root factor of the generalized Hessian ``2 * X_A^T X_A``
+        (computed on the host)."""
         w = self.check_weights(w)
-        active = (self._margins(w) < 1.0).astype(np.float64)
+        active = (self._backend.to_numpy(self._margins(w)) < 1.0).astype(np.float64)
         d = np.sqrt(2.0 * self.scale) * active
-        if hasattr(self.X, "multiply"):
-            return np.asarray(self.X.multiply(d[:, None]).todense())
-        return d[:, None] * self.X
+        X = host_matrix(self.X)
+        if hasattr(X, "multiply"):
+            return np.asarray(X.multiply(d[:, None]).todense())
+        return d[:, None] * self._backend.to_numpy(X)
 
     def minibatch(self, indices: np.ndarray) -> "BinarySquaredHinge":
         indices = np.asarray(indices, dtype=np.int64)
-        return BinarySquaredHinge(self.X[indices], self.y[indices], scale="mean")
+        rows = self._rows(indices)
+        return BinarySquaredHinge(
+            rows, self.y[indices], scale="mean", backend=self._backend
+        )
 
-    def predict(self, w: np.ndarray, X=None) -> np.ndarray:
+    def predict(self, w, X=None) -> np.ndarray:
         w = self.check_weights(w)
-        data = self.X if X is None else check_array(X, name="X", allow_sparse=True)
-        return (np.asarray(data @ w).ravel() >= 0.0).astype(np.int64)
+        if X is None:
+            data = self.X
+        else:
+            data = self._backend.asarray_data(
+                check_array(X, name="X", allow_sparse=True)
+            )
+        margins = self._backend.to_numpy((data @ w).ravel())
+        return (margins >= 0.0).astype(np.int64)
 
     def flops_value(self) -> float:
         n, p = self.X.shape
@@ -115,72 +140,95 @@ class MulticlassSquaredHinge(Objective):
     ``s_ic = +1`` for the true class and ``-1`` otherwise.
     """
 
-    def __init__(self, X, y, n_classes=None, *, scale: ScaleLike = "mean"):
-        self.X = check_array(X, name="X", allow_sparse=True)
+    def __init__(
+        self,
+        X,
+        y,
+        n_classes=None,
+        *,
+        scale: ScaleLike = "mean",
+        backend: BackendLike = None,
+    ):
+        self._backend = get_backend(backend)
+        X = validate_design_matrix(X, self._backend)
         self.y, self.n_classes = check_labels(
-            y, n_samples=self.X.shape[0], n_classes=n_classes
+            y, n_samples=X.shape[0], n_classes=n_classes
         )
         if self.n_classes < 2:
             raise ValueError(f"n_classes must be >= 2, got {self.n_classes}")
+        self.X = self._backend.asarray_data(X)
         self.n_features = int(self.X.shape[1])
         self.dim = self.n_classes * self.n_features
         self.scale = resolve_scale(scale, self.X.shape[0])
         n = self.X.shape[0]
-        self._signs = -np.ones((n, self.n_classes))
-        self._signs[np.arange(n), self.y] = 1.0
+        signs = -np.ones((n, self.n_classes))
+        signs[np.arange(n), self.y] = 1.0
+        self._signs = self._backend.asarray(signs, dtype=data_float_dtype(self.X))
 
-    def _as_matrix(self, w: np.ndarray) -> np.ndarray:
+    def _as_matrix(self, w):
         w = self.check_weights(w)
         return w.reshape(self.n_classes, self.n_features).T
 
-    def _as_vector(self, W: np.ndarray) -> np.ndarray:
+    def _as_vector(self, W):
         return W.T.ravel()
 
-    def value(self, w: np.ndarray) -> float:
+    def value(self, w) -> float:
+        xp = self._backend.xp
         W = self._as_matrix(w)
-        margins = self._signs * np.asarray(self.X @ W)
-        violation = np.maximum(0.0, 1.0 - margins)
-        return self.scale * float(np.sum(violation * violation))
+        margins = self._signs * (self.X @ W)
+        violation = xp.maximum(0.0, 1.0 - margins)
+        return self.scale * self._backend.to_float(xp.sum(violation * violation))
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
+    def gradient(self, w):
+        xp = self._backend.xp
         W = self._as_matrix(w)
-        margins = self._signs * np.asarray(self.X @ W)
-        violation = np.maximum(0.0, 1.0 - margins)
+        margins = self._signs * (self.X @ W)
+        violation = xp.maximum(0.0, 1.0 - margins)
         coeff = -2.0 * self._signs * violation
         G = self.X.T @ coeff
-        return self.scale * self._as_vector(np.asarray(G))
+        return self.scale * self._as_vector(G)
 
-    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+    def value_and_gradient(self, w) -> Tuple[float, np.ndarray]:
+        xp = self._backend.xp
         W = self._as_matrix(w)
-        margins = self._signs * np.asarray(self.X @ W)
-        violation = np.maximum(0.0, 1.0 - margins)
-        value = self.scale * float(np.sum(violation * violation))
+        margins = self._signs * (self.X @ W)
+        violation = xp.maximum(0.0, 1.0 - margins)
+        value = self.scale * self._backend.to_float(xp.sum(violation * violation))
         coeff = -2.0 * self._signs * violation
         G = self.X.T @ coeff
-        return value, self.scale * self._as_vector(np.asarray(G))
+        return value, self.scale * self._as_vector(G)
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+    def hvp(self, w, v):
         W = self._as_matrix(w)
-        v = np.asarray(v, dtype=np.float64).ravel()
-        if v.shape[0] != self.dim:
-            raise ValueError(f"v has length {v.shape[0]}, expected {self.dim}")
+        v = self._backend.as_vector(v, self.dim, name="v")
         V = v.reshape(self.n_classes, self.n_features).T
-        margins = self._signs * np.asarray(self.X @ W)
-        active = (margins < 1.0).astype(np.float64)
-        XV = np.asarray(self.X @ V)
+        margins = self._signs * (self.X @ W)
+        active = 1.0 * (margins < 1.0)
+        XV = self.X @ V
         out = self.X.T @ (2.0 * active * XV)
-        return self.scale * self._as_vector(np.asarray(out))
+        return self.scale * self._as_vector(out)
 
     def minibatch(self, indices: np.ndarray) -> "MulticlassSquaredHinge":
         indices = np.asarray(indices, dtype=np.int64)
+        rows = self._rows(indices)
         return MulticlassSquaredHinge(
-            self.X[indices], self.y[indices], self.n_classes, scale="mean"
+            rows,
+            self.y[indices],
+            self.n_classes,
+            scale="mean",
+            backend=self._backend,
         )
 
-    def predict(self, w: np.ndarray, X=None) -> np.ndarray:
+    def predict(self, w, X=None) -> np.ndarray:
+        xp = self._backend.xp
         W = self._as_matrix(w)
-        data = self.X if X is None else check_array(X, name="X", allow_sparse=True)
-        return np.argmax(np.asarray(data @ W), axis=1)
+        if X is None:
+            data = self.X
+        else:
+            data = self._backend.asarray_data(
+                check_array(X, name="X", allow_sparse=True)
+            )
+        return self._backend.to_numpy(xp.argmax(data @ W, axis=1))
 
     def flops_value(self) -> float:
         n, p = self.X.shape

@@ -2,7 +2,8 @@
 
 A quadratic objective with constant Hessian ``scale * X^T X``; useful for
 exercising the CG and Newton machinery against closed-form solutions in tests
-and for the DiSCO/CoCoA baselines' sanity checks.
+and for the DiSCO/CoCoA baselines' sanity checks.  Computes on a configurable
+:mod:`repro.backend` like the classification losses.
 """
 
 from __future__ import annotations
@@ -11,73 +12,87 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.objectives.base import Objective, ScaleLike, resolve_scale
+from repro.backend import BackendLike, get_backend, host_matrix
+from repro.objectives.base import (
+    Objective,
+    ScaleLike,
+    resolve_scale,
+    validate_design_matrix,
+)
 from repro.utils.flops import gemv_flops
-from repro.utils.validation import check_array
 
 
 class LeastSquares(Objective):
     """``scale * 0.5 * ||X @ w - b||^2``."""
 
-    def __init__(self, X, b, *, scale: ScaleLike = "mean"):
-        self.X = check_array(X, name="X", allow_sparse=True)
-        b = np.asarray(b, dtype=np.float64).ravel()
-        if b.shape[0] != self.X.shape[0]:
-            raise ValueError(
-                f"b has length {b.shape[0]}, expected {self.X.shape[0]}"
-            )
+    def __init__(self, X, b, *, scale: ScaleLike = "mean", backend: BackendLike = None):
+        self._backend = get_backend(backend)
+        X = validate_design_matrix(X, self._backend)
+        b = self._backend.as_vector(b, X.shape[0], name="b")
+        self.X = self._backend.asarray_data(X)
         self.b = b
         self.dim = int(self.X.shape[1])
         self.scale = resolve_scale(scale, self.X.shape[0])
 
-    def value(self, w: np.ndarray) -> float:
+    def value(self, w) -> float:
         w = self.check_weights(w)
-        r = np.asarray(self.X @ w).ravel() - self.b
-        return 0.5 * self.scale * float(r @ r)
+        r = (self.X @ w).ravel() - self.b
+        return 0.5 * self.scale * self._backend.dot(r, r)
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
+    def gradient(self, w):
         w = self.check_weights(w)
-        r = np.asarray(self.X @ w).ravel() - self.b
-        return self.scale * np.asarray(self.X.T @ r).ravel()
+        r = (self.X @ w).ravel() - self.b
+        return self.scale * (self.X.T @ r).ravel()
 
-    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+    def value_and_gradient(self, w) -> Tuple[float, np.ndarray]:
         w = self.check_weights(w)
-        r = np.asarray(self.X @ w).ravel() - self.b
-        return 0.5 * self.scale * float(r @ r), self.scale * np.asarray(
+        r = (self.X @ w).ravel() - self.b
+        return 0.5 * self.scale * self._backend.dot(r, r), self.scale * (
             self.X.T @ r
         ).ravel()
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
-        v = np.asarray(v, dtype=np.float64).ravel()
-        if v.shape[0] != self.dim:
-            raise ValueError(f"v has length {v.shape[0]}, expected {self.dim}")
-        Xv = np.asarray(self.X @ v).ravel()
-        return self.scale * np.asarray(self.X.T @ Xv).ravel()
+    def hvp(self, w, v):
+        v = self._backend.as_vector(v, self.dim, name="v")
+        Xv = (self.X @ v).ravel()
+        return self.scale * (self.X.T @ Xv).ravel()
 
-    def hessian_sqrt(self, w: np.ndarray) -> np.ndarray:
+    def hessian_sqrt(self, w) -> np.ndarray:
         """Square-root factor ``A`` with ``H = A^T A`` (here ``sqrt(scale) X``).
 
         The least-squares Hessian is constant, so ``w`` is ignored; the
         argument is kept for interface parity with the other objectives.
+        Computed on the host.
         """
         del w
-        if hasattr(self.X, "todense"):
-            return np.sqrt(self.scale) * np.asarray(self.X.todense())
-        return np.sqrt(self.scale) * self.X
+        X = host_matrix(self.X)
+        if hasattr(X, "todense"):
+            return np.sqrt(self.scale) * np.asarray(X.todense())
+        return np.sqrt(self.scale) * self._backend.to_numpy(X)
 
     def minibatch(self, indices: np.ndarray) -> "LeastSquares":
         """A new objective over a row subset (mean-scaled over the batch)."""
         indices = np.asarray(indices, dtype=np.int64)
-        return LeastSquares(self.X[indices], self.b[indices], scale="mean")
+        rows = self._rows(indices)
+        return LeastSquares(
+            rows, self.b[indices], scale="mean", backend=self._backend
+        )
 
     def solve_normal_equations(self, reg: float = 0.0) -> np.ndarray:
         """Closed-form minimizer of the (optionally ridge-regularized) problem.
 
-        Minimizes ``scale * 0.5 ||X w - b||^2 + 0.5 * reg * ||w||^2``.
+        Minimizes ``scale * 0.5 ||X w - b||^2 + 0.5 * reg * ||w||^2``;
+        evaluated on the host (small dims only).
         """
-        A = self.scale * np.asarray((self.X.T @ self.X).todense() if hasattr(self.X, "todense") else self.X.T @ self.X)
-        A = A + reg * np.eye(self.dim)
-        rhs = self.scale * np.asarray(self.X.T @ self.b).ravel()
+        X = host_matrix(self.X)
+        if hasattr(X, "todense"):
+            gram = np.asarray((X.T @ X).todense())
+            rhs_full = np.asarray(X.T @ self._backend.to_numpy(self.b)).ravel()
+        else:
+            Xh = self._backend.to_numpy(X)
+            gram = Xh.T @ Xh
+            rhs_full = Xh.T @ self._backend.to_numpy(self.b)
+        A = self.scale * gram + reg * np.eye(self.dim)
+        rhs = self.scale * rhs_full
         return np.linalg.solve(A, rhs)
 
     def flops_value(self) -> float:

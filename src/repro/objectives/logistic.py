@@ -3,16 +3,24 @@
 Kept alongside :class:`~repro.objectives.softmax.SoftmaxCrossEntropy` because
 binary problems (HIGGS) admit a ``p``-dimensional parameterization with a
 cheaper Hessian-vector product; it is also the model CoCoA's dual formulation
-targets.
+targets.  Like the softmax objective it computes on a configurable
+:mod:`repro.backend`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from repro.objectives.base import Objective, ScaleLike, resolve_scale
+from repro.backend import BackendLike, get_backend, host_matrix
+from repro.objectives.base import (
+    Objective,
+    ScaleLike,
+    data_float_dtype,
+    resolve_scale,
+    validate_design_matrix,
+)
 from repro.objectives.numerics import log1p_exp, sigmoid
 from repro.utils.flops import gemv_flops
 from repro.utils.validation import check_array, check_labels
@@ -24,77 +32,98 @@ class BinaryLogistic(Objective):
     Labels are ``{0, 1}``; the decision rule is ``sigmoid(x @ w) > 0.5``.
     """
 
-    def __init__(self, X, y, *, scale: ScaleLike = "mean"):
-        self.X = check_array(X, name="X", allow_sparse=True)
-        self.y, n_classes = check_labels(y, n_samples=self.X.shape[0], n_classes=2)
+    def __init__(self, X, y, *, scale: ScaleLike = "mean", backend: BackendLike = None):
+        self._backend = get_backend(backend)
+        X = validate_design_matrix(X, self._backend)
+        self.y, n_classes = check_labels(y, n_samples=X.shape[0], n_classes=2)
         if n_classes != 2:
             raise ValueError("BinaryLogistic requires exactly two classes")
+        self.X = self._backend.asarray_data(X)
         self.n_features = int(self.X.shape[1])
         self.dim = self.n_features
         self.scale = resolve_scale(scale, self.X.shape[0])
-        self._y_float = self.y.astype(np.float64)
+        self._y_float = self._backend.asarray(
+            self.y.astype(np.float64), dtype=data_float_dtype(self.X)
+        )
 
-    def _margins(self, w: np.ndarray) -> np.ndarray:
-        return np.asarray(self.X @ w).ravel()
+    def _margins(self, w):
+        return (self.X @ w).ravel()
 
-    def value(self, w: np.ndarray) -> float:
+    def value(self, w) -> float:
+        xp = self._backend.xp
         w = self.check_weights(w)
         z = self._margins(w)
-        return self.scale * float(np.sum(log1p_exp(z) - self._y_float * z))
+        return self.scale * self._backend.to_float(
+            xp.sum(log1p_exp(z, xp=xp) - self._y_float * z)
+        )
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
+    def gradient(self, w):
+        xp = self._backend.xp
         w = self.check_weights(w)
         z = self._margins(w)
-        residual = sigmoid(z) - self._y_float
-        return self.scale * np.asarray(self.X.T @ residual).ravel()
+        residual = sigmoid(z, xp=xp) - self._y_float
+        return self.scale * (self.X.T @ residual).ravel()
 
-    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+    def value_and_gradient(self, w) -> Tuple[float, np.ndarray]:
+        xp = self._backend.xp
         w = self.check_weights(w)
         z = self._margins(w)
-        value = self.scale * float(np.sum(log1p_exp(z) - self._y_float * z))
-        residual = sigmoid(z) - self._y_float
-        grad = self.scale * np.asarray(self.X.T @ residual).ravel()
+        value = self.scale * self._backend.to_float(
+            xp.sum(log1p_exp(z, xp=xp) - self._y_float * z)
+        )
+        residual = sigmoid(z, xp=xp) - self._y_float
+        grad = self.scale * (self.X.T @ residual).ravel()
         return value, grad
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+    def hvp(self, w, v):
+        xp = self._backend.xp
         w = self.check_weights(w)
-        v = np.asarray(v, dtype=np.float64).ravel()
-        if v.shape[0] != self.dim:
-            raise ValueError(f"v has length {v.shape[0]}, expected {self.dim}")
+        v = self._backend.as_vector(v, self.dim, name="v")
         z = self._margins(w)
-        s = sigmoid(z)
+        s = sigmoid(z, xp=xp)
         d = s * (1.0 - s)
-        Xv = np.asarray(self.X @ v).ravel()
-        return self.scale * np.asarray(self.X.T @ (d * Xv)).ravel()
+        Xv = (self.X @ v).ravel()
+        return self.scale * (self.X.T @ (d * Xv)).ravel()
 
-    def hessian_sqrt(self, w: np.ndarray) -> np.ndarray:
+    def hessian_sqrt(self, w) -> np.ndarray:
         """Square-root factor ``A(w)`` with ``H(w) = A(w)^T A(w)``.
 
         For logistic loss ``H = scale * X^T D X`` with
         ``D = diag(sigma(z)(1 - sigma(z)))``, so
         ``A = sqrt(scale) * sqrt(D) X`` (one row per sample).  Used by
-        :class:`repro.solvers.newton_sketch.NewtonSketch`.
+        :class:`repro.solvers.newton_sketch.NewtonSketch`; computed on the
+        host.
         """
         w = self.check_weights(w)
-        z = self._margins(w)
+        z = self._backend.to_numpy(self._margins(w))
         s = sigmoid(z)
         d = np.sqrt(self.scale * s * (1.0 - s))
-        if hasattr(self.X, "multiply"):
-            return np.asarray(self.X.multiply(d[:, None]).todense())
-        return d[:, None] * self.X
+        X = host_matrix(self.X)
+        if hasattr(X, "multiply"):
+            return np.asarray(X.multiply(d[:, None]).todense())
+        return d[:, None] * self._backend.to_numpy(X)
 
     def minibatch(self, indices: np.ndarray) -> "BinaryLogistic":
         """A new objective over a row subset (mean-scaled over the batch)."""
         indices = np.asarray(indices, dtype=np.int64)
-        return BinaryLogistic(self.X[indices], self.y[indices], scale="mean")
+        rows = self._rows(indices)
+        return BinaryLogistic(
+            rows, self.y[indices], scale="mean", backend=self._backend
+        )
 
-    def predict_proba(self, w: np.ndarray, X=None) -> np.ndarray:
-        """Probability of class 1 for each sample."""
+    def predict_proba(self, w, X=None) -> np.ndarray:
+        """Probability of class 1 for each sample (host array)."""
+        xp = self._backend.xp
         w = self.check_weights(w)
-        data = self.X if X is None else check_array(X, name="X", allow_sparse=True)
-        return sigmoid(np.asarray(data @ w).ravel())
+        if X is None:
+            data = self.X
+        else:
+            data = self._backend.asarray_data(
+                check_array(X, name="X", allow_sparse=True)
+            )
+        return self._backend.to_numpy(sigmoid((data @ w).ravel(), xp=xp))
 
-    def predict(self, w: np.ndarray, X=None) -> np.ndarray:
+    def predict(self, w, X=None) -> np.ndarray:
         return (self.predict_proba(w, X) >= 0.5).astype(np.int64)
 
     def flops_value(self) -> float:

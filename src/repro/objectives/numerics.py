@@ -3,16 +3,20 @@
 Implements the "Log-Sum-Exp trick" of the paper's §6: all exponentials are
 shifted by the per-sample maximum (including the implicit zero logit of the
 reference class), so every exponent is non-positive and overflow cannot occur.
+
+Every function takes an optional ``xp`` array namespace (NumPy by default) so
+the same code runs on whichever backend produced the logits — see
+:mod:`repro.backend`.  The implementations avoid boolean fancy indexing in
+favour of ``where``-style arithmetic, which is the portable (and
+GPU-friendly) formulation.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 
-def log_sum_exp(logits: np.ndarray, *, include_zero: bool = True) -> np.ndarray:
+def log_sum_exp(logits, *, include_zero: bool = True, xp=np):
     """Row-wise ``log(1 + sum_j exp(logits_j))`` (or without the ``1``).
 
     Parameters
@@ -23,26 +27,26 @@ def log_sum_exp(logits: np.ndarray, *, include_zero: bool = True) -> np.ndarray:
         Include the implicit zero logit of the reference class, i.e. compute
         ``log(exp(0) + sum_j exp(l_j))``.  This matches the paper's (C-1)·p
         parameterization (eq. 8).
+    xp:
+        Array namespace of the backend that owns ``logits``.
 
     Returns
     -------
-    ndarray of shape ``(n_samples,)``.
+    Array of shape ``(n_samples,)`` on the same backend.
     """
-    logits = np.atleast_2d(logits)
+    logits = xp.atleast_2d(logits)
     if include_zero:
-        m = np.maximum(logits.max(axis=1), 0.0)
+        m = xp.maximum(xp.max(logits, axis=1), 0.0)
         shifted = logits - m[:, None]
-        total = np.exp(-m) + np.exp(shifted).sum(axis=1)
+        total = xp.exp(-m) + xp.sum(xp.exp(shifted), axis=1)
     else:
-        m = logits.max(axis=1)
+        m = xp.max(logits, axis=1)
         shifted = logits - m[:, None]
-        total = np.exp(shifted).sum(axis=1)
-    return m + np.log(total)
+        total = xp.sum(xp.exp(shifted), axis=1)
+    return m + xp.log(total)
 
 
-def softmax_probabilities(
-    logits: np.ndarray, *, include_zero: bool = True
-) -> np.ndarray:
+def softmax_probabilities(logits, *, include_zero: bool = True, xp=np):
     """Row-wise softmax probabilities for the non-reference classes.
 
     With ``include_zero`` the reference class contributes ``exp(0)`` to the
@@ -51,55 +55,52 @@ def softmax_probabilities(
 
     Returns
     -------
-    ndarray of shape ``(n_samples, n_classes_minus_1)``.
+    Array of shape ``(n_samples, n_classes_minus_1)`` on the same backend.
     """
-    logits = np.atleast_2d(logits)
+    logits = xp.atleast_2d(logits)
     if include_zero:
-        m = np.maximum(logits.max(axis=1), 0.0)
-        shifted = np.exp(logits - m[:, None])
-        denom = np.exp(-m) + shifted.sum(axis=1)
+        m = xp.maximum(xp.max(logits, axis=1), 0.0)
+        shifted = xp.exp(logits - m[:, None])
+        denom = xp.exp(-m) + xp.sum(shifted, axis=1)
     else:
-        m = logits.max(axis=1)
-        shifted = np.exp(logits - m[:, None])
-        denom = shifted.sum(axis=1)
+        m = xp.max(logits, axis=1)
+        shifted = xp.exp(logits - m[:, None])
+        denom = xp.sum(shifted, axis=1)
     return shifted / denom[:, None]
 
 
-def full_class_probabilities(logits: np.ndarray) -> np.ndarray:
+def full_class_probabilities(logits, *, xp=np):
     """Probabilities over all ``C`` classes given ``C-1`` non-reference logits.
 
     Returns
     -------
-    ndarray of shape ``(n_samples, n_classes)`` whose rows sum to one; the
+    Array of shape ``(n_samples, n_classes)`` whose rows sum to one; the
     last column is the reference class.
     """
-    p_nonref = softmax_probabilities(logits, include_zero=True)
-    p_ref = 1.0 - p_nonref.sum(axis=1, keepdims=True)
+    p_nonref = softmax_probabilities(logits, include_zero=True, xp=xp)
+    p_ref = 1.0 - xp.sum(p_nonref, axis=1, keepdims=True)
     # Guard against tiny negative values from round-off.
-    p_ref = np.clip(p_ref, 0.0, 1.0)
-    return np.hstack([p_nonref, p_ref])
+    p_ref = xp.clip(p_ref, 0.0, 1.0)
+    return xp.hstack([p_nonref, p_ref])
 
 
-def sigmoid(z: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(z, dtype=np.float64)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
-    out[~pos] = ez / (1.0 + ez)
-    return out
+def sigmoid(z, *, xp=np):
+    """Numerically stable logistic sigmoid.
+
+    Computed from ``e = exp(-|z|)`` so no exponent is ever positive:
+    ``sigma(z) = 1 / (1 + e)`` for ``z >= 0`` and ``e / (1 + e)`` otherwise.
+    """
+    e = xp.exp(-xp.abs(z))
+    return xp.where(z >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
 
 
-def log1p_exp(z: np.ndarray) -> np.ndarray:
-    """Numerically stable ``log(1 + exp(z))`` (softplus)."""
-    out = np.empty_like(z, dtype=np.float64)
-    pos = z > 0
-    out[pos] = z[pos] + np.log1p(np.exp(-z[pos]))
-    out[~pos] = np.log1p(np.exp(z[~pos]))
-    return out
+def log1p_exp(z, *, xp=np):
+    """Numerically stable ``log(1 + exp(z))`` (softplus):
+    ``max(z, 0) + log1p(exp(-|z|))``."""
+    return xp.maximum(z, 0.0) + xp.log1p(xp.exp(-xp.abs(z)))
 
 
-def split_weights(w: np.ndarray, n_features: int, n_classes: int) -> np.ndarray:
+def split_weights(w, n_features: int, n_classes: int):
     """Reshape a flat ``(C-1)*p`` weight vector into a ``(p, C-1)`` matrix."""
     c = n_classes - 1
     if w.shape != ((n_classes - 1) * n_features,):
@@ -109,6 +110,6 @@ def split_weights(w: np.ndarray, n_features: int, n_classes: int) -> np.ndarray:
     return w.reshape(c, n_features).T
 
 
-def flatten_weights(W: np.ndarray) -> np.ndarray:
+def flatten_weights(W):
     """Inverse of :func:`split_weights`: ``(p, C-1)`` matrix to flat vector."""
     return W.T.ravel()

@@ -1,4 +1,10 @@
-"""Regularizers ``g(w)`` used in the finite-sum objective (paper eq. 1)."""
+"""Regularizers ``g(w)`` used in the finite-sum objective (paper eq. 1).
+
+Regularizers are data-free, so they normally inherit their backend from the
+loss they are combined with (see
+:class:`~repro.objectives.base.RegularizedObjective`); an explicit
+``backend=`` is accepted for standalone use.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +12,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.backend import BackendLike, get_backend
 from repro.objectives.base import Objective
 from repro.utils.validation import check_positive
 
@@ -17,28 +24,29 @@ class L2Regularizer(Objective):
     ``z``-update has the closed form of eq. (7).
     """
 
-    def __init__(self, dim: int, lam: float):
+    def __init__(self, dim: int, lam: float, *, backend: BackendLike = None):
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.dim = int(dim)
         self.lam = check_positive(lam, name="lam", strict=False)
+        self._backend = None if backend is None else get_backend(backend)
 
-    def value(self, w: np.ndarray) -> float:
+    def value(self, w) -> float:
         w = self.check_weights(w)
-        return 0.5 * self.lam * float(w @ w)
+        return 0.5 * self.lam * self.backend.dot(w, w)
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
+    def gradient(self, w):
         w = self.check_weights(w)
         return self.lam * w
 
-    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+    def value_and_gradient(self, w) -> Tuple[float, np.ndarray]:
         w = self.check_weights(w)
-        return 0.5 * self.lam * float(w @ w), self.lam * w
+        return 0.5 * self.lam * self.backend.dot(w, w), self.lam * w
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
-        return self.lam * np.asarray(v, dtype=np.float64)
+    def hvp(self, w, v):
+        return self.lam * self.backend.as_vector(v)
 
-    def hessian(self, w: np.ndarray) -> np.ndarray:
+    def hessian(self, w) -> np.ndarray:
         return self.lam * np.eye(self.dim)
 
     def flops_value(self) -> float:
@@ -60,24 +68,29 @@ class SmoothedL1Regularizer(Objective):
     Newton-type solvers require.
     """
 
-    def __init__(self, dim: int, lam: float, *, mu: float = 1e-3):
+    def __init__(self, dim: int, lam: float, *, mu: float = 1e-3, backend: BackendLike = None):
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.dim = int(dim)
         self.lam = check_positive(lam, name="lam", strict=False)
         self.mu = check_positive(mu, name="mu")
+        self._backend = None if backend is None else get_backend(backend)
 
-    def value(self, w: np.ndarray) -> float:
+    def value(self, w) -> float:
+        xp = self.backend.xp
         w = self.check_weights(w)
-        return self.lam * float(np.sum(np.sqrt(w * w + self.mu**2) - self.mu))
+        return self.lam * self.backend.to_float(
+            xp.sum(xp.sqrt(w * w + self.mu**2) - self.mu)
+        )
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
+    def gradient(self, w):
+        xp = self.backend.xp
         w = self.check_weights(w)
-        return self.lam * w / np.sqrt(w * w + self.mu**2)
+        return self.lam * w / xp.sqrt(w * w + self.mu**2)
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+    def hvp(self, w, v):
         w = self.check_weights(w)
-        v = np.asarray(v, dtype=np.float64).ravel()
+        v = self.backend.as_vector(v)
         denom = (w * w + self.mu**2) ** 1.5
         return self.lam * (self.mu**2 / denom) * v
 
@@ -100,28 +113,47 @@ class ElasticNetRegularizer(Objective):
     the single-node solvers use it unchanged.
     """
 
-    def __init__(self, dim: int, lam_ridge: float, lam_l1: float, *, mu: float = 1e-3):
+    def __init__(
+        self,
+        dim: int,
+        lam_ridge: float,
+        lam_l1: float,
+        *,
+        mu: float = 1e-3,
+        backend: BackendLike = None,
+    ):
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.dim = int(dim)
         self.lam_ridge = check_positive(lam_ridge, name="lam_ridge", strict=False)
         self.lam_l1 = check_positive(lam_l1, name="lam_l1", strict=False)
-        self._ridge = L2Regularizer(dim, lam_ridge)
-        self._l1 = SmoothedL1Regularizer(dim, lam_l1, mu=mu) if lam_l1 > 0 else None
+        self._backend = None if backend is None else get_backend(backend)
+        self._ridge = L2Regularizer(dim, lam_ridge, backend=self._backend)
+        self._l1 = (
+            SmoothedL1Regularizer(dim, lam_l1, mu=mu, backend=self._backend)
+            if lam_l1 > 0
+            else None
+        )
 
-    def value(self, w: np.ndarray) -> float:
+    def _adopt_backend(self, backend) -> None:
+        super()._adopt_backend(backend)
+        self._ridge._adopt_backend(backend)
+        if self._l1 is not None:
+            self._l1._adopt_backend(backend)
+
+    def value(self, w) -> float:
         out = self._ridge.value(w)
         if self._l1 is not None:
             out += self._l1.value(w)
         return out
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
+    def gradient(self, w):
         out = self._ridge.gradient(w)
         if self._l1 is not None:
             out = out + self._l1.gradient(w)
         return out
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+    def hvp(self, w, v):
         out = self._ridge.hvp(w, v)
         if self._l1 is not None:
             out = out + self._l1.hvp(w, v)
@@ -149,21 +181,24 @@ class ElasticNetRegularizer(Objective):
 class ZeroRegularizer(Objective):
     """The trivial regularizer ``g(w) = 0`` (unregularized problems)."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int, *, backend: BackendLike = None):
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.dim = int(dim)
+        self._backend = None if backend is None else get_backend(backend)
 
-    def value(self, w: np.ndarray) -> float:
+    def value(self, w) -> float:
         self.check_weights(w)
         return 0.0
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
-        self.check_weights(w)
-        return np.zeros(self.dim)
+    def gradient(self, w):
+        w = self.check_weights(w)
+        # Match the iterate's dtype so float32 pipelines are not promoted.
+        return self.backend.zeros(self.dim, dtype=getattr(w, "dtype", None))
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
-        return np.zeros(self.dim)
+    def hvp(self, w, v):
+        v = self.backend.as_vector(v)
+        return self.backend.zeros(self.dim, dtype=getattr(v, "dtype", None))
 
-    def hessian(self, w: np.ndarray) -> np.ndarray:
+    def hessian(self, w) -> np.ndarray:
         return np.zeros((self.dim, self.dim))

@@ -9,6 +9,10 @@ The Hessian of this loss has the block structure
 ``H = sum_i (diag(p_i) - p_i p_i^T) ⊗ (x_i x_i^T)`` and is positive
 semi-definite; it is never materialized — only Hessian-vector products are
 exposed (two GEMMs of the same shape as the gradient's).
+
+All kernels run on the configured :mod:`repro.backend` (NumPy by default;
+CuPy / Torch move the GEMMs to the GPU); predictions are always returned as
+host NumPy arrays for the metrics layer.
 """
 
 from __future__ import annotations
@@ -16,9 +20,15 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.objectives.base import Objective, ScaleLike, resolve_scale
+from repro.backend import BackendLike, get_backend
+from repro.objectives.base import (
+    Objective,
+    ScaleLike,
+    data_float_dtype,
+    resolve_scale,
+    validate_design_matrix,
+)
 from repro.objectives.numerics import (
     full_class_probabilities,
     log_sum_exp,
@@ -47,6 +57,9 @@ class SoftmaxCrossEntropy(Objective):
     scale:
         ``"mean"`` (default), ``"sum"``, or an explicit float multiplier; see
         :mod:`repro.objectives.base`.
+    backend:
+        Array backend name or instance (``None`` -> NumPy); the design matrix
+        and the cached indicator move to the backend once, at construction.
     """
 
     def __init__(
@@ -56,13 +69,16 @@ class SoftmaxCrossEntropy(Objective):
         n_classes: Optional[int] = None,
         *,
         scale: ScaleLike = "mean",
+        backend: BackendLike = None,
     ):
-        self.X = check_array(X, name="X", allow_sparse=True)
+        self._backend = get_backend(backend)
+        X = validate_design_matrix(X, self._backend)
         self.y, self.n_classes = check_labels(
-            y, n_samples=self.X.shape[0], n_classes=n_classes
+            y, n_samples=X.shape[0], n_classes=n_classes
         )
         if self.n_classes < 2:
             raise ValueError(f"n_classes must be >= 2, got {self.n_classes}")
+        self.X = self._backend.asarray_data(X)
         self.n_features = int(self.X.shape[1])
         self.dim = (self.n_classes - 1) * self.n_features
         self.scale = resolve_scale(scale, self.X.shape[0])
@@ -70,71 +86,84 @@ class SoftmaxCrossEntropy(Objective):
         # is reused by every gradient evaluation.
         n = self.X.shape[0]
         c = self.n_classes - 1
-        self._indicator = np.zeros((n, c))
+        indicator = np.zeros((n, c))
         mask = self.y < c
-        self._indicator[np.flatnonzero(mask), self.y[mask]] = 1.0
+        indicator[np.flatnonzero(mask), self.y[mask]] = 1.0
+        # Follow the data's floating dtype so float32 problems stay float32.
+        self._indicator = self._backend.asarray(
+            indicator, dtype=data_float_dtype(self.X)
+        )
 
     # -- weight reshaping -------------------------------------------------
-    def _as_matrix(self, w: np.ndarray) -> np.ndarray:
+    def _as_matrix(self, w):
         """Flat ``(C-1)*p`` vector -> ``(p, C-1)`` weight matrix."""
         w = self.check_weights(w)
         return w.reshape(self.n_classes - 1, self.n_features).T
 
-    def _as_vector(self, W: np.ndarray) -> np.ndarray:
+    def _as_vector(self, W):
         return W.T.ravel()
 
-    def _logits(self, W: np.ndarray) -> np.ndarray:
-        return np.asarray(self.X @ W)
+    def _logits(self, W):
+        return self.X @ W
 
     # -- objective API -----------------------------------------------------
-    def value(self, w: np.ndarray) -> float:
+    def value(self, w) -> float:
+        xp = self._backend.xp
         W = self._as_matrix(w)
         logits = self._logits(W)
-        lse = log_sum_exp(logits, include_zero=True)
-        correct = np.sum(logits * self._indicator, axis=1)
-        return self.scale * float(np.sum(lse - correct))
+        lse = log_sum_exp(logits, include_zero=True, xp=xp)
+        correct = xp.sum(logits * self._indicator, axis=1)
+        return self.scale * self._backend.to_float(xp.sum(lse - correct))
 
-    def gradient(self, w: np.ndarray) -> np.ndarray:
+    def gradient(self, w):
+        xp = self._backend.xp
         W = self._as_matrix(w)
         logits = self._logits(W)
-        P = softmax_probabilities(logits, include_zero=True)
+        P = softmax_probabilities(logits, include_zero=True, xp=xp)
         G = self.X.T @ (P - self._indicator)
-        return self.scale * self._as_vector(np.asarray(G))
+        return self.scale * self._as_vector(G)
 
-    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+    def value_and_gradient(self, w) -> Tuple[float, np.ndarray]:
+        xp = self._backend.xp
         W = self._as_matrix(w)
         logits = self._logits(W)
-        lse = log_sum_exp(logits, include_zero=True)
-        correct = np.sum(logits * self._indicator, axis=1)
-        value = self.scale * float(np.sum(lse - correct))
-        P = softmax_probabilities(logits, include_zero=True)
+        lse = log_sum_exp(logits, include_zero=True, xp=xp)
+        correct = xp.sum(logits * self._indicator, axis=1)
+        value = self.scale * self._backend.to_float(xp.sum(lse - correct))
+        P = softmax_probabilities(logits, include_zero=True, xp=xp)
         G = self.X.T @ (P - self._indicator)
-        return value, self.scale * self._as_vector(np.asarray(G))
+        return value, self.scale * self._as_vector(G)
 
-    def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
+    def hvp(self, w, v):
+        xp = self._backend.xp
         W = self._as_matrix(w)
-        v = np.asarray(v, dtype=np.float64).ravel()
-        if v.shape[0] != self.dim:
-            raise ValueError(f"v has length {v.shape[0]}, expected {self.dim}")
+        v = self._backend.as_vector(v, self.dim, name="v")
         V = v.reshape(self.n_classes - 1, self.n_features).T
         logits = self._logits(W)
-        P = softmax_probabilities(logits, include_zero=True)
-        U = np.asarray(self.X @ V)
+        P = softmax_probabilities(logits, include_zero=True, xp=xp)
+        U = self.X @ V
         PU = P * U
-        T = PU - P * PU.sum(axis=1, keepdims=True)
+        T = PU - P * xp.sum(PU, axis=1, keepdims=True)
         out = self.X.T @ T
-        return self.scale * self._as_vector(np.asarray(out))
+        return self.scale * self._as_vector(out)
 
     # -- prediction --------------------------------------------------------
-    def predict_proba(self, w: np.ndarray, X=None) -> np.ndarray:
-        """Class probabilities ``(n, C)`` under weights ``w`` for ``X``."""
+    def predict_proba(self, w, X=None) -> np.ndarray:
+        """Class probabilities ``(n, C)`` under weights ``w`` for ``X``
+        (returned on the host)."""
+        xp = self._backend.xp
         W = self._as_matrix(w)
-        data = self.X if X is None else check_array(X, name="X", allow_sparse=True)
-        logits = np.asarray(data @ W)
-        return full_class_probabilities(logits)
+        if X is None:
+            data = self.X
+        else:
+            data = self._backend.asarray_data(
+                check_array(X, name="X", allow_sparse=True)
+            )
+        logits = data @ W
+        return self._backend.to_numpy(full_class_probabilities(logits, xp=xp))
 
-    def predict(self, w: np.ndarray, X=None) -> np.ndarray:
-        """Most likely class per sample."""
+    def predict(self, w, X=None) -> np.ndarray:
+        """Most likely class per sample (host array)."""
         return np.argmax(self.predict_proba(w, X), axis=1)
 
     # -- cost model ----------------------------------------------------------
@@ -157,5 +186,6 @@ class SoftmaxCrossEntropy(Objective):
         batch when this objective is a mean over its samples)."""
         indices = np.asarray(indices, dtype=np.int64)
         return SoftmaxCrossEntropy(
-            self.X[indices], self.y[indices], self.n_classes, scale="mean"
+            self._rows(indices), self.y[indices], self.n_classes, scale="mean",
+            backend=self._backend,
         )

@@ -8,6 +8,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import copy_array
 from repro.objectives.base import Objective
 
 
@@ -100,6 +101,10 @@ class CountingObjective(Objective):
         self.n_hvp = 0
         self.flops = 0.0
 
+    @property
+    def backend(self):
+        return self.base.backend
+
     def value(self, w: np.ndarray) -> float:
         self.n_value += 1
         self.flops += self.base.flops_value()
@@ -183,9 +188,4 @@ class Solver(ABC):
     def _prepare_start(objective: Objective, w0: Optional[np.ndarray]) -> np.ndarray:
         if w0 is None:
             return objective.initial_point()
-        w0 = np.asarray(w0, dtype=np.float64).ravel().copy()
-        if w0.shape[0] != objective.dim:
-            raise ValueError(
-                f"w0 has length {w0.shape[0]}, expected {objective.dim}"
-            )
-        return w0
+        return copy_array(objective.backend.as_vector(w0, objective.dim, name="w0"))

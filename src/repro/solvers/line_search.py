@@ -9,6 +9,11 @@ holds or ``max_iter`` halvings have been tried.  Unlike GIANT's distributed
 line search, this runs *locally* on each worker and terminates as soon as the
 condition holds — one of the two per-iteration cost advantages the paper
 claims for Newton-ADMM.
+
+The search is backend-agnostic by construction: it touches the iterate only
+through the objective callable, vector arithmetic, and one inner product, all
+of which operate natively on whatever array backend produced ``x``/``p``/``g``
+(see :mod:`repro.backend`).
 """
 
 from __future__ import annotations

@@ -76,13 +76,14 @@ class NewtonCG(Solver):
         callback: Optional[CallbackType] = None,
     ) -> SolverResult:
         w = self._prepare_start(objective, w0)
+        backend = objective.backend
         stopwatch = Stopwatch().start()
         records = []
         total_cg_iters = 0
         total_ls_evals = 0
 
         f_val, grad = objective.value_and_gradient(w)
-        grad_norm = float(np.linalg.norm(grad))
+        grad_norm = backend.norm(grad)
         converged = self.criteria.gradient_converged(grad_norm)
         n_iter = 0
 
@@ -92,9 +93,10 @@ class NewtonCG(Solver):
                 -grad,
                 tol=self.cg_tol,
                 max_iter=self.cg_max_iter,
+                backend=backend,
             )
             direction = cg_result.x
-            if not np.any(direction):
+            if not backend.any_nonzero(direction):
                 direction = -grad
             ls = armijo_backtracking(
                 objective.value,
@@ -120,7 +122,7 @@ class NewtonCG(Solver):
             w = w + ls.step_size * direction
             prev_val = f_val
             f_val, grad = objective.value_and_gradient(w)
-            grad_norm = float(np.linalg.norm(grad))
+            grad_norm = backend.norm(grad)
             n_iter += 1
 
             record = IterationRecord(
