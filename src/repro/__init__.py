@@ -27,6 +27,7 @@ The package is organized as:
   figure of the paper.
 """
 
+from repro.admm.async_newton_admm import AsyncNewtonADMM
 from repro.admm.newton_admm import NewtonADMM
 from repro.admm.penalty import FixedPenalty, ResidualBalancing, SpectralPenalty
 from repro.backend import (
@@ -47,6 +48,7 @@ from repro.baselines import (
 from repro.datasets.base import ClassificationDataset, train_test_split
 from repro.datasets.registry import load_dataset
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.engine import EventEngine
 from repro.distributed.collectives import TunedNetworkModel, tuned_network
 from repro.distributed.device import DeviceModel, tesla_p100
 from repro.distributed.network import NetworkModel, ethernet_10g, infiniband_100g
@@ -62,6 +64,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "NewtonADMM",
+    "AsyncNewtonADMM",
     "ArrayBackend",
     "available_backends",
     "get_backend",
@@ -80,6 +83,7 @@ __all__ = [
     "TunedNetworkModel",
     "tuned_network",
     "StragglerModel",
+    "EventEngine",
     "SimulatedCluster",
     "ClassificationDataset",
     "train_test_split",

@@ -15,6 +15,7 @@ from repro.admm.penalty import (
 )
 from repro.admm.consensus import consensus_z_update, admm_residuals, ADMMResiduals
 from repro.admm.newton_admm import NewtonADMM
+from repro.admm.async_newton_admm import AsyncNewtonADMM
 
 __all__ = [
     "FixedPenalty",
@@ -26,4 +27,5 @@ __all__ = [
     "admm_residuals",
     "ADMMResiduals",
     "NewtonADMM",
+    "AsyncNewtonADMM",
 ]

@@ -7,7 +7,6 @@ same BLAS/sparse kernels as the pre-backend library did.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

@@ -12,7 +12,7 @@ NumPy, while asking for an unavailable backend *by name* raises
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Union
 
 from repro.backend.base import ArrayBackend, BackendUnavailableError
 from repro.backend.numpy_backend import NumpyBackend

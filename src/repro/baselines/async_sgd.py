@@ -1,34 +1,42 @@
-"""Asynchronous parameter-server SGD (the staleness-prone first-order baseline).
+"""Asynchronous parameter-server SGD, run on the discrete-event engine.
 
 The paper's first-order comparison (§3, "Newton-ADMM outperforms
 state-of-the-art distributed First-order methods") notes that asynchronous
 SGD "weakens the rate of convergence due to the updates of older gradients to
 global weight" and therefore compares only against synchronous SGD.  This
 baseline implements the asynchronous variant so that claim can be reproduced
-rather than assumed: workers pull the weights from a parameter server, compute
-a mini-batch gradient, and push it back without any barrier, so by the time a
-gradient is applied the server has already moved on by roughly ``N - 1``
-updates (the *staleness*).
+rather than assumed.
 
-Cost model
-----------
-Workers overlap compute with each other; the parameter server serializes the
-gradient receive + weight send of every update.  The modelled time per update
-is therefore ``max(worker_cycle / N, server_handling)`` where
-``worker_cycle = compute + push + pull``.  Staleness defaults to ``N - 1``
-(the steady-state value of a round-robin pipeline) and is applied exactly:
-the gradient for global step ``t`` is evaluated at the weights of step
-``t - staleness``.
+Unlike the original closed-form model (which *assumed* a steady-state
+staleness of ``N - 1`` and a per-update time formula), the schedule is now
+simulated event by event on the cluster's
+:class:`~repro.distributed.engine.EventEngine`:
+
+* every worker cycles pull → compute → push on its own timeline (persistent
+  stragglers and jitter stretch individual cycles via the cluster's
+  :class:`~repro.distributed.stragglers.StragglerModel`, keyed by worker id);
+* pushed gradients travel as in-flight events and the server applies them in
+  arrival order, serializing its receive+send handling;
+* the *staleness of every update is measured* — the number of server steps
+  between the weights a gradient was computed at and the weights it is
+  applied to — and recorded per update in :attr:`staleness_log`.
+
+Passing an explicit ``staleness=k`` switches to the forced-staleness mode
+(the gradient for step ``t`` is evaluated at the weights of step ``t - k``)
+so ablations can isolate the staleness effect; the timing still comes from
+the simulated schedule.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.backend import copy_array
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.comm import _nbytes
 from repro.distributed.solver_base import DistributedSolver
 from repro.objectives.softmax import SoftmaxCrossEntropy
 from repro.utils.rng import check_random_state
@@ -44,7 +52,9 @@ class AsynchronousSGD(DistributedSolver):
     batch_size:
         Per-worker mini-batch size (paper's synchronous baseline uses 128).
     staleness:
-        Fixed gradient staleness in server steps; ``None`` uses ``N - 1``.
+        ``None`` (default): staleness *emerges* from the simulated schedule
+        and is recorded per update.  An explicit integer forces the classic
+        fixed-staleness model (``0`` = always-fresh serial updates).
     steps_per_epoch:
         Server updates per recorded epoch; by default enough for every worker
         to pass over its shard once (matching the synchronous baseline's
@@ -85,17 +95,60 @@ class AsynchronousSGD(DistributedSolver):
         self.staleness = staleness
         self.steps_per_epoch = steps_per_epoch
         self.random_state = random_state
-        self._w: Optional[np.ndarray] = None
+        self._w = None
         self._history: Optional[deque] = None
+        self._version = 0
+        self._server_free = 0.0
+        self._grad_bytes = 0.0
+        self._push_seconds = 0.0
         self._last_extras: Dict[str, float] = {}
+        #: measured staleness of every applied update, in server steps
+        self.staleness_log: List[int] = []
+
+    # -- schedule helpers ----------------------------------------------------
+    def _cycle_compute_seconds(self, cluster: SimulatedCluster, worker) -> float:
+        """Modelled seconds of one mini-batch gradient on ``worker``."""
+        loss = worker.state["local_mean_loss"]
+        frac = min(self.batch_size, worker.n_local_samples) / max(
+            worker.n_local_samples, 1
+        )
+        seconds = worker.device.compute_time(loss.flops_gradient() * frac)
+        return seconds * cluster.straggler_factor(worker.worker_id)
+
+    def _start_cycle(self, cluster: SimulatedCluster, worker) -> None:
+        """Begin one pull→compute→push cycle on the worker's timeline.
+
+        The worker snapshots the server weights it just pulled; the push is
+        charged to its timeline and the arrival is posted as an in-flight
+        event, so the message travels while other workers keep computing.
+        """
+        engine = cluster.engine
+        worker.state["w_pulled"] = copy_array(self._w)
+        worker.state["pulled_version"] = self._version
+        engine.compute(
+            worker.worker_id,
+            self._cycle_compute_seconds(cluster, worker),
+            label="minibatch-grad",
+        )
+        engine.communicate(worker.worker_id, self._push_seconds, label="push")
+        engine.post(worker.worker_id, 0.0)
 
     # -- hooks ---------------------------------------------------------------
-    def _initialize(self, cluster: SimulatedCluster, w0: np.ndarray) -> None:
-        self._w = w0.copy()
-        staleness = self._staleness(cluster)
-        # History of past server iterates; index 0 is the most stale one.
-        self._history = deque([w0.copy()] * (staleness + 1), maxlen=staleness + 1)
+    def _initialize(self, cluster: SimulatedCluster, w0) -> None:
+        self._w = copy_array(w0)
+        self._version = 0
+        self._server_free = 0.0
         self._last_extras = {}
+        self.staleness_log = []
+        if self.staleness is not None:
+            # Forced-staleness mode: history of past server iterates; index 0
+            # is the most stale one.
+            k = int(self.staleness)
+            self._history = deque([copy_array(w0)] * (k + 1), maxlen=k + 1)
+        else:
+            self._history = None
+        self._grad_bytes = float(_nbytes(w0))
+        self._push_seconds = cluster.network.point_to_point(self._grad_bytes)
         rng = check_random_state(self.random_state)
         for worker in cluster.workers:
             worker.state["local_mean_loss"] = SoftmaxCrossEntropy(
@@ -106,11 +159,8 @@ class AsynchronousSGD(DistributedSolver):
                 backend=cluster.backend,
             )
             worker.state["rng"] = check_random_state(int(rng.integers(0, 2**31 - 1)))
-
-    def _staleness(self, cluster: SimulatedCluster) -> int:
-        if self.staleness is not None:
-            return int(self.staleness)
-        return max(cluster.n_workers - 1, 0)
+        for worker in cluster.workers:
+            self._start_cycle(cluster, worker)
 
     def _updates_in_epoch(self, cluster: SimulatedCluster) -> int:
         if self.steps_per_epoch is not None:
@@ -121,63 +171,80 @@ class AsynchronousSGD(DistributedSolver):
         ]
         return int(sum(per_worker))
 
-    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
-        w = self._w
-        history = self._history
-        if w is None or history is None:
+    def _epoch(self, cluster: SimulatedCluster, epoch: int):
+        if self._w is None:
             raise RuntimeError("AsynchronousSGD._epoch called before _initialize")
+        engine = cluster.engine
         lam = self.lam
         n_updates = self._updates_in_epoch(cluster)
-        n_workers = cluster.n_workers
-        grad_bytes = 8.0 * cluster.dim
+        # The server serializes one receive + one send per update.
+        server_handling = 2.0 * self._push_seconds
+        staleness_this_epoch: List[int] = []
+        epoch_start = engine.now
+        epoch_end = engine.now
 
-        # --- modelled time of the epoch --------------------------------------
-        batch_fraction = [
-            min(self.batch_size, wk.n_local_samples) / max(wk.n_local_samples, 1)
-            for wk in cluster.workers
-        ]
-        compute_per_step = [
-            wk.device.compute_time(
-                wk.state["local_mean_loss"].flops_gradient() * frac
-            )
-            for wk, frac in zip(cluster.workers, batch_fraction)
-        ]
-        push_pull = 2.0 * cluster.network.point_to_point(grad_bytes)
-        worker_cycle = float(np.mean(compute_per_step)) + push_pull
-        server_handling = push_pull
-        per_update = max(worker_cycle / max(n_workers, 1), server_handling)
-        epoch_duration = n_updates * per_update
-        comm_time = min(n_updates * server_handling, epoch_duration)
-        cluster.clock.advance(max(epoch_duration - comm_time, 0.0), category="compute")
-        cluster.clock.advance(comm_time, category="communication")
-        cluster.comm.log.record(
-            "async_p2p", grad_bytes * 2 * n_updates, comm_time, new_round=False
-        )
+        for _ in range(n_updates):
+            event = engine.pop()
+            worker = cluster.workers[event.worker_id]
+            # Server applies arrivals in order, one at a time.
+            applied_at = max(event.time, self._server_free)
+            self._server_free = applied_at + server_handling
+            staleness = self._version - int(worker.state["pulled_version"])
 
-        # --- stale-gradient updates -------------------------------------------
-        for step in range(n_updates):
-            worker = cluster.workers[step % n_workers]
             loss = worker.state["local_mean_loss"]
             rng = worker.state["rng"]
             n_local = worker.n_local_samples
             batch = min(self.batch_size, n_local)
             idx = rng.choice(n_local, size=batch, replace=False)
-            stale_w = history[0]
+            if self._history is not None:
+                stale_w = self._history[0]  # forced-staleness ablation mode
+                staleness = int(self.staleness)
+            else:
+                stale_w = worker.state["w_pulled"]
             grad = loss.minibatch(idx).gradient(stale_w) + lam * stale_w
             worker.objective.add_flops(
                 loss.flops_gradient() * batch / max(n_local, 1)
             )
-            w = w - self.step_size * grad
-            history.append(w.copy())
+            self._w = self._w - self.step_size * grad
+            self._version += 1
+            if self._history is not None:
+                self._history.append(copy_array(self._w))
+            staleness_this_epoch.append(staleness)
+            self.staleness_log.append(staleness)
 
-        self._w = w
-        self._history = history
+            # The worker was idle since its push; the server spends
+            # ``push_seconds`` ingesting its gradient after applying it, then
+            # ``push_seconds`` sending the fresh weights back — the worker's
+            # pull completes exactly when the server frees up.
+            engine.wait_until(
+                worker.worker_id,
+                applied_at + self._push_seconds,
+                label="server-queue",
+            )
+            engine.communicate(worker.worker_id, self._push_seconds, label="pull")
+            self._start_cycle(cluster, worker)
+            epoch_end = max(epoch_end, self._server_free)
+
+        # Global modelled time: the epoch ends when the server has handled
+        # the last update; its serialized handling bounds the comm share.
+        comm_seconds = n_updates * server_handling
+        engine.advance_global_to(epoch_end, comm_seconds=comm_seconds)
+        cluster.comm.log.record(
+            "async_p2p",
+            self._grad_bytes * 2 * n_updates,
+            min(comm_seconds, max(engine.now - epoch_start, 0.0)),
+            new_round=False,
+        )
+
+        arr = np.asarray(staleness_this_epoch, dtype=np.float64)
         self._last_extras = {
             "updates": float(n_updates),
-            "staleness": float(self._staleness(cluster)),
+            "staleness": float(arr.mean()) if arr.size else 0.0,
+            "max_staleness": float(arr.max()) if arr.size else 0.0,
+            "staleness_mode": "fixed" if self._history is not None else "measured",
             "step_size": self.step_size,
         }
-        return w
+        return self._w
 
     def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
         return dict(self._last_extras)

@@ -9,7 +9,6 @@ of feature scales and inter-feature correlation.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

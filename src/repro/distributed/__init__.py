@@ -29,6 +29,7 @@ from repro.distributed.collectives import (
     tuned_network,
 )
 from repro.distributed.stragglers import StragglerModel
+from repro.distributed.engine import Event, EventEngine
 from repro.distributed.comm import Communicator, CommunicationLog
 from repro.distributed.worker import Worker
 from repro.distributed.cluster import SimulatedCluster
@@ -49,6 +50,8 @@ __all__ = [
     "ring_allgather_time",
     "bruck_allgather_time",
     "StragglerModel",
+    "Event",
+    "EventEngine",
     "Communicator",
     "CommunicationLog",
     "Worker",

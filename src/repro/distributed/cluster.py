@@ -14,13 +14,12 @@ import inspect
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Union
 
-import numpy as np
-
 from repro.backend import ArrayBackend, BackendLike, get_backend
 from repro.datasets.base import ClassificationDataset
 from repro.datasets.sharding import shard_dataset
 from repro.distributed.comm import Communicator
 from repro.distributed.device import DeviceModel
+from repro.distributed.engine import EventEngine
 from repro.distributed.network import NetworkModel, infiniband_100g
 from repro.distributed.stragglers import StragglerModel
 from repro.distributed.worker import Worker
@@ -108,6 +107,14 @@ class SimulatedCluster:
         vectors live on (``None`` -> the session default, normally NumPy).
         When ``device`` is omitted the cost model keys off this backend via
         :meth:`~repro.backend.base.ArrayBackend.default_device_model`.
+    engine:
+        ``"lockstep"`` (default) keeps the historical single-global-clock
+        accounting; ``"event"`` routes rounds and collectives through the
+        discrete-event :class:`~repro.distributed.engine.EventEngine`, which
+        additionally records per-worker busy/wait/comm timelines.  Both modes
+        produce bit-identical iterates and identical modelled times for
+        synchronous solvers; asynchronous solvers always use the engine's
+        event queue regardless of this mode.
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class SimulatedCluster:
         max_threads: Optional[int] = None,
         straggler: Optional[StragglerModel] = None,
         backend: BackendLike = None,
+        engine: str = "lockstep",
         random_state=None,
     ):
         if n_workers < 1:
@@ -130,6 +138,10 @@ class SimulatedCluster:
         if executor not in ("serial", "threads"):
             raise ValueError(
                 f"executor must be 'serial' or 'threads', got {executor!r}"
+            )
+        if engine not in ("lockstep", "event"):
+            raise ValueError(
+                f"engine must be 'lockstep' or 'event', got {engine!r}"
             )
         self.train = train
         self.n_workers = int(n_workers)
@@ -155,7 +167,17 @@ class SimulatedCluster:
         self.max_threads = max_threads
         self.clock = SimulatedClock()
         self.wall = Stopwatch()
-        self.comm = Communicator(self.n_workers, self.network, self.clock)
+        # The engine always exists (async solvers schedule through its event
+        # queue in either mode); engine_mode decides whether the *synchronous*
+        # paths — map_workers rounds and collectives — also route through it.
+        self.engine_mode = engine
+        self.engine = EventEngine(self.n_workers, clock=self.clock)
+        self.comm = Communicator(
+            self.n_workers,
+            self.network,
+            self.clock,
+            engine=self.engine if engine == "event" else None,
+        )
 
         if isinstance(loss, str):
             if loss not in LOSS_FACTORIES:
@@ -231,10 +253,31 @@ class SimulatedCluster:
         if advance_clock:
             times = [w.modelled_compute_time() for w in targets]
             if self.straggler is not None:
-                factors = self.straggler.sample_factors(len(targets))
+                # Factors are keyed by worker_id (not position), so persistent
+                # stragglers hit the named workers even on subset rounds.
+                factors = self.straggler.factors_for(
+                    [w.worker_id for w in targets], self.n_workers
+                )
                 times = [t * f for t, f in zip(times, factors)]
-            self.clock.advance(max(times), category="compute")
+            if self.engine_mode == "event":
+                self.engine.run_round(
+                    {w.worker_id: t for w, t in zip(targets, times)},
+                    category="compute",
+                )
+            else:
+                self.clock.advance(max(times), category="compute")
         return results
+
+    def straggler_factor(self, worker_id: int) -> float:
+        """One cycle's slowdown factor for ``worker_id`` (1.0 without a model).
+
+        Asynchronous solvers call this once per scheduled compute cycle; the
+        draw is keyed by worker id so persistent stragglers stay the named
+        workers, exactly as in the synchronous rounds.
+        """
+        if self.straggler is None:
+            return 1.0
+        return float(self.straggler.factors_for([worker_id], self.n_workers)[0])
 
     # -- objectives -------------------------------------------------------
     def global_loss(self) -> Objective:
@@ -261,6 +304,7 @@ class SimulatedCluster:
         self.clock.reset()
         self.wall.reset()
         self.comm.reset_log()
+        self.engine.reset()
         if self.straggler is not None:
             self.straggler.reset()
         for w in self.workers:
@@ -278,6 +322,7 @@ class SimulatedCluster:
             "network": self.network.name,
             "device": self.device.name,
             "backend": self.backend.name,
+            "engine": self.engine_mode,
             "worker_sizes": self.worker_sizes(),
         }
 

@@ -61,6 +61,15 @@ class Communicator:
         Interconnect cost model.
     clock:
         Cluster clock to advance with the modelled communication time.
+    engine:
+        Optional :class:`~repro.distributed.engine.EventEngine`.  When set,
+        every collective is a barrier event on the engine: all workers wait
+        to the synchronization point (fast workers accrue ``wait`` segments)
+        and each is charged the collective's modelled time; the shared clock
+        receives exactly the same ``advance`` calls as the engine-less path,
+        keeping modelled totals bit-identical.  ``overlap=True`` on a
+        collective posts the transfer in the background instead (see
+        :meth:`~repro.distributed.engine.EventEngine.background_collective`).
 
     Notes
     -----
@@ -70,22 +79,55 @@ class Communicator:
     paper's "one round of communication per iteration" accounting.
     """
 
-    def __init__(self, n_workers: int, network: NetworkModel, clock: SimulatedClock):
+    def __init__(
+        self,
+        n_workers: int,
+        network: NetworkModel,
+        clock: SimulatedClock,
+        *,
+        engine=None,
+    ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = int(n_workers)
         self.network = network
         self.clock = clock
+        self.engine = engine
         self.log = CommunicationLog()
 
     # -- internals -------------------------------------------------------
     def _account(
-        self, operation: str, nbytes: float, seconds: float, *, joint_with_previous: bool
+        self,
+        operation: str,
+        nbytes: float,
+        seconds: float,
+        *,
+        joint_with_previous: bool,
+        overlap: bool = False,
     ) -> None:
-        self.clock.advance(seconds, category="communication")
+        if self.engine is not None:
+            if overlap:
+                self.engine.background_collective(seconds, label=operation)
+            else:
+                self.engine.collective(
+                    seconds, category="communication", label=operation
+                )
+        else:
+            # Overlap needs per-worker timelines; without an engine the cost
+            # model has a single clock and the transfer is charged in full.
+            self.clock.advance(seconds, category="communication")
         self.log.record(
             operation, nbytes, seconds, new_round=not joint_with_previous
         )
+
+    def join(self) -> None:
+        """Block until overlapped (``overlap=True``) collectives complete.
+
+        Charges only the part of the transfer that following compute did not
+        hide; a no-op without an engine or pending background transfers.
+        """
+        if self.engine is not None:
+            self.engine.join_background()
 
     @staticmethod
     def _check_buffers(buffers: Sequence[np.ndarray], n_expected: int) -> List[np.ndarray]:
@@ -102,39 +144,55 @@ class Communicator:
 
     # -- collectives -------------------------------------------------------
     def gather(
-        self, buffers: Sequence[np.ndarray], *, joint_with_previous: bool = False
+        self,
+        buffers: Sequence[np.ndarray],
+        *,
+        joint_with_previous: bool = False,
+        overlap: bool = False,
     ) -> List[np.ndarray]:
         """Gather one buffer per worker at the master."""
         buffers = self._check_buffers(buffers, self.n_workers)
         per_worker = max(_nbytes(b) for b in buffers)
         seconds = self.network.gather(self.n_workers, per_worker)
         self._account("gather", per_worker * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous)
+                      joint_with_previous=joint_with_previous, overlap=overlap)
         return [_copy(b) for b in buffers]
 
     def scatter(
-        self, buffers: Sequence[np.ndarray], *, joint_with_previous: bool = False
+        self,
+        buffers: Sequence[np.ndarray],
+        *,
+        joint_with_previous: bool = False,
+        overlap: bool = False,
     ) -> List[np.ndarray]:
         """Send a distinct buffer from the master to each worker."""
         buffers = self._check_buffers(buffers, self.n_workers)
         per_worker = max(_nbytes(b) for b in buffers)
         seconds = self.network.scatter(self.n_workers, per_worker)
         self._account("scatter", per_worker * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous)
+                      joint_with_previous=joint_with_previous, overlap=overlap)
         return [_copy(b) for b in buffers]
 
     def broadcast(
-        self, buffer: np.ndarray, *, joint_with_previous: bool = False
+        self,
+        buffer: np.ndarray,
+        *,
+        joint_with_previous: bool = False,
+        overlap: bool = False,
     ) -> List[np.ndarray]:
         """Replicate a master buffer on every worker."""
         buffer = ensure_float_array(buffer)
         seconds = self.network.broadcast(self.n_workers, _nbytes(buffer))
         self._account("broadcast", _nbytes(buffer) * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous)
+                      joint_with_previous=joint_with_previous, overlap=overlap)
         return [_copy(buffer) for _ in range(self.n_workers)]
 
     def allreduce(
-        self, buffers: Sequence[np.ndarray], *, joint_with_previous: bool = False
+        self,
+        buffers: Sequence[np.ndarray],
+        *,
+        joint_with_previous: bool = False,
+        overlap: bool = False,
     ) -> np.ndarray:
         """Element-wise sum of one buffer per worker, result visible everywhere."""
         buffers = self._check_buffers(buffers, self.n_workers)
@@ -151,21 +209,25 @@ class Communicator:
         nbytes = _nbytes(buffers[0])
         seconds = self.network.allreduce(self.n_workers, nbytes)
         self._account("allreduce", nbytes * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous)
+                      joint_with_previous=joint_with_previous, overlap=overlap)
         total = _copy(buffers[0])
         for b in buffers[1:]:
             total += b
         return total
 
     def allgather(
-        self, buffers: Sequence[np.ndarray], *, joint_with_previous: bool = False
+        self,
+        buffers: Sequence[np.ndarray],
+        *,
+        joint_with_previous: bool = False,
+        overlap: bool = False,
     ) -> List[np.ndarray]:
         """Every worker receives every worker's buffer."""
         buffers = self._check_buffers(buffers, self.n_workers)
         per_worker = max(_nbytes(b) for b in buffers)
         seconds = self.network.allgather(self.n_workers, per_worker)
         self._account("allgather", per_worker * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous)
+                      joint_with_previous=joint_with_previous, overlap=overlap)
         return [_copy(b) for b in buffers]
 
     def reduce_scalar(

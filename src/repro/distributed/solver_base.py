@@ -21,7 +21,9 @@ import numpy as np
 from repro.backend import copy_array
 from repro.datasets.base import ClassificationDataset
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.engine import timelines_dict
 from repro.metrics.classification import accuracy
+from repro.metrics.timeline import timeline_summary
 from repro.metrics.traces import EpochRecord, RunTrace
 from repro.objectives.base import RegularizedObjective
 from repro.utils.validation import check_positive
@@ -141,7 +143,22 @@ class DistributedSolver(ABC):
             "collectives": cluster.comm.log.n_collectives,
             "bytes": cluster.comm.log.bytes_transferred,
         }
+        self._attach_timelines(trace, cluster)
         return trace
+
+    @staticmethod
+    def _attach_timelines(trace: RunTrace, cluster: SimulatedCluster) -> None:
+        """Record per-worker busy/wait/comm timelines when the engine saw any.
+
+        Event-mode synchronous runs and asynchronous solvers (which always
+        schedule through the engine) populate these; lock-step synchronous
+        runs leave the timelines empty and the trace unchanged.
+        """
+        timelines = cluster.engine.timelines
+        if not any(tl.segments for tl in timelines):
+            return
+        trace.info["timelines"] = timelines_dict(timelines)
+        trace.info["timeline_summary"] = timeline_summary(timelines)
 
     # -- helpers -------------------------------------------------------
     def _make_record(
@@ -181,9 +198,13 @@ class DistributedSolver(ABC):
         return {}
 
     def hyperparameters(self) -> dict:
-        """Serializable hyper-parameter dictionary (for run provenance)."""
+        """Serializable hyper-parameter dictionary (for run provenance).
+
+        Underscore-prefixed attributes are run state (clocks, versions,
+        counters), not hyper-parameters, and are excluded.
+        """
         return {
             k: v
             for k, v in vars(self).items()
-            if isinstance(v, (int, float, str, bool))
+            if not k.startswith("_") and isinstance(v, (int, float, str, bool))
         }

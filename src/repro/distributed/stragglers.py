@@ -64,8 +64,8 @@ class StragglerModel:
         self._history: list = []
 
     # -- sampling ------------------------------------------------------------
-    def sample_factors(self, n_workers: int) -> np.ndarray:
-        """Slowdown factors (one per worker) for the next synchronization round."""
+    def _draw(self, n_workers: int) -> np.ndarray:
+        """One round of per-worker factors; advances the RNG, records nothing."""
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         factors = np.ones(n_workers)
@@ -77,9 +77,40 @@ class StragglerModel:
         for worker_id in self.persistent_stragglers:
             if 0 <= worker_id < n_workers:
                 factors[worker_id] *= self.slowdown
+        return factors
+
+    def sample_factors(self, n_workers: int) -> np.ndarray:
+        """Slowdown factors (one per worker) for the next synchronization round."""
+        factors = self._draw(n_workers)
         self._round += 1
         self._history.append(factors.copy())
         return factors
+
+    def factors_for(self, worker_ids: Sequence[int], n_workers: int) -> np.ndarray:
+        """Slowdown factors for one round, keyed by ``worker_id``.
+
+        One full round of ``n_workers`` factors is drawn and the entries for
+        ``worker_ids`` are returned, so ``persistent_stragglers`` hit the
+        *named* workers even when only a subset participates in the round
+        (positional application of :meth:`sample_factors` mis-assigned them
+        on subsets).  A full-cluster call consumes the RNG exactly like
+        :meth:`sample_factors` always did, keeping existing runs reproducible.
+
+        Only the factors actually *applied* (the selected entries) enter the
+        round history, so :meth:`summary` reflects delivered slowdowns and
+        per-worker asynchronous schedules (one query per cycle) do not flood
+        the history with full phantom rounds.
+        """
+        ids = np.asarray([int(i) for i in worker_ids], dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= n_workers):
+            raise ValueError(
+                f"worker ids {sorted(set(ids.tolist()))} out of range for "
+                f"{n_workers} workers"
+            )
+        selected = self._draw(n_workers)[ids]
+        self._round += 1
+        self._history.append(selected.copy())
+        return selected
 
     # -- reporting -------------------------------------------------------
     @property
@@ -90,11 +121,13 @@ class StragglerModel:
         """Mean/max slowdown factors observed so far (for run provenance)."""
         if not self._history:
             return {"rounds": 0, "mean_factor": 1.0, "max_factor": 1.0}
-        stacked = np.vstack(self._history)
+        # Rounds may record different worker counts (subset rounds, async
+        # per-cycle queries), so flatten rather than stack.
+        applied = np.concatenate([np.ravel(h) for h in self._history])
         return {
             "rounds": float(self._round),
-            "mean_factor": float(stacked.mean()),
-            "max_factor": float(stacked.max()),
+            "mean_factor": float(applied.mean()),
+            "max_factor": float(applied.max()),
         }
 
     def reset(self) -> None:

@@ -87,6 +87,11 @@ EXPERIMENT_REGISTRY: Dict[str, tuple] = {
         "Ablation — straggler sensitivity (persistent slow worker)",
         None,
     ),
+    "ablation-async": (
+        experiments.ablation_async_admm,
+        "Ablation — async Newton-ADMM / async SGD vs sync under a straggler",
+        "objective",
+    ),
 }
 
 
@@ -128,6 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "array backend for all compute (default: numpy; 'auto' picks the "
             "best available accelerator and falls back to numpy)"
+        ),
+    )
+    run.add_argument(
+        "--engine",
+        choices=["lockstep", "event"],
+        default=None,
+        help=(
+            "execution engine for synchronous solvers (default: lockstep; "
+            "'event' runs on the discrete-event scheduler — identical results "
+            "and modelled times, plus per-worker busy/wait/comm timelines)"
         ),
     )
     run.add_argument(
@@ -213,6 +228,10 @@ def _cmd_run(args, print_fn: Callable[[str], None]) -> int:
             print_fn("hint: run 'python -m repro backends' to see what is available")
             return 2
         print_fn(f"using array backend: {backend.name}")
+    if getattr(args, "engine", None):
+        from repro.harness.config import set_default_engine
+
+        print_fn(f"using execution engine: {set_default_engine(args.engine)}")
     names: List[str] = (
         sorted(EXPERIMENT_REGISTRY) if args.experiment == "all" else [args.experiment]
     )

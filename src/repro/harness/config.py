@@ -92,6 +92,10 @@ class ClusterConfig:
         Array backend name (``"numpy"``, ``"cupy"``, ``"torch"``, ``"auto"``)
         or ``None`` for the session default set via
         :func:`repro.backend.set_default_backend` (the CLI's ``--backend``).
+    engine:
+        Execution engine for the synchronous paths: ``"lockstep"``,
+        ``"event"``, or ``None`` for the session default set via
+        :func:`set_default_engine` (the CLI's ``--engine``).
     """
 
     dataset: str
@@ -103,8 +107,33 @@ class ClusterConfig:
     sharding: str = "stratified"
     executor: str = "serial"
     backend: Optional[str] = None
+    engine: Optional[str] = None
     seed: int = 0
     dataset_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+#: session default for ``ClusterConfig.engine`` (see :func:`set_default_engine`)
+_DEFAULT_ENGINE = "lockstep"
+
+ENGINE_MODES = ("lockstep", "event")
+
+
+def set_default_engine(mode: str) -> str:
+    """Set the session-wide default execution engine (the CLI's ``--engine``).
+
+    Every :class:`ClusterConfig` whose ``engine`` is ``None`` resolves to this
+    value at cluster-build time, so the experiment drivers pick it up without
+    threading the flag through every call.
+    """
+    global _DEFAULT_ENGINE
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"engine must be one of {ENGINE_MODES}, got {mode!r}")
+    _DEFAULT_ENGINE = mode
+    return _DEFAULT_ENGINE
+
+
+def default_engine() -> str:
+    return _DEFAULT_ENGINE
 
 
 @dataclass

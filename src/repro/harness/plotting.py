@@ -132,6 +132,79 @@ def plot_traces(
     )
 
 
+#: Gantt glyphs per segment kind (busy compute, barrier/idle wait, transfer)
+_GANTT_GLYPHS = {"busy": "#", "wait": ".", "comm": "~"}
+
+
+def plot_gantt(
+    timelines,
+    *,
+    width: int = 72,
+    until: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII Gantt chart of per-worker timelines (busy ``#``, wait ``.``,
+    comm ``~``, background transfers ``-`` on a separate lane).
+
+    ``timelines`` is a sequence of
+    :class:`~repro.metrics.timeline.WorkerTimeline` objects or their
+    serialized dictionaries (``RunTrace.info["timelines"]``).  Each row is one
+    worker; a cell shows the activity occupying most of its time slice.  This
+    is the schedule view behind the straggler and async analyses: persistent
+    stragglers show as rows of solid ``#`` while their peers fill with ``.``
+    on synchronous runs, and as staggered ``#`` blocks on quorum schedules.
+    """
+    from repro.metrics.timeline import WorkerTimeline, timelines_from_dicts
+
+    if not timelines:
+        raise ValueError("timelines must not be empty")
+    if not isinstance(timelines[0], WorkerTimeline):
+        timelines = timelines_from_dicts(timelines)
+    if width < 10:
+        raise ValueError("canvas must be at least 10 characters wide")
+    span = until if until is not None else max(tl.t for tl in timelines)
+    if span <= 0:
+        return (title or "gantt") + "\n(no recorded activity)"
+
+    def render(segments, glyph_for) -> str:
+        # Majority activity per cell; later segments win exact ties so the
+        # chart reflects what the worker moved on to.
+        occupancy = [dict() for _ in range(width)]
+        for seg in segments:
+            lo = int(np.clip(seg.start / span * width, 0, width - 1))
+            hi = int(np.clip(np.ceil(seg.end / span * width), lo + 1, width))
+            for cell in range(lo, hi):
+                cell_start = cell * span / width
+                cell_end = (cell + 1) * span / width
+                overlap = min(seg.end, cell_end) - max(seg.start, cell_start)
+                if overlap > 0:
+                    bucket = occupancy[cell]
+                    bucket[seg.kind] = bucket.get(seg.kind, 0.0) + overlap
+        chars = []
+        for bucket in occupancy:
+            if not bucket:
+                chars.append(" ")
+                continue
+            # >= so the later-inserted kind wins exact ties (segments are
+            # appended chronologically, dicts preserve insertion order).
+            kind, best = None, -1.0
+            for candidate, overlap in bucket.items():
+                if overlap >= best:
+                    kind, best = candidate, overlap
+            chars.append(glyph_for.get(kind, "?"))
+        return "".join(chars)
+
+    lines = [title] if title else []
+    lines.append(
+        f"gantt 0 .. {span:.3g}s   legend: # busy   . wait   ~ comm   - overlap"
+    )
+    for tl in timelines:
+        lines.append(f"w{tl.worker_id:<3d}|{render(tl.segments, _GANTT_GLYPHS)}|")
+        if tl.background:
+            lines.append(f"    |{render(tl.background, {'comm': '-'})}| (background)")
+    return "\n".join(lines)
+
+
 def plot_scaling(
     rows: Sequence[dict],
     *,

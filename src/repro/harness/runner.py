@@ -6,6 +6,7 @@ from typing import Dict, Optional, Tuple, Type
 
 import numpy as np
 
+from repro.admm.async_newton_admm import AsyncNewtonADMM
 from repro.admm.newton_admm import NewtonADMM
 from repro.baselines.aide import AIDE
 from repro.baselines.async_sgd import AsynchronousSGD
@@ -30,7 +31,7 @@ from repro.distributed.network import (
     wan_slow,
 )
 from repro.distributed.solver_base import DistributedSolver
-from repro.harness.config import ClusterConfig, SolverConfig
+from repro.harness.config import ClusterConfig, SolverConfig, default_engine
 from repro.metrics.traces import RunTrace
 from repro.objectives.base import RegularizedObjective
 from repro.objectives.regularizers import L2Regularizer
@@ -40,6 +41,7 @@ from repro.solvers.newton_cg import NewtonCG
 #: name -> distributed solver class
 SOLVER_REGISTRY: Dict[str, Type[DistributedSolver]] = {
     "newton_admm": NewtonADMM,
+    "async_newton_admm": AsyncNewtonADMM,
     "giant": GIANT,
     "inexact_dane": InexactDANE,
     "aide": AIDE,
@@ -108,6 +110,7 @@ def build_cluster(
         sharding=config.sharding,
         executor=config.executor,
         backend=config.backend,
+        engine=config.engine if config.engine is not None else default_engine(),
         random_state=config.seed,
     )
     return cluster, test

@@ -11,7 +11,6 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.linalg.cg import conjugate_gradient
 from repro.linalg.operators import LinearOperator
 from repro.utils.rng import check_random_state
 

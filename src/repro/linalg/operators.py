@@ -13,7 +13,7 @@ float32 pipelines quietly degrade to float64 round-trips.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -17,6 +17,12 @@ from repro.metrics.traces import (
     average_epoch_time,
 )
 from repro.metrics.summary import format_table, format_series, relative_error
+from repro.metrics.timeline import (
+    TimelineSegment,
+    WorkerTimeline,
+    timeline_summary,
+    timelines_from_dicts,
+)
 
 __all__ = [
     "accuracy",
@@ -34,4 +40,8 @@ __all__ = [
     "format_table",
     "format_series",
     "relative_error",
+    "TimelineSegment",
+    "WorkerTimeline",
+    "timeline_summary",
+    "timelines_from_dicts",
 ]

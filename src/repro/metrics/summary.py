@@ -7,7 +7,7 @@ terminal (no plotting dependencies are assumed).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, Sequence, Union
 
 Number = Union[int, float]
 

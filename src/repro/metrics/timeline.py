@@ -1,0 +1,182 @@
+"""Per-worker timelines: busy / wait / comm segments of a modelled schedule.
+
+The discrete-event engine (:mod:`repro.distributed.engine`) gives every
+simulated worker its own clock; this module holds the record of what each
+worker was doing and when.  A timeline is an append-only list of
+:class:`TimelineSegment` (busy compute, barrier/straggler wait, communication)
+plus an optional ``background`` lane for transfers that overlap compute.
+
+These records are what the Gantt export
+(:func:`repro.harness.plotting.plot_gantt`) renders and what the
+straggler/async analyses aggregate: synchronous methods show growing ``wait``
+bars on the fast workers as stragglers slow a round down, while asynchronous
+schedules show staggered ``busy`` bars and per-worker progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+#: segment kinds in display order
+SEGMENT_KINDS = ("busy", "wait", "comm")
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One contiguous activity interval on a worker's clock."""
+
+    start: float
+    end: float
+    kind: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"segment ends before it starts: [{self.start}, {self.end}]"
+            )
+        if self.kind not in SEGMENT_KINDS:
+            raise ValueError(
+                f"unknown segment kind {self.kind!r}; expected one of {SEGMENT_KINDS}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "start": float(self.start),
+            "end": float(self.end),
+            "kind": self.kind,
+            "label": self.label,
+        }
+
+
+@dataclass
+class WorkerTimeline:
+    """Append-only activity record of one worker, with its local clock ``t``.
+
+    The engine advances ``t`` through :meth:`advance` (busy/comm work) and
+    :meth:`wait_until` (barrier or idle waits); zero-length intervals are not
+    recorded.  ``background`` holds transfers posted with overlap — they do
+    not advance the worker's clock (the NIC moves the bytes while the worker
+    computes) but are kept for the Gantt export.
+    """
+
+    worker_id: int
+    t: float = 0.0
+    segments: List[TimelineSegment] = field(default_factory=list)
+    background: List[TimelineSegment] = field(default_factory=list)
+
+    def advance(self, seconds: float, kind: str = "busy", label: str = "") -> float:
+        """Advance the local clock by ``seconds`` doing ``kind`` work."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance timeline by negative time {seconds!r}")
+        if seconds > 0:
+            self.segments.append(
+                TimelineSegment(self.t, self.t + seconds, kind, label)
+            )
+            self.t += seconds
+        return self.t
+
+    def wait_until(self, time: float, label: str = "barrier") -> float:
+        """Idle (``wait``) until the absolute local time ``time``.
+
+        A target in the past is a no-op: the worker is already there.
+        """
+        if time > self.t:
+            self.advance(time - self.t, "wait", label)
+        return self.t
+
+    def post_background(self, start: float, seconds: float, label: str = "") -> float:
+        """Record an overlapped transfer of ``seconds`` starting at ``start``.
+
+        Returns the completion time; the worker's own clock is untouched.
+        """
+        if seconds < 0:
+            raise ValueError(f"background transfer cannot take {seconds!r} s")
+        end = start + seconds
+        self.background.append(TimelineSegment(start, end, "comm", label))
+        return end
+
+    # -- aggregation -------------------------------------------------------
+    def totals(self) -> Dict[str, float]:
+        """Seconds spent per segment kind (background comm under ``overlap``)."""
+        out = {kind: 0.0 for kind in SEGMENT_KINDS}
+        for seg in self.segments:
+            out[seg.kind] += seg.duration
+        out["overlap"] = sum(seg.duration for seg in self.background)
+        return out
+
+    @property
+    def span(self) -> float:
+        """Total local time covered (== the local clock)."""
+        return self.t
+
+    def utilization(self) -> float:
+        """Fraction of the span spent busy (``nan`` for an empty timeline)."""
+        if self.t <= 0:
+            return float("nan")
+        return self.totals()["busy"] / self.t
+
+    def to_dict(self, *, include_segments: bool = True) -> dict:
+        out = {"worker_id": int(self.worker_id), "total": float(self.t)}
+        out.update({k: float(v) for k, v in self.totals().items()})
+        if include_segments:
+            out["segments"] = [seg.to_dict() for seg in self.segments]
+            if self.background:
+                out["background"] = [seg.to_dict() for seg in self.background]
+        return out
+
+
+def timeline_summary(
+    timelines: Sequence[WorkerTimeline], *, include_segments: bool = False
+) -> List[dict]:
+    """One row per worker: busy/wait/comm totals and utilization.
+
+    This is the table behind the straggler analyses: under a persistent
+    straggler every non-straggling worker's ``wait`` grows to cover the
+    slow worker's extra compute on synchronous schedules, and shrinks to
+    near zero on quorum-based asynchronous ones.
+    """
+    rows = []
+    for tl in timelines:
+        row = tl.to_dict(include_segments=include_segments)
+        row["utilization"] = float(tl.utilization())
+        rows.append(row)
+    return rows
+
+
+def max_time(timelines: Sequence[WorkerTimeline]) -> float:
+    """Latest local clock across the timelines (0 when empty)."""
+    return max((tl.t for tl in timelines), default=0.0)
+
+
+def timelines_from_dicts(rows: Sequence[dict]) -> List[WorkerTimeline]:
+    """Rebuild :class:`WorkerTimeline` objects from serialized dictionaries.
+
+    Used to re-render Gantt charts from saved traces; rows without a
+    ``segments`` list come back as empty timelines with the recorded span.
+    """
+    out: List[WorkerTimeline] = []
+    for row in rows:
+        tl = WorkerTimeline(worker_id=int(row["worker_id"]))
+        for seg in row.get("segments", ()):  # pragma: no branch
+            tl.segments.append(
+                TimelineSegment(
+                    float(seg["start"]), float(seg["end"]), seg["kind"],
+                    seg.get("label", ""),
+                )
+            )
+        for seg in row.get("background", ()):
+            tl.background.append(
+                TimelineSegment(
+                    float(seg["start"]), float(seg["end"]), "comm",
+                    seg.get("label", ""),
+                )
+            )
+        tl.t = float(row.get("total", tl.segments[-1].end if tl.segments else 0.0))
+        out.append(tl)
+    return out

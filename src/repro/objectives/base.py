@@ -153,6 +153,31 @@ class Objective(ABC):
     def check_weights(self, w: np.ndarray) -> np.ndarray:
         return self.backend.as_vector(w, self.dim, name="weight vector")
 
+    def _eval_matrix(self, X):
+        """Backend-converted evaluation matrix for ``predict``/``predict_proba``
+        with an explicit ``X``, cached by identity on non-NumPy backends.
+
+        The per-epoch trace recorder evaluates accuracy on the same train/test
+        matrices every epoch; without this cache each evaluation re-transfers
+        the full matrix to the device on cupy/torch backends.  The cache keys
+        on object identity (``X is cached``), holds a single entry (train and
+        test matrices live on separate objectives), and assumes the caller
+        does not mutate ``X`` in place between evaluations.  The NumPy backend
+        skips the cache — conversion is free there.
+        """
+        from repro.utils.validation import check_array
+
+        if self.backend.name != "numpy":
+            cached = getattr(self, "_eval_matrix_cache", None)
+            if cached is not None and cached[0] is X:
+                return cached[1]
+        data = self.backend.asarray_data(
+            check_array(X, name="X", allow_sparse=True)
+        )
+        if self.backend.name != "numpy":
+            self._eval_matrix_cache = (X, data)
+        return data
+
     def _rows(self, indices: np.ndarray):
         """Row subset of this objective's design matrix (for minibatching),
         with a clear error for backend sparse formats that cannot be indexed."""

@@ -31,7 +31,7 @@ from repro.objectives.base import (
     validate_design_matrix,
 )
 from repro.utils.flops import gemm_flops, gemv_flops
-from repro.utils.validation import check_array, check_labels
+from repro.utils.validation import check_labels
 
 
 class BinarySquaredHinge(Objective):
@@ -105,12 +105,7 @@ class BinarySquaredHinge(Objective):
 
     def predict(self, w, X=None) -> np.ndarray:
         w = self.check_weights(w)
-        if X is None:
-            data = self.X
-        else:
-            data = self._backend.asarray_data(
-                check_array(X, name="X", allow_sparse=True)
-            )
+        data = self.X if X is None else self._eval_matrix(X)
         margins = self._backend.to_numpy((data @ w).ravel())
         return (margins >= 0.0).astype(np.int64)
 
@@ -222,12 +217,7 @@ class MulticlassSquaredHinge(Objective):
     def predict(self, w, X=None) -> np.ndarray:
         xp = self._backend.xp
         W = self._as_matrix(w)
-        if X is None:
-            data = self.X
-        else:
-            data = self._backend.asarray_data(
-                check_array(X, name="X", allow_sparse=True)
-            )
+        data = self.X if X is None else self._eval_matrix(X)
         return self._backend.to_numpy(xp.argmax(data @ W, axis=1))
 
     def flops_value(self) -> float:

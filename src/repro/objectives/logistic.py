@@ -23,7 +23,7 @@ from repro.objectives.base import (
 )
 from repro.objectives.numerics import log1p_exp, sigmoid
 from repro.utils.flops import gemv_flops
-from repro.utils.validation import check_array, check_labels
+from repro.utils.validation import check_labels
 
 
 class BinaryLogistic(Objective):
@@ -115,12 +115,7 @@ class BinaryLogistic(Objective):
         """Probability of class 1 for each sample (host array)."""
         xp = self._backend.xp
         w = self.check_weights(w)
-        if X is None:
-            data = self.X
-        else:
-            data = self._backend.asarray_data(
-                check_array(X, name="X", allow_sparse=True)
-            )
+        data = self.X if X is None else self._eval_matrix(X)
         return self._backend.to_numpy(sigmoid((data @ w).ravel(), xp=xp))
 
     def predict(self, w, X=None) -> np.ndarray:

@@ -39,7 +39,7 @@ from repro.utils.flops import (
     softmax_hvp_flops,
     softmax_objective_flops,
 )
-from repro.utils.validation import check_array, check_labels
+from repro.utils.validation import check_labels
 
 
 class SoftmaxCrossEntropy(Objective):
@@ -153,12 +153,7 @@ class SoftmaxCrossEntropy(Objective):
         (returned on the host)."""
         xp = self._backend.xp
         W = self._as_matrix(w)
-        if X is None:
-            data = self.X
-        else:
-            data = self._backend.asarray_data(
-                check_array(X, name="X", allow_sparse=True)
-            )
+        data = self.X if X is None else self._eval_matrix(X)
         logits = data @ W
         return self._backend.to_numpy(full_class_probabilities(logits, xp=xp))
 

@@ -140,6 +140,34 @@ class TestDispatchSeam:
         got = SoftmaxCrossEntropy(X, y, 3, backend=TracingBackend()).gradient(w)
         np.testing.assert_array_equal(got, ref)
 
+    def test_predict_caches_converted_eval_matrix(self):
+        # The per-epoch trace recorder calls predict(w, test.X) every epoch;
+        # on non-NumPy backends the converted matrix must be cached so the
+        # data is not re-transferred to the device each time.
+        X, y = _rng_problem()
+        backend = TracingBackend()
+        obj = SoftmaxCrossEntropy(X, y, 3, backend=backend)
+        w = np.zeros(obj.dim)
+        X_eval = X[:5].copy()
+        backend.reset()
+        first = obj.predict_proba(w, X_eval)
+        converts = backend.calls["asarray_data"]
+        assert converts == 1
+        second = obj.predict_proba(w, X_eval)
+        assert backend.calls["asarray_data"] == converts  # cache hit
+        np.testing.assert_array_equal(first, second)
+        # A different matrix object misses the single-entry cache.
+        obj.predict_proba(w, X[:5].copy())
+        assert backend.calls["asarray_data"] == converts + 1
+
+    def test_predict_cache_disabled_on_numpy(self):
+        X, y = _rng_problem()
+        obj = SoftmaxCrossEntropy(X, y, 3)
+        w = np.zeros(obj.dim)
+        X_eval = X[:5].copy()
+        obj.predict_proba(w, X_eval)
+        assert not hasattr(obj, "_eval_matrix_cache")
+
 
 class TestRegistry:
     def test_auto_falls_back_to_numpy_when_accelerators_missing(self):

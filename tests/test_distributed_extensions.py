@@ -10,7 +10,6 @@ from repro.baselines.async_sgd import AsynchronousSGD
 from repro.datasets.synthetic import make_multiclass_gaussian
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.collectives import (
-    TunedNetworkModel,
     bruck_allgather_time,
     recursive_doubling_allreduce_time,
     ring_allgather_time,
@@ -240,11 +239,30 @@ class TestAsynchronousSGD:
         assert trace.final.objective < trace.records[0].objective
         assert np.isfinite(trace.final.objective)
 
-    def test_staleness_defaults_to_workers_minus_one(self, small_dataset):
+    def test_staleness_emerges_from_schedule(self, small_dataset):
+        # With homogeneous workers the pipeline ramps up 0, 1, 2, 3 and then
+        # settles at the round-robin steady state N - 1 = 3: the old
+        # closed-form assumption is now the *measured* steady state.
         cluster = self.make_cluster(small_dataset, n_workers=4)
-        solver = AsynchronousSGD(lam=1e-3, max_epochs=1, random_state=0)
+        solver = AsynchronousSGD(lam=1e-3, max_epochs=2, random_state=0)
         trace = solver.fit(cluster)
-        assert trace.final.extras["staleness"] == 3.0
+        assert trace.final.extras["staleness_mode"] == "measured"
+        assert trace.final.extras["max_staleness"] == 3.0
+        assert solver.staleness_log[:4] == [0, 1, 2, 3]
+        assert solver.staleness_log[4:] == [3] * (len(solver.staleness_log) - 4)
+
+    def test_straggler_inflates_measured_staleness(self, small_dataset):
+        # A persistently slow worker pushes rarely; everyone else's gradients
+        # stay fresh but the slow worker's arrive many versions late.
+        cluster = SimulatedCluster(
+            small_dataset,
+            4,
+            straggler=StragglerModel(slowdown=8.0, persistent_stragglers=[0]),
+            random_state=0,
+        )
+        solver = AsynchronousSGD(lam=1e-3, max_epochs=4, random_state=0)
+        solver.fit(cluster)
+        assert max(solver.staleness_log) > 3
 
     def test_zero_staleness_matches_serial_updates(self, small_dataset):
         cluster = self.make_cluster(small_dataset)

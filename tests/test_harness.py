@@ -64,6 +64,7 @@ class TestRunner:
     def test_registry_contains_all_methods(self):
         assert set(SOLVER_REGISTRY) == {
             "newton_admm",
+            "async_newton_admm",
             "giant",
             "inexact_dane",
             "aide",

@@ -182,6 +182,27 @@ class TestCLI:
         text = "\n".join(lines)
         assert "newton_admm" in text and "async_sgd" in text
 
+    def test_engine_flag_sets_session_default(self):
+        from repro.harness.config import default_engine, set_default_engine
+
+        lines = []
+        try:
+            code = main(
+                ["run", "table1", "--scale", "quick", "--engine", "event",
+                 "--no-plot"],
+                print_fn=lines.append,
+            )
+            assert code == 0
+            assert any("using execution engine: event" in line for line in lines)
+            assert default_engine() == "event"
+        finally:
+            set_default_engine("lockstep")
+
+    def test_engine_flag_rejects_unknown_mode(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "figure1", "--engine", "warp"])
+
     def test_run_table1_writes_artifacts(self, tmp_path):
         lines = []
         code = main(

@@ -7,7 +7,6 @@ from repro.admm.newton_admm import NewtonADMM
 from repro.admm.penalty import FixedPenalty
 from repro.distributed.cluster import SimulatedCluster
 from repro.harness.runner import reference_optimum
-from repro.solvers.newton_cg import NewtonCG
 
 
 class TestNewtonADMMBasics:
