@@ -109,8 +109,7 @@ class AsyncNewtonADMM(NewtonADMM):
             raise ValueError(f"quorum must be >= 1, got {quorum}")
         self.quorum = quorum
         self.max_staleness = int(max_staleness)
-        #: measured contribution staleness (z-versions) per fired z-update
-        self.staleness_log: List[Dict[str, float]] = []
+        self._staleness_log: List[Dict[str, float]] = []
         self._pending: List[int] = []
         self._contrib: Dict[int, object] = {}
         self._rho: Dict[int, float] = {}
@@ -185,7 +184,7 @@ class AsyncNewtonADMM(NewtonADMM):
         w0 = backend.as_vector(w0, cluster.dim, name="w0")
         self._z = copy_array(w0)
         self._last_extras = {}
-        self.staleness_log = []
+        self._staleness_log = []
         rho0 = self.rho0 if self.rho0 is not None else 1.0 / cluster.n_total
         if self._custom_policy_factory is not None:
             policy_factory: PolicyFactory = self._custom_policy_factory
@@ -343,7 +342,7 @@ class AsyncNewtonADMM(NewtonADMM):
             fired_at + self._p2p_seconds, comm_seconds=comm_seconds
         )
 
-        self.staleness_log.append(
+        self._staleness_log.append(
             {
                 "z_version": float(self._z_version),
                 "mean_staleness": float(np.mean(ages)),
@@ -363,6 +362,16 @@ class AsyncNewtonADMM(NewtonADMM):
             "local_cg_iters": float(np.mean(cg_iters)),
         }
         return z_new
+
+    @property
+    def staleness_log(self) -> List[Dict[str, float]]:
+        """Measured contribution staleness (z-versions) per fired z-update.
+
+        Run state, not a hyper-parameter: exposed read-only so
+        :meth:`hyperparameters` (which walks instance attributes) never
+        embeds a previous run's log in provenance.
+        """
+        return self._staleness_log
 
     def hyperparameters(self) -> dict:
         out = DistributedSolver.hyperparameters(self)

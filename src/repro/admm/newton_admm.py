@@ -28,6 +28,7 @@ import numpy as np
 from repro.admm.penalty import PenaltyObservation, PolicyFactory, make_penalty_policy
 from repro.backend import copy_array
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.schedule import RoundPlan
 from repro.distributed.solver_base import DistributedSolver
 from repro.distributed.worker import Worker
 from repro.objectives.base import ProximallyAugmentedObjective
@@ -166,15 +167,15 @@ class NewtonADMM(DistributedSolver):
             line_search_max_iter=self.line_search_max_iter,
         )
 
-    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+    def _plan_epoch(self, cluster: SimulatedCluster, epoch: int) -> RoundPlan:
         z_old = self._z
         if z_old is None:
-            raise RuntimeError("NewtonADMM._epoch called before _initialize")
+            raise RuntimeError("NewtonADMM epoch requested before _initialize")
         alpha = self.over_relaxation
         backend = cluster.backend
 
         # ---- 1. local x-updates (parallel across workers) -------------------
-        def local_x_update(worker: Worker) -> dict:
+        def local_x_update(worker: Worker, ctx: dict) -> dict:
             x = worker.get_vector("x")
             y = worker.get_vector("y")
             rho = float(worker.state["rho"])
@@ -198,19 +199,18 @@ class NewtonADMM(DistributedSolver):
                 "cg_iters": result.info.get("total_cg_iterations", 0),
             }
 
-        local_results = cluster.map_workers(local_x_update)
-
         # ---- 2. one communication round: reduce -> z-update -> broadcast ----
         # Only the sums of the payloads and of the penalties are needed for
         # eq. (7), so they travel through a reduction tree (allreduce = reduce
-        # + broadcast); the tiny penalty-sum reduction shares the same round.
-        payload_sum = cluster.comm.allreduce([r["payload"] for r in local_results])
-        rho_list = [r["rho"] for r in local_results]
-        rho_sum = cluster.comm.reduce_scalar(rho_list, joint_with_previous=True)
-        z_new = payload_sum / (self.lam + rho_sum)
+        # + broadcast); the tiny penalty-sum reduction shares the same round
+        # (``joint_with_previous``) — the single synchronization point the
+        # plan declares below.
+        def z_update(ctx: dict) -> np.ndarray:
+            return ctx["payload_sum"] / (self.lam + ctx["rho_sum"])
 
         # ---- 3. local dual + penalty updates ---------------------------------
-        def local_dual_update(worker: Worker) -> dict:
+        def local_dual_update(worker: Worker, ctx: dict) -> dict:
+            z_new = ctx["z"]
             x_new = worker.get_vector("x_relaxed")
             y = worker.get_vector("y")
             y_hat = worker.get_vector("y_hat")
@@ -243,39 +243,58 @@ class NewtonADMM(DistributedSolver):
                 "y_norm_sq": backend.dot(y_new, y_new),
             }
 
-        dual_results = cluster.map_workers(local_dual_update)
+        def finalize(ctx: dict) -> None:
+            local_results = ctx["x_update"]
+            dual_results = ctx["dual"]
+            z_new = ctx["z"]
+            primal_residual = float(np.sqrt(sum(r["primal"] for r in dual_results)))
+            dual_residual = float(np.sqrt(sum(r["dual"] for r in dual_results)))
+            self._z = z_new
+            self._last_extras = {
+                "primal_residual": primal_residual,
+                "dual_residual": dual_residual,
+                "mean_rho": float(np.mean([r["rho"] for r in dual_results])),
+                "local_newton_iters": float(
+                    np.mean([r["newton_iters"] for r in local_results])
+                ),
+                "local_cg_iters": float(
+                    np.mean([r["cg_iters"] for r in local_results])
+                ),
+            }
 
-        primal_residual = float(np.sqrt(sum(r["primal"] for r in dual_results)))
-        dual_residual = float(np.sqrt(sum(r["dual"] for r in dual_results)))
-        self._z = z_new
-        self._last_extras = {
-            "primal_residual": primal_residual,
-            "dual_residual": dual_residual,
-            "mean_rho": float(np.mean([r["rho"] for r in dual_results])),
-            "local_newton_iters": float(
-                np.mean([r["newton_iters"] for r in local_results])
-            ),
-            "local_cg_iters": float(np.mean([r["cg_iters"] for r in local_results])),
-        }
+            # ---- 4. optional Boyd-style residual stopping ---------------------
+            if self.stop_abs_tol > 0 and self.stop_rel_tol > 0:
+                n_workers = cluster.n_workers
+                dim = cluster.dim
+                x_norm = float(np.sqrt(sum(r["x_norm_sq"] for r in dual_results)))
+                y_norm = float(np.sqrt(sum(r["y_norm_sq"] for r in dual_results)))
+                z_norm = float(np.sqrt(n_workers)) * backend.norm(z_new)
+                primal_tol = (
+                    np.sqrt(n_workers * dim) * self.stop_abs_tol
+                    + self.stop_rel_tol * max(x_norm, z_norm)
+                )
+                dual_tol = (
+                    np.sqrt(n_workers * dim) * self.stop_abs_tol
+                    + self.stop_rel_tol * y_norm
+                )
+                if primal_residual <= primal_tol and dual_residual <= dual_tol:
+                    self._stop_requested = True
 
-        # ---- 4. optional Boyd-style residual stopping -------------------------
-        if self.stop_abs_tol > 0 and self.stop_rel_tol > 0:
-            n_workers = cluster.n_workers
-            dim = cluster.dim
-            x_norm = float(np.sqrt(sum(r["x_norm_sq"] for r in dual_results)))
-            y_norm = float(np.sqrt(sum(r["y_norm_sq"] for r in dual_results)))
-            z_norm = float(np.sqrt(n_workers)) * backend.norm(z_new)
-            primal_tol = (
-                np.sqrt(n_workers * dim) * self.stop_abs_tol
-                + self.stop_rel_tol * max(x_norm, z_norm)
-            )
-            dual_tol = (
-                np.sqrt(n_workers * dim) * self.stop_abs_tol
-                + self.stop_rel_tol * y_norm
-            )
-            if primal_residual <= primal_tol and dual_residual <= dual_tol:
-                self._stop_requested = True
-        return z_new
+        plan = RoundPlan("newton_admm")
+        plan.local("x_update", local_x_update, label="x-update")
+        plan.allreduce(
+            "payload_sum", lambda ctx: [r["payload"] for r in ctx["x_update"]]
+        )
+        plan.reduce_scalar(
+            "rho_sum",
+            lambda ctx: [r["rho"] for r in ctx["x_update"]],
+            joint_with_previous=True,
+        )
+        plan.master(z_update, name="z")
+        plan.local("dual", local_dual_update, label="dual-update")
+        plan.master(finalize)
+        plan.returns("z")
+        return plan
 
     def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
         return dict(self._last_extras)

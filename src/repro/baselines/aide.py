@@ -53,15 +53,22 @@ class AIDE(InexactDANE):
         sqrt_q = np.sqrt(q)
         return float((1.0 - sqrt_q) / (1.0 + sqrt_q))
 
-    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+    def _plan_epoch(self, cluster: SimulatedCluster, epoch: int):
         if self._w is None or self._y_acc is None or self._w_prev is None:
-            raise RuntimeError("AIDE._epoch called before _initialize")
-        w_new = self._dane_step(
+            raise RuntimeError("AIDE epoch requested before _initialize")
+        plan = self._dane_plan(
             cluster, self._w, extra_mu=self.tau, prox_center=self._y_acc
         )
-        beta = self._momentum()
-        self._y_acc = w_new + beta * (w_new - self._w_prev)
-        self._w_prev = self._w
-        self._w = w_new
-        self._last_extras["momentum"] = beta
-        return self._w
+
+        def commit(ctx: dict) -> np.ndarray:
+            w_new = ctx["averaged"]
+            beta = self._momentum()
+            self._y_acc = w_new + beta * (w_new - self._w_prev)
+            self._w_prev = self._w
+            self._w = w_new
+            self._last_extras["momentum"] = beta
+            return self._w
+
+        plan.master(commit, name="w")
+        plan.returns("w")
+        return plan

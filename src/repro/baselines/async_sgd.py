@@ -102,8 +102,7 @@ class AsynchronousSGD(DistributedSolver):
         self._grad_bytes = 0.0
         self._push_seconds = 0.0
         self._last_extras: Dict[str, float] = {}
-        #: measured staleness of every applied update, in server steps
-        self.staleness_log: List[int] = []
+        self._staleness_log: List[int] = []
 
     # -- schedule helpers ----------------------------------------------------
     def _cycle_compute_seconds(self, cluster: SimulatedCluster, worker) -> float:
@@ -139,7 +138,7 @@ class AsynchronousSGD(DistributedSolver):
         self._version = 0
         self._server_free = 0.0
         self._last_extras = {}
-        self.staleness_log = []
+        self._staleness_log = []
         if self.staleness is not None:
             # Forced-staleness mode: history of past server iterates; index 0
             # is the most stale one.
@@ -161,6 +160,16 @@ class AsynchronousSGD(DistributedSolver):
             worker.state["rng"] = check_random_state(int(rng.integers(0, 2**31 - 1)))
         for worker in cluster.workers:
             self._start_cycle(cluster, worker)
+
+    @property
+    def staleness_log(self) -> List[int]:
+        """Measured staleness of every applied update, in server steps.
+
+        Run state, not a hyper-parameter: exposed read-only so
+        :meth:`hyperparameters` (which walks instance attributes) never
+        embeds a previous run's log in provenance.
+        """
+        return self._staleness_log
 
     def _updates_in_epoch(self, cluster: SimulatedCluster) -> int:
         if self.steps_per_epoch is not None:
@@ -210,7 +219,7 @@ class AsynchronousSGD(DistributedSolver):
             if self._history is not None:
                 self._history.append(copy_array(self._w))
             staleness_this_epoch.append(staleness)
-            self.staleness_log.append(staleness)
+            self._staleness_log.append(staleness)
 
             # The worker was idle since its push; the server spends
             # ``push_seconds`` ingesting its gradient after applying it, then

@@ -21,6 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.schedule import RoundPlan
 from repro.distributed.solver_base import DistributedSolver
 from repro.distributed.worker import Worker
 from repro.utils.rng import check_random_state
@@ -122,15 +123,15 @@ class CoCoA(DistributedSolver):
         # Weight vector convention: the softmax-C2 global objective uses the
         # class-0 logit, which equals +v under the signed-label mapping above.
 
-    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+    def _plan_epoch(self, cluster: SimulatedCluster, epoch: int) -> RoundPlan:
         w = self._w
         if w is None:
-            raise RuntimeError("CoCoA._epoch called before _initialize")
+            raise RuntimeError("CoCoA epoch requested before _initialize")
         lam = self.lam
         n = self._n_total
         newton_steps = self.newton_steps
 
-        def local_sdca(worker: Worker) -> np.ndarray:
+        def local_sdca(worker: Worker, ctx: dict) -> np.ndarray:
             X = worker.shard.X
             alpha = worker.state["alpha"]
             b = worker.state["b"]
@@ -172,18 +173,25 @@ class CoCoA(DistributedSolver):
             )
             return delta_v
 
-        deltas = cluster.map_workers(local_sdca)
-        # CoCoA+ adds the local updates (safe because sigma_prime >= n_workers);
-        # a single all-reduce of delta_v is the round's only communication.
-        total_delta = cluster.comm.allreduce(deltas)
-        self._w = w + total_delta
+        def commit(ctx: dict) -> np.ndarray:
+            total_delta = ctx["total_delta"]
+            self._w = w + total_delta
+            dual_value = self._dual_objective(cluster)
+            self._last_extras = {
+                "dual_objective": dual_value,
+                "delta_v_norm": float(np.linalg.norm(total_delta)),
+            }
+            return self._w
 
-        dual_value = self._dual_objective(cluster)
-        self._last_extras = {
-            "dual_objective": dual_value,
-            "delta_v_norm": float(np.linalg.norm(total_delta)),
-        }
-        return self._w
+        # CoCoA+ adds the local updates (safe because sigma_prime >= n_workers);
+        # a single all-reduce of delta_v is the round's only communication —
+        # the one round the plan declares.
+        plan = RoundPlan("cocoa")
+        plan.local("deltas", local_sdca, label="sdca")
+        plan.allreduce("total_delta", lambda ctx: ctx["deltas"])
+        plan.master(commit, name="w")
+        plan.returns("w")
+        return plan
 
     def _dual_objective(self, cluster: SimulatedCluster) -> float:
         """Dual objective value (for the duality-gap diagnostics in tests)."""

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.schedule import RoundPlan
 from repro.distributed.solver_base import DistributedSolver
 from repro.distributed.worker import Worker
 from repro.objectives.base import LinearlyPerturbedObjective, RegularizedObjective
@@ -130,13 +131,15 @@ class InexactDANE(DistributedSolver):
         per_outer = full_grad_flops + 2.0 * n_inner * batch_grad_flops
         worker.objective.add_flops(self.svrg_outer * per_outer)
 
-    def _dane_step(self, cluster: SimulatedCluster, w: np.ndarray, *, extra_mu: float = 0.0,
-                   prox_center: Optional[np.ndarray] = None) -> np.ndarray:
-        """One DANE iteration from iterate ``w`` (optionally catalyst-augmented).
+    def _dane_plan(self, cluster: SimulatedCluster, w: np.ndarray, *, extra_mu: float = 0.0,
+                   prox_center: Optional[np.ndarray] = None) -> RoundPlan:
+        """Plan one DANE iteration from iterate ``w`` (optionally catalyst-augmented).
 
         ``extra_mu``/``prox_center`` add the AIDE acceleration term
         ``(tau/2)||x - y_acc||^2`` to both the gradients and the local
-        subproblems; plain InexactDANE passes zero.
+        subproblems; plain InexactDANE passes zero.  The returned plan binds
+        the averaged local solutions to ``"averaged"``; subclasses append
+        their own commit step (AIDE adds the momentum extrapolation).
         """
         lam = self.lam
 
@@ -147,13 +150,15 @@ class InexactDANE(DistributedSolver):
             return g
 
         # ---- round 1: global gradient --------------------------------------
-        local_grads = cluster.map_workers(lambda wk: wk.objective.gradient(w))
-        global_grad = cluster.comm.allreduce(local_grads) + lam * w
-        if extra_mu > 0 and prox_center is not None:
-            global_grad = global_grad + extra_mu * (w - prox_center)
+        def make_global_grad(ctx: dict) -> np.ndarray:
+            global_grad = ctx["grad_sum"] + lam * w
+            if extra_mu > 0 and prox_center is not None:
+                global_grad = global_grad + extra_mu * (w - prox_center)
+            return global_grad
 
         # ---- local subproblems (heavy SVRG work) ------------------------------
-        def local_solve(worker: Worker) -> tuple:
+        def local_solve(worker: Worker, ctx: dict) -> tuple:
+            global_grad = ctx["global_grad"]
             local = self._local_objective(worker)
             local_grad = augmented_gradient(local, w)
             linear = local_grad - self.eta * global_grad
@@ -165,22 +170,45 @@ class InexactDANE(DistributedSolver):
             self._charge_local_solve(worker, result.info.get("inner_iterations", 0))
             return result.w, result.info.get("inner_iterations", 0)
 
-        local_results = cluster.map_workers(local_solve)
-        local_solutions = [r[0] for r in local_results]
-
         # ---- round 2: average the local solutions ------------------------------
-        averaged = cluster.comm.allreduce(local_solutions) / cluster.n_workers
-        self._last_extras = {
-            "global_grad_norm": float(np.linalg.norm(global_grad)),
-            "svrg_inner_iterations": float(np.mean([r[1] for r in local_results])),
-        }
-        return averaged
+        def average(ctx: dict) -> np.ndarray:
+            averaged = ctx["solution_sum"] / cluster.n_workers
+            local_results = ctx["local_solutions"]
+            self._last_extras = {
+                "global_grad_norm": float(np.linalg.norm(ctx["global_grad"])),
+                "svrg_inner_iterations": float(
+                    np.mean([r[1] for r in local_results])
+                ),
+            }
+            return averaged
 
-    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+        plan = RoundPlan(self.name)
+        plan.local(
+            "local_grads",
+            lambda worker, ctx: worker.objective.gradient(w),
+            label="gradient",
+        )
+        plan.allreduce("grad_sum", lambda ctx: ctx["local_grads"])
+        plan.master(make_global_grad, name="global_grad")
+        plan.local("local_solutions", local_solve, label="svrg-solve")
+        plan.allreduce(
+            "solution_sum", lambda ctx: [r[0] for r in ctx["local_solutions"]]
+        )
+        plan.master(average, name="averaged")
+        return plan
+
+    def _plan_epoch(self, cluster: SimulatedCluster, epoch: int) -> RoundPlan:
         if self._w is None:
-            raise RuntimeError("InexactDANE._epoch called before _initialize")
-        self._w = self._dane_step(cluster, self._w)
-        return self._w
+            raise RuntimeError("InexactDANE epoch requested before _initialize")
+        plan = self._dane_plan(cluster, self._w)
+
+        def commit(ctx: dict) -> np.ndarray:
+            self._w = ctx["averaged"]
+            return self._w
+
+        plan.master(commit, name="w")
+        plan.returns("w")
+        return plan
 
     def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
         return dict(self._last_extras)

@@ -21,6 +21,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.schedule import RoundPlan
 from repro.distributed.solver_base import DistributedSolver
 from repro.linalg.cg import conjugate_gradient
 
@@ -69,49 +70,68 @@ class DiSCO(DistributedSolver):
         self._w = w0.copy()
         self._last_extras = {}
 
-    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+    def _plan_epoch(self, cluster: SimulatedCluster, epoch: int) -> RoundPlan:
         w = self._w
         if w is None:
-            raise RuntimeError("DiSCO._epoch called before _initialize")
+            raise RuntimeError("DiSCO epoch requested before _initialize")
         lam = self.lam
 
-        # ---- global gradient (one round) -----------------------------------
-        local_grads = cluster.map_workers(lambda wk: wk.objective.gradient(w))
-        grad = cluster.comm.allreduce(local_grads) + lam * w
-
         # ---- distributed CG: each matvec is one all-reduce round --------------
-        matvec_rounds = 0
+        # The CG loop's round count is data-dependent (it stops on the
+        # residual), so this part of the schedule is a ``DynamicStep``: the
+        # plan cannot declare a static total, but the observed rounds are
+        # still logged and reported per epoch.
+        def distributed_newton(cluster: SimulatedCluster, ctx: dict) -> np.ndarray:
+            grad = ctx["grad"]
+            matvec_rounds = 0
 
-        def distributed_hvp(v: np.ndarray) -> np.ndarray:
-            nonlocal matvec_rounds
-            local_hvps = cluster.map_workers(lambda wk: wk.objective.hvp(w, v))
-            out = cluster.comm.allreduce(local_hvps) + lam * v
-            matvec_rounds += 1
-            return out
+            def distributed_hvp(v: np.ndarray) -> np.ndarray:
+                nonlocal matvec_rounds
+                local_hvps = cluster.map_workers(lambda wk: wk.objective.hvp(w, v))
+                out = cluster.comm.allreduce(local_hvps) + lam * v
+                matvec_rounds += 1
+                return out
 
-        cg_result = conjugate_gradient(
-            distributed_hvp, grad, tol=self.cg_tol, max_iter=self.cg_max_iter
+            cg_result = conjugate_gradient(
+                distributed_hvp, grad, tol=self.cg_tol, max_iter=self.cg_max_iter
+            )
+            direction = cg_result.x
+
+            # ---- damped Newton step -------------------------------------------
+            if self.damped:
+                # Newton decrement sqrt(p^T H p); reuse one more distributed HVP.
+                hp = distributed_hvp(direction)
+                decrement = float(np.sqrt(max(direction @ hp, 0.0)))
+                step = 1.0 / (1.0 + decrement)
+            else:
+                decrement = float("nan")
+                step = 1.0
+
+            self._w = w - step * direction
+            self._last_extras = {
+                "cg_iterations": float(cg_result.n_iterations),
+                "hvp_rounds": float(matvec_rounds),
+                "newton_decrement": decrement,
+                "step_size": step,
+            }
+            return self._w
+
+        plan = RoundPlan("disco")
+        # ---- global gradient (one round) -----------------------------------
+        plan.local(
+            "local_grads",
+            lambda worker, ctx: worker.objective.gradient(w),
+            label="gradient",
         )
-        direction = cg_result.x
-
-        # ---- damped Newton step ------------------------------------------------
-        if self.damped:
-            # Newton decrement sqrt(p^T H p); reuse one more distributed HVP.
-            hp = distributed_hvp(direction)
-            decrement = float(np.sqrt(max(direction @ hp, 0.0)))
-            step = 1.0 / (1.0 + decrement)
-        else:
-            decrement = float("nan")
-            step = 1.0
-
-        self._w = w - step * direction
-        self._last_extras = {
-            "cg_iterations": float(cg_result.n_iterations),
-            "hvp_rounds": float(matvec_rounds),
-            "newton_decrement": decrement,
-            "step_size": step,
-        }
-        return self._w
+        plan.allreduce("grad_sum", lambda ctx: ctx["local_grads"])
+        plan.master(lambda ctx: ctx["grad_sum"] + lam * w, name="grad")
+        plan.dynamic(
+            "w",
+            distributed_newton,
+            rounds="one all-reduce per CG matvec (+1 for the Newton decrement)",
+        )
+        plan.returns("w")
+        return plan
 
     def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
         return dict(self._last_extras)

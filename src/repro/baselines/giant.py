@@ -14,7 +14,22 @@ Each iteration:
 The three rounds per iteration — and the fact that every worker always
 evaluates the full step-size grid — are exactly the per-iteration overheads
 the paper contrasts with Newton-ADMM's single round and local early-stopping
-line search.
+line search.  The schedule is declared as a
+:class:`~repro.distributed.schedule.RoundPlan`, so the engine *checks* the
+three rounds instead of trusting call order.
+
+``overlap_gradient=True`` marks the gradient all-reduce overlappable — but
+not with the CG solves, whose right-hand side *is* the reduced gradient (a
+data dependency the schedule IR enforces: reading an overlapped collective's
+result before its ``Join`` raises ``ScheduleError``).  The work it genuinely
+can hide is the line search's step-independent evaluation of the local
+objective at the *current* point ``f_i(w)`` — round 3 always needs that value
+and it consumes neither the gradient nor the direction, so hoisting it under
+the in-flight transfer is realizable on hardware.  On the event engine only
+the part of the transfer that evaluation does not hide is charged; iterates
+are bit-identical either way.  Under the lock-step engine the flag is
+accepted but the transfer is charged in full, keeping the two modes
+comparable.
 """
 
 from __future__ import annotations
@@ -24,6 +39,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.schedule import RoundPlan
 from repro.distributed.solver_base import DistributedSolver
 from repro.distributed.worker import Worker
 from repro.linalg.cg import conjugate_gradient
@@ -45,6 +61,12 @@ class GIANT(DistributedSolver):
         always evaluated, by design of the method.
     line_search_beta:
         Armijo sufficient-decrease constant.
+    overlap_gradient:
+        Overlap the gradient all-reduce with the line search's
+        step-independent ``f_i(w)`` evaluation, the only local work in the
+        iteration that does not consume the reduced gradient (event engine).
+        Iterates are bit-identical to the default; only the modelled schedule
+        changes.
     """
 
     name = "giant"
@@ -58,6 +80,7 @@ class GIANT(DistributedSolver):
         cg_tol: float = 1e-4,
         line_search_max_iter: int = 10,
         line_search_beta: float = 1e-4,
+        overlap_gradient: bool = False,
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
@@ -73,6 +96,7 @@ class GIANT(DistributedSolver):
         self.cg_tol = float(cg_tol)
         self.line_search_max_iter = int(line_search_max_iter)
         self.line_search_beta = float(line_search_beta)
+        self.overlap_gradient = bool(overlap_gradient)
         self._w: Optional[np.ndarray] = None
         self._last_extras: Dict[str, float] = {}
 
@@ -87,18 +111,19 @@ class GIANT(DistributedSolver):
                 worker.objective, n_total / worker.n_local_samples
             )
 
-    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
+    def _plan_epoch(self, cluster: SimulatedCluster, epoch: int) -> RoundPlan:
         w = self._w
         if w is None:
-            raise RuntimeError("GIANT._epoch called before _initialize")
+            raise RuntimeError("GIANT epoch requested before _initialize")
         lam = self.lam
 
         # ---- round 1: global gradient --------------------------------------
-        local_grads = cluster.map_workers(lambda wk: wk.objective.gradient(w))
-        grad = cluster.comm.allreduce(local_grads) + lam * w
+        def local_gradient(worker: Worker, ctx: dict) -> np.ndarray:
+            return worker.objective.gradient(w)
 
         # ---- round 2: local Newton directions, then average ------------------
-        def local_direction(worker: Worker) -> np.ndarray:
+        def local_direction(worker: Worker, ctx: dict) -> np.ndarray:
+            grad = ctx["grad"]
             local_mean = worker.state["local_mean_loss"]
 
             def hess_vec(v: np.ndarray) -> np.ndarray:
@@ -109,43 +134,77 @@ class GIANT(DistributedSolver):
             )
             return result.x
 
-        local_dirs = cluster.map_workers(local_direction)
-        direction = cluster.comm.allreduce(local_dirs) / cluster.n_workers
-
         # ---- round 3: distributed line search over a fixed step grid ---------
         alphas = np.array(
             [2.0 ** (-j) for j in range(self.line_search_max_iter + 1)]
         )
 
-        def local_line_values(worker: Worker) -> np.ndarray:
+        def local_line_values(worker: Worker, ctx: dict) -> np.ndarray:
             # Every worker evaluates its local loss contribution at *all*
-            # candidate steps plus the current point (last entry).
+            # candidate steps plus the current point (last entry).  The
+            # overlap variant hoisted the current-point value under the
+            # in-flight gradient transfer; the buffer is identical either way.
+            direction = ctx["direction"]
             values = np.empty(alphas.shape[0] + 1)
             for j, alpha in enumerate(alphas):
                 values[j] = worker.objective.value(w - alpha * direction)
-            values[-1] = worker.objective.value(w)
+            if self.overlap_gradient:
+                values[-1] = ctx["value_at_w"][worker.worker_id]
+            else:
+                values[-1] = worker.objective.value(w)
             return values
 
-        local_values = cluster.map_workers(local_line_values)
-        summed = cluster.comm.allreduce(local_values)
+        def choose_step(ctx: dict) -> np.ndarray:
+            direction = ctx["direction"]
+            grad = ctx["grad"]
+            summed = ctx["line_values_sum"]
+            f_current = summed[-1] + 0.5 * lam * float(w @ w)
+            slope = float(direction @ grad)
+            chosen_alpha = float(alphas[-1])
+            for j, alpha in enumerate(alphas):
+                candidate = w - alpha * direction
+                f_candidate = summed[j] + 0.5 * lam * float(candidate @ candidate)
+                if f_candidate <= f_current - self.line_search_beta * alpha * slope:
+                    chosen_alpha = float(alpha)
+                    break
 
-        f_current = summed[-1] + 0.5 * lam * float(w @ w)
-        slope = float(direction @ grad)
-        chosen_alpha = float(alphas[-1])
-        for j, alpha in enumerate(alphas):
-            candidate = w - alpha * direction
-            f_candidate = summed[j] + 0.5 * lam * float(candidate @ candidate)
-            if f_candidate <= f_current - self.line_search_beta * alpha * slope:
-                chosen_alpha = float(alpha)
-                break
+            self._w = w - chosen_alpha * direction
+            self._last_extras = {
+                "step_size": chosen_alpha,
+                "grad_norm": float(np.linalg.norm(grad)),
+                "line_search_evaluations": float(alphas.shape[0]),
+            }
+            return self._w
 
-        self._w = w - chosen_alpha * direction
-        self._last_extras = {
-            "step_size": chosen_alpha,
-            "grad_norm": float(np.linalg.norm(grad)),
-            "line_search_evaluations": float(alphas.shape[0]),
-        }
-        return self._w
+        plan = RoundPlan("giant-overlap" if self.overlap_gradient else "giant")
+        plan.local("local_grads", local_gradient, label="gradient")
+        if self.overlap_gradient:
+            # The all-reduce rides in the background while every worker
+            # evaluates f_i(w) — round 3's step-independent term, the one
+            # piece of local work that does not consume the reduced gradient.
+            # Only then is the transfer joined; the CG solve (whose RHS is
+            # the reduced gradient) stays strictly after the join, which the
+            # context's in-flight guard enforces.
+            plan.allreduce("grad_sum", lambda ctx: ctx["local_grads"], overlap=True)
+            plan.local(
+                "value_at_w",
+                lambda worker, ctx: worker.objective.value(w),
+                label="line-search-f0",
+            )
+            plan.join()
+        else:
+            plan.allreduce("grad_sum", lambda ctx: ctx["local_grads"])
+        plan.master(lambda ctx: ctx["grad_sum"] + lam * w, name="grad")
+        plan.local("local_dirs", local_direction, label="newton-cg")
+        plan.allreduce("dir_sum", lambda ctx: ctx["local_dirs"])
+        plan.master(
+            lambda ctx: ctx["dir_sum"] / cluster.n_workers, name="direction"
+        )
+        plan.local("line_values", local_line_values, label="line-search")
+        plan.allreduce("line_values_sum", lambda ctx: ctx["line_values"])
+        plan.master(choose_step, name="w")
+        plan.returns("w")
+        return plan
 
     def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
         return dict(self._last_extras)

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.schedule import RoundPlan
 from repro.distributed.solver_base import DistributedSolver
 from repro.distributed.worker import Worker
 from repro.objectives.softmax import SoftmaxCrossEntropy
@@ -98,43 +99,62 @@ class SynchronousSGD(DistributedSolver):
         largest_shard = max(w.n_local_samples for w in cluster.workers)
         return max(int(np.ceil(largest_shard / self.batch_size)), 1)
 
-    def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
-        w = self._w
-        velocity = self._velocity
-        if w is None or velocity is None:
-            raise RuntimeError("SynchronousSGD._epoch called before _initialize")
+    def _local_batch_gradient(self, worker: Worker, w: np.ndarray) -> np.ndarray:
+        loss = worker.state["local_mean_loss"]
+        rng = worker.state["rng"]
+        n_local = worker.n_local_samples
+        batch = min(self.batch_size, n_local)
+        idx = rng.choice(n_local, size=batch, replace=False)
+        grad = loss.minibatch(idx).gradient(w)
+        # The counting wrapper never sees the mini-batch object, so the
+        # cost is charged explicitly at the batch/shard FLOP ratio.
+        worker.objective.add_flops(
+            loss.flops_gradient() * batch / max(n_local, 1)
+        )
+        return grad
+
+    def _plan_epoch(self, cluster: SimulatedCluster, epoch: int) -> RoundPlan:
+        if self._w is None or self._velocity is None:
+            raise RuntimeError("SynchronousSGD epoch requested before _initialize")
         lam = self.lam
         n_steps = self._steps_in_epoch(cluster)
 
-        for _ in range(n_steps):
-            current_w = w  # bind for the closure below
+        # One (grad, all-reduce, update) triple repeated ``n_steps`` times;
+        # context keys are reused and the body is declared once, so both the
+        # scratch and the recorded schedule stay O(1) however many steps an
+        # epoch has.  ``n_steps`` declared rounds — the method's defining
+        # communication cost, one all-reduce per mini-batch step.
+        plan = RoundPlan("sync_sgd", context={"w": self._w, "velocity": self._velocity})
 
-            def local_batch_gradient(worker: Worker) -> np.ndarray:
-                loss = worker.state["local_mean_loss"]
-                rng = worker.state["rng"]
-                n_local = worker.n_local_samples
-                batch = min(self.batch_size, n_local)
-                idx = rng.choice(n_local, size=batch, replace=False)
-                grad = loss.minibatch(idx).gradient(current_w)
-                # The counting wrapper never sees the mini-batch object, so the
-                # cost is charged explicitly at the batch/shard FLOP ratio.
-                worker.objective.add_flops(
-                    loss.flops_gradient() * batch / max(n_local, 1)
-                )
-                return grad
+        def update(ctx: dict) -> None:
+            mean_grad = ctx["step_grad_sum"] / cluster.n_workers
+            grad = mean_grad + lam * ctx["w"]
+            ctx["velocity"] = self.momentum * ctx["velocity"] - self.step_size * grad
+            ctx["w"] = ctx["w"] + ctx["velocity"]
 
-            local_grads = cluster.map_workers(local_batch_gradient)
-            # One all-reduce per synchronous step — the method's defining
-            # communication cost.
-            mean_grad = cluster.comm.allreduce(local_grads) / cluster.n_workers
-            grad = mean_grad + lam * w
-            velocity = self.momentum * velocity - self.step_size * grad
-            w = w + velocity
+        def sgd_step(body: RoundPlan) -> None:
+            body.local(
+                "step_grads",
+                lambda worker, ctx: self._local_batch_gradient(worker, ctx["w"]),
+                label="minibatch-grad",
+            )
+            body.allreduce("step_grad_sum", lambda ctx: ctx["step_grads"])
+            body.master(update)
 
-        self._w = w
-        self._velocity = velocity
-        self._last_extras = {"steps": float(n_steps), "step_size": self.step_size}
-        return w
+        plan.repeat(n_steps, sgd_step)
+
+        def commit(ctx: dict) -> np.ndarray:
+            self._w = ctx["w"]
+            self._velocity = ctx["velocity"]
+            self._last_extras = {
+                "steps": float(n_steps),
+                "step_size": self.step_size,
+            }
+            return self._w
+
+        plan.master(commit, name="w")
+        plan.returns("w")
+        return plan
 
     def _epoch_extras(self, cluster: SimulatedCluster) -> dict:
         return dict(self._last_extras)

@@ -30,6 +30,19 @@ from repro.distributed.collectives import (
 )
 from repro.distributed.stragglers import StragglerModel
 from repro.distributed.engine import Event, EventEngine
+from repro.distributed.schedule import (
+    Barrier,
+    Collective,
+    DynamicStep,
+    GlobalStep,
+    Join,
+    LocalStep,
+    PlanExecution,
+    Repeat,
+    RoundPlan,
+    ScheduleError,
+    execute_plan,
+)
 from repro.distributed.comm import Communicator, CommunicationLog
 from repro.distributed.worker import Worker
 from repro.distributed.cluster import SimulatedCluster
@@ -52,6 +65,17 @@ __all__ = [
     "StragglerModel",
     "Event",
     "EventEngine",
+    "Barrier",
+    "Collective",
+    "DynamicStep",
+    "GlobalStep",
+    "Join",
+    "LocalStep",
+    "PlanExecution",
+    "Repeat",
+    "RoundPlan",
+    "ScheduleError",
+    "execute_plan",
     "Communicator",
     "CommunicationLog",
     "Worker",

@@ -1,0 +1,530 @@
+"""Declarative round-schedule IR: compile a solver epoch into an engine plan.
+
+The paper's central systems claim is *schedule-shaped*: Newton-ADMM needs one
+communication round per outer iteration where GIANT needs three and DiSCO one
+per CG matvec.  Before this module, every distributed solver encoded its
+schedule imperatively — ad-hoc ``cluster.map_workers`` and ``cluster.comm.*``
+calls whose round count was an emergent property of call order.  The IR here
+makes the round structure a first-class, inspectable object:
+
+``LocalStep``
+    One parallel compute phase: a per-worker thunk ``fn(worker, ctx)`` whose
+    modelled cost (max over workers of FLOPs-derived time, straggler factors
+    applied) is charged exactly as ``map_workers`` always charged it.
+
+``Collective``
+    One engine collective (``allreduce`` / ``broadcast`` / ``gather`` /
+    ``scatter`` / ``allgather`` / ``reduce_scalar``) with the round-accounting
+    flags of :class:`~repro.distributed.comm.Communicator`:
+    ``joint_with_previous=True`` merges it into the preceding collective's
+    synchronization point (the paper's "one round" for a back-to-back
+    reduce+broadcast pair), ``overlap=True`` posts the transfer in the
+    background so subsequent :class:`LocalStep` compute hides it (event
+    engine; the lock-step path charges it in full, keeping both modes
+    comparable).
+
+``GlobalStep``
+    Master-side glue (the ADMM z-update, a line-search argmin): pure Python on
+    already-communicated values, charged to nobody — the same accounting the
+    imperative solvers used.
+
+``Barrier`` / ``Join``
+    An explicit synchronization point, and the blocking join of previously
+    overlapped collectives (charges only the unhidden remainder).
+
+``Repeat``
+    A body of steps executed a known number of times (sync-SGD's
+    per-mini-batch round): declared counts multiply through while the
+    description stays one body long.
+
+``DynamicStep``
+    Escape hatch for data-dependent inner loops (DiSCO's distributed CG runs
+    one allreduce per matvec until convergence): the thunk receives the
+    cluster and may issue rounds itself.  A plan containing one cannot declare
+    a static round count; its collectives are still logged and reported.
+
+A :class:`RoundPlan` is an ordered list of steps plus an initial context.
+:func:`execute_plan` runs it against a :class:`SimulatedCluster` on either
+execution path (the steps call the same ``map_workers`` / ``comm`` primitives
+the imperative code called, so iterates and modelled times are bit-identical)
+and *checks the declared structure*: if the observed communication rounds
+differ from the plan's declared count, a :class:`ScheduleError` is raised.
+``RunTrace.info["schedule"]`` records the declared plan and the per-epoch
+observations for the harness and plotting to consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+#: collective operations a :class:`Collective` step may name
+COLLECTIVE_OPS = (
+    "allreduce",
+    "broadcast",
+    "gather",
+    "scatter",
+    "allgather",
+    "reduce_scalar",
+)
+
+
+class ScheduleError(RuntimeError):
+    """A plan's declared round structure disagreed with what the engine ran."""
+
+
+# ---------------------------------------------------------------------------
+# IR nodes
+# ---------------------------------------------------------------------------
+@dataclass
+class LocalStep:
+    """Per-worker compute thunk ``fn(worker, ctx)``; results bind to ``name``."""
+
+    name: str
+    fn: Callable[..., Any]
+    label: str = "compute"
+    #: optional subset of worker ids (default: every worker)
+    workers: Optional[Sequence[int]] = None
+
+    def describe(self) -> dict:
+        return {"step": "local", "name": self.name, "label": self.label}
+
+
+@dataclass
+class Collective:
+    """One communicator collective; ``payload(ctx)`` builds the buffers."""
+
+    name: str
+    op: str
+    payload: Callable[[dict], Any]
+    joint_with_previous: bool = False
+    overlap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in COLLECTIVE_OPS:
+            raise ValueError(
+                f"unknown collective op {self.op!r}; expected one of {COLLECTIVE_OPS}"
+            )
+        if self.overlap and self.op == "reduce_scalar":
+            raise ValueError("reduce_scalar does not support overlap")
+
+    @property
+    def opens_round(self) -> bool:
+        return not self.joint_with_previous
+
+    def describe(self) -> dict:
+        return {
+            "step": "collective",
+            "name": self.name,
+            "op": self.op,
+            "joint_with_previous": self.joint_with_previous,
+            "overlap": self.overlap,
+        }
+
+
+@dataclass
+class GlobalStep:
+    """Uncharged master-side glue ``fn(ctx)``; the result binds to ``name``."""
+
+    fn: Callable[[dict], Any]
+    name: Optional[str] = None
+
+    def describe(self) -> dict:
+        return {"step": "global", "name": self.name or ""}
+
+
+@dataclass
+class Barrier:
+    """Explicit synchronization point (event engine; no-op under lock-step)."""
+
+    label: str = "barrier"
+
+    def describe(self) -> dict:
+        return {"step": "barrier", "label": self.label}
+
+
+@dataclass
+class Join:
+    """Block on previously overlapped collectives (charges the unhidden part)."""
+
+    def describe(self) -> dict:
+        return {"step": "join"}
+
+
+@dataclass
+class DynamicStep:
+    """Data-dependent section ``fn(cluster, ctx)`` issuing its own rounds."""
+
+    name: str
+    fn: Callable[..., Any]
+    rounds: str = "data-dependent"
+
+    def describe(self) -> dict:
+        return {"step": "dynamic", "name": self.name, "rounds": self.rounds}
+
+
+@dataclass
+class Repeat:
+    """A body of steps executed ``times`` times (one trip through per round).
+
+    Keeps the declared structure compact when an epoch is a known number of
+    identical rounds (sync-SGD's per-mini-batch step): the description holds
+    the body once plus the count, however many times it runs, and the declared
+    round total multiplies through.
+    """
+
+    times: int
+    steps: List["Step"]
+
+    def __post_init__(self) -> None:
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+    def describe(self) -> dict:
+        return {
+            "step": "repeat",
+            "times": self.times,
+            "steps": [s.describe() for s in self.steps],
+        }
+
+
+Step = Union[LocalStep, Collective, GlobalStep, Barrier, Join, DynamicStep, Repeat]
+
+
+def _count(steps: Sequence[Step], measure: Callable[[Collective], int]) -> Optional[int]:
+    """Sum ``measure`` over the collectives of ``steps``; ``None`` if dynamic."""
+    total = 0
+    for step in steps:
+        if isinstance(step, DynamicStep):
+            return None
+        if isinstance(step, Collective):
+            total += measure(step)
+        elif isinstance(step, Repeat):
+            inner = _count(step.steps, measure)
+            if inner is None:
+                return None
+            total += step.times * inner
+    return total
+
+
+# ---------------------------------------------------------------------------
+# RoundPlan
+# ---------------------------------------------------------------------------
+class RoundPlan:
+    """An ordered, inspectable schedule for one solver epoch.
+
+    Built with the fluent helpers below and executed by :func:`execute_plan`.
+    Steps communicate through a per-execution context dictionary: a
+    :class:`LocalStep` binds the list of per-worker results to its name, a
+    :class:`Collective` binds the reduced/distributed value, a
+    :class:`GlobalStep` binds its return value.  ``returns`` names the context
+    key whose value is the epoch's resulting iterate.
+    """
+
+    def __init__(self, name: str, *, context: Optional[dict] = None):
+        self.name = name
+        self.steps: List[Step] = []
+        self.context: Dict[str, Any] = dict(context or {})
+        self.returns_key: Optional[str] = None
+
+    # -- builders ----------------------------------------------------------
+    def add(self, step: Step) -> "RoundPlan":
+        self.steps.append(step)
+        return self
+
+    def local(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        *,
+        label: str = "compute",
+        workers: Optional[Sequence[int]] = None,
+    ) -> "RoundPlan":
+        return self.add(LocalStep(name, fn, label=label, workers=workers))
+
+    def collective(
+        self,
+        name: str,
+        op: str,
+        payload: Callable[[dict], Any],
+        *,
+        joint_with_previous: bool = False,
+        overlap: bool = False,
+    ) -> "RoundPlan":
+        return self.add(
+            Collective(
+                name,
+                op,
+                payload,
+                joint_with_previous=joint_with_previous,
+                overlap=overlap,
+            )
+        )
+
+    def allreduce(self, name: str, payload, **kwargs) -> "RoundPlan":
+        return self.collective(name, "allreduce", payload, **kwargs)
+
+    def broadcast(self, name: str, payload, **kwargs) -> "RoundPlan":
+        return self.collective(name, "broadcast", payload, **kwargs)
+
+    def gather(self, name: str, payload, **kwargs) -> "RoundPlan":
+        return self.collective(name, "gather", payload, **kwargs)
+
+    def scatter(self, name: str, payload, **kwargs) -> "RoundPlan":
+        return self.collective(name, "scatter", payload, **kwargs)
+
+    def allgather(self, name: str, payload, **kwargs) -> "RoundPlan":
+        return self.collective(name, "allgather", payload, **kwargs)
+
+    def reduce_scalar(self, name: str, payload, **kwargs) -> "RoundPlan":
+        return self.collective(name, "reduce_scalar", payload, **kwargs)
+
+    def master(self, fn: Callable[[dict], Any], *, name: Optional[str] = None) -> "RoundPlan":
+        return self.add(GlobalStep(fn, name=name))
+
+    def barrier(self, label: str = "barrier") -> "RoundPlan":
+        return self.add(Barrier(label))
+
+    def join(self) -> "RoundPlan":
+        return self.add(Join())
+
+    def dynamic(
+        self, name: str, fn: Callable[..., Any], *, rounds: str = "data-dependent"
+    ) -> "RoundPlan":
+        return self.add(DynamicStep(name, fn, rounds=rounds))
+
+    def repeat(self, times: int, build: Callable[["RoundPlan"], Any]) -> "RoundPlan":
+        """Append a body of steps executed ``times`` times.
+
+        ``build`` receives a fresh builder and adds the body's steps to it;
+        the description stays one body long regardless of ``times``.
+        """
+        body = RoundPlan(f"{self.name}-body")
+        build(body)
+        return self.add(Repeat(times, body.steps))
+
+    def returns(self, key: str) -> "RoundPlan":
+        self.returns_key = key
+        return self
+
+    # -- declared structure ------------------------------------------------
+    @property
+    def is_static(self) -> bool:
+        """True when the plan's round count is known before execution."""
+        return _count(self.steps, lambda c: 0) is not None
+
+    @property
+    def declared_rounds(self) -> Optional[int]:
+        """Communication rounds this plan opens (``None`` for dynamic plans)."""
+        return _count(self.steps, lambda c: int(c.opens_round))
+
+    @property
+    def declared_collectives(self) -> Optional[int]:
+        return _count(self.steps, lambda c: 1)
+
+    @property
+    def n_overlapped(self) -> int:
+        """Overlapped collectives declared in the plan's static structure.
+
+        Unlike the round counts, a :class:`DynamicStep` does not make this
+        unknowable — the static collectives' flags are declared either way —
+        so dynamic sections simply contribute nothing.
+        """
+
+        def count(steps: Sequence[Step]) -> int:
+            total = 0
+            for s in steps:
+                if isinstance(s, Collective) and s.overlap:
+                    total += 1
+                elif isinstance(s, Repeat):
+                    total += s.times * count(s.steps)
+            return total
+
+        return count(self.steps)
+
+    def describe(self) -> dict:
+        """Serializable declared structure (``RunTrace.info['schedule']``)."""
+
+        def count_local(steps) -> int:
+            total = 0
+            for s in steps:
+                if isinstance(s, LocalStep):
+                    total += 1
+                elif isinstance(s, Repeat):
+                    total += s.times * count_local(s.steps)
+            return total
+
+        return {
+            "plan": self.name,
+            "rounds": self.declared_rounds,
+            "collectives": self.declared_collectives,
+            "overlapped": self.n_overlapped,
+            "local_steps": count_local(self.steps),
+            "dynamic": not self.is_static,
+            "steps": [s.describe() for s in self.steps],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rounds = self.declared_rounds
+        return (
+            f"RoundPlan({self.name!r}, steps={len(self.steps)}, "
+            f"rounds={'dynamic' if rounds is None else rounds})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+@dataclass
+class PlanExecution:
+    """Outcome of one :func:`execute_plan` call: result + observed schedule."""
+
+    result: Any
+    context: dict = field(repr=False, default_factory=dict)
+    rounds: int = 0
+    collectives: int = 0
+    bytes_transferred: float = 0.0
+    overlapped: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "collectives": self.collectives,
+            "bytes": self.bytes_transferred,
+            "overlapped": self.overlapped,
+        }
+
+
+class _PlanContext(dict):
+    """Execution context that enforces overlap data dependencies.
+
+    The simulator moves a collective's bytes immediately and models the
+    transfer time separately, so the *value* of an overlapped collective is
+    available in the context long before the modelled transfer completes.  A
+    plan that reads it before a :class:`Join` (or a blocking collective, which
+    drains the background implicitly) would therefore describe a schedule
+    with a data dependency no real cluster can satisfy — compute consuming
+    bytes still on the wire.  Reading an in-flight key raises
+    :class:`ScheduleError` instead, making unrealizable overlap a structural
+    error rather than a silently optimistic timing.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.in_flight: set = set()
+
+    def __getitem__(self, key):
+        if key in self.in_flight:
+            raise ScheduleError(
+                f"context key {key!r} is the result of an overlapped "
+                "collective whose modelled transfer has not completed; "
+                "add a Join() (or a blocking collective) before reading it"
+            )
+        return super().__getitem__(key)
+
+    def get(self, key, default=None):
+        # Same contract as indexing — .get must not be a guard bypass.
+        if key in self.in_flight:
+            self[key]  # raises ScheduleError
+        return super().get(key, default)
+
+
+def _execute_steps(cluster, steps: Sequence[Step], ctx: _PlanContext) -> int:
+    """Run ``steps`` in order; returns the number of overlapped collectives."""
+    comm = cluster.comm
+    overlapped = 0
+    for step in steps:
+        if isinstance(step, LocalStep):
+            fn = step.fn
+            targets = None
+            if step.workers is not None:
+                targets = [cluster.workers[int(i)] for i in step.workers]
+            results = cluster.map_workers(
+                lambda worker, _fn=fn: _fn(worker, ctx), workers=targets
+            )
+            ctx[step.name] = results
+        elif isinstance(step, Collective):
+            buffers = step.payload(ctx)
+            kwargs: Dict[str, Any] = {
+                "joint_with_previous": step.joint_with_previous
+            }
+            if step.op != "reduce_scalar":
+                kwargs["overlap"] = step.overlap
+            ctx[step.name] = getattr(comm, step.op)(buffers, **kwargs)
+            if step.overlap:
+                overlapped += 1
+                ctx.in_flight.add(step.name)
+            else:
+                # A blocking collective drains any background transfer before
+                # it starts (see Communicator/EventEngine), so previously
+                # overlapped results are safe to read from here on.
+                ctx.in_flight.clear()
+        elif isinstance(step, GlobalStep):
+            value = step.fn(ctx)
+            if step.name is not None:
+                ctx[step.name] = value
+        elif isinstance(step, Barrier):
+            if cluster.engine_mode == "event":
+                cluster.engine.barrier(label=step.label)
+        elif isinstance(step, Join):
+            comm.join()
+            ctx.in_flight.clear()
+        elif isinstance(step, DynamicStep):
+            ctx[step.name] = step.fn(cluster, ctx)
+        elif isinstance(step, Repeat):
+            for _ in range(step.times):
+                overlapped += _execute_steps(cluster, step.steps, ctx)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown plan step {step!r}")
+    return overlapped
+
+
+def execute_plan(cluster, plan: RoundPlan, *, check: bool = True) -> PlanExecution:
+    """Run ``plan`` on ``cluster`` and verify its declared round structure.
+
+    The executor issues the *same* ``map_workers`` / ``comm`` calls, in the
+    same order with the same buffers, that the imperative solver code issued —
+    which is what makes the port bit-identical in iterates and modelled times
+    on both the lock-step and the event path (pinned by the golden-trace
+    fixtures in ``tests/test_schedule.py``).
+    """
+    comm = cluster.comm
+    rounds0 = comm.log.n_rounds
+    collectives0 = comm.log.n_collectives
+    bytes0 = comm.log.bytes_transferred
+    ctx = _PlanContext(plan.context)
+    overlapped = _execute_steps(cluster, plan.steps, ctx)
+    if ctx.in_flight:
+        # An unjoined transfer would silently drain into the *next* epoch's
+        # first blocking collective, undercharging this epoch and
+        # overcharging the next — per-epoch modelled times are the one thing
+        # this simulator must get right, so the plan must end joined.
+        raise ScheduleError(
+            f"plan {plan.name!r} ended with overlapped collective(s) "
+            f"{sorted(ctx.in_flight)} still in flight; add a trailing Join()"
+        )
+
+    # Indexing (not .get) so a typoed returns key fails here, at the plan,
+    # and an unjoined overlapped result trips the in-flight guard.
+    result = ctx[plan.returns_key] if plan.returns_key else None
+    execution = PlanExecution(
+        result=result,
+        context=ctx,
+        rounds=comm.log.n_rounds - rounds0,
+        collectives=comm.log.n_collectives - collectives0,
+        bytes_transferred=comm.log.bytes_transferred - bytes0,
+        overlapped=overlapped,
+    )
+    if check and plan.declared_rounds is not None:
+        if execution.rounds != plan.declared_rounds:
+            raise ScheduleError(
+                f"plan {plan.name!r} declares {plan.declared_rounds} "
+                f"communication round(s) per epoch but executed "
+                f"{execution.rounds}"
+            )
+        if execution.collectives != plan.declared_collectives:
+            raise ScheduleError(
+                f"plan {plan.name!r} declares {plan.declared_collectives} "
+                f"collective(s) per epoch but executed {execution.collectives}"
+            )
+    return execution

@@ -4,7 +4,17 @@ A distributed solver owns hyper-parameters only; all problem state lives on a
 :class:`~repro.distributed.cluster.SimulatedCluster`.  The base class runs the
 outer loop, keeps the per-epoch :class:`~repro.metrics.traces.RunTrace`
 (objective, accuracy, modelled/wall time, communication rounds), and leaves
-two hooks to subclasses: :meth:`_initialize` and :meth:`_epoch`.
+two hooks to subclasses: :meth:`_initialize` plus *one of*
+
+- :meth:`_plan_epoch` — the declarative hook every synchronous solver uses:
+  return a :class:`~repro.distributed.schedule.RoundPlan` describing the
+  epoch's round structure; the base class executes it through
+  :func:`~repro.distributed.schedule.execute_plan` (which checks the declared
+  communication-round count against what actually ran) and records the
+  schedule into ``trace.info["schedule"]``;
+- :meth:`_epoch` — the imperative hook, overridden only by the asynchronous
+  solvers whose schedules *emerge* from the engine's event queue and cannot
+  be declared as a static plan.
 
 Reporting evaluations (global objective, accuracies) are performed outside the
 cluster's accounting, so they do not pollute the modelled epoch times — the
@@ -13,8 +23,9 @@ paper's timings likewise exclude evaluation.
 
 from __future__ import annotations
 
+import re
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -22,6 +33,7 @@ from repro.backend import copy_array
 from repro.datasets.base import ClassificationDataset
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.engine import timelines_dict
+from repro.distributed.schedule import RoundPlan, execute_plan
 from repro.metrics.classification import accuracy
 from repro.metrics.timeline import timeline_summary
 from repro.metrics.traces import EpochRecord, RunTrace
@@ -71,15 +83,39 @@ class DistributedSolver(ABC):
         self.evaluate_every = int(evaluate_every)
         self.record_accuracy = bool(record_accuracy)
         self.tol_grad = float(tol_grad)
+        self._schedule_log: List[dict] = []
+        self._schedule_declared: Optional[dict] = None
 
     # -- subclass hooks ------------------------------------------------------
     @abstractmethod
     def _initialize(self, cluster: SimulatedCluster, w0: np.ndarray) -> None:
         """Set up per-worker state before the first epoch."""
 
-    @abstractmethod
+    def _plan_epoch(self, cluster: SimulatedCluster, epoch: int) -> RoundPlan:
+        """Compile one outer iteration into a :class:`RoundPlan`.
+
+        Synchronous solvers implement this; the base :meth:`_epoch` executes
+        the plan, verifies its declared communication-round count against what
+        the engine actually ran, and logs the schedule for the trace.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _plan_epoch() "
+            "(or override _epoch() for event-driven schedules)"
+        )
+
     def _epoch(self, cluster: SimulatedCluster, epoch: int) -> np.ndarray:
-        """Run one outer iteration and return the current global iterate."""
+        """Run one outer iteration and return the current global iterate.
+
+        The default implementation compiles the epoch with :meth:`_plan_epoch`
+        and executes the plan; asynchronous solvers override it to schedule
+        directly on the engine's event queue.
+        """
+        plan = self._plan_epoch(cluster, epoch)
+        execution = execute_plan(cluster, plan)
+        if self._schedule_declared is None:
+            self._schedule_declared = plan.describe()
+        self._schedule_log.append({"epoch": epoch, **execution.summary()})
+        return execution.result
 
     # -- outer loop -----------------------------------------------------------
     def fit(
@@ -115,11 +151,19 @@ class DistributedSolver(ABC):
 
         cluster.wall.start()
         self._stop_requested = False
+        self._schedule_log: List[dict] = []
+        self._schedule_declared: Optional[dict] = None
+        epoch_boundaries: List[List[float]] = []
         self._initialize(cluster, w0)
         w = w0
 
         for epoch in range(1, self.max_epochs + 1):
             w = self._epoch(cluster, epoch)
+            # Per-worker local clocks at the epoch boundary; lets the Gantt
+            # export slice a single epoch out of the cumulative timelines.
+            epoch_boundaries.append(
+                [tl.t for tl in cluster.engine.timelines]
+            )
             if (
                 epoch % self.evaluate_every != 0
                 and epoch != self.max_epochs
@@ -143,22 +187,37 @@ class DistributedSolver(ABC):
             "collectives": cluster.comm.log.n_collectives,
             "bytes": cluster.comm.log.bytes_transferred,
         }
-        self._attach_timelines(trace, cluster)
+        if self._schedule_log:
+            trace.info["schedule"] = {
+                "declared": self._schedule_declared,
+                "epochs": self._schedule_log,
+            }
+        self._attach_timelines(trace, cluster, epoch_boundaries)
         return trace
 
     @staticmethod
-    def _attach_timelines(trace: RunTrace, cluster: SimulatedCluster) -> None:
+    def _attach_timelines(
+        trace: RunTrace,
+        cluster: SimulatedCluster,
+        epoch_boundaries: Optional[List[List[float]]] = None,
+    ) -> None:
         """Record per-worker busy/wait/comm timelines when the engine saw any.
 
         Event-mode synchronous runs and asynchronous solvers (which always
         schedule through the engine) populate these; lock-step synchronous
-        runs leave the timelines empty and the trace unchanged.
+        runs leave the timelines empty and the trace unchanged.  Alongside the
+        cumulative timelines, the per-worker clocks at every epoch boundary
+        are stored so ``plot_gantt(trace, epoch=k)`` can render one epoch.
         """
         timelines = cluster.engine.timelines
         if not any(tl.segments for tl in timelines):
             return
         trace.info["timelines"] = timelines_dict(timelines)
         trace.info["timeline_summary"] = timeline_summary(timelines)
+        if epoch_boundaries:
+            trace.info["timeline_epochs"] = {
+                "boundaries": [list(b) for b in epoch_boundaries]
+            }
 
     # -- helpers -------------------------------------------------------
     def _make_record(
@@ -201,10 +260,19 @@ class DistributedSolver(ABC):
         """Serializable hyper-parameter dictionary (for run provenance).
 
         Underscore-prefixed attributes are run state (clocks, versions,
-        counters), not hyper-parameters, and are excluded.
+        counters), not hyper-parameters, and are excluded.  Scalars and
+        ``None`` pass through unchanged; everything else (tuples, lists,
+        callables, RNGs) is serialized via ``repr`` so no hyper-parameter is
+        silently dropped from the provenance record.
         """
-        return {
-            k: v
-            for k, v in vars(self).items()
-            if not k.startswith("_") and isinstance(v, (int, float, str, bool))
-        }
+        out = {}
+        for k, v in vars(self).items():
+            if k.startswith("_"):
+                continue
+            if v is None or isinstance(v, (int, float, str, bool)):
+                out[k] = v
+            else:
+                # Memory addresses (default object/Generator reprs) would
+                # make the provenance of two identical runs differ.
+                out[k] = re.sub(r" at 0x[0-9a-fA-F]+", "", repr(v))
+        return out

@@ -142,20 +142,54 @@ def plot_gantt(
     width: int = 72,
     until: Optional[float] = None,
     title: Optional[str] = None,
+    epoch: Optional[int] = None,
 ) -> str:
     """ASCII Gantt chart of per-worker timelines (busy ``#``, wait ``.``,
     comm ``~``, background transfers ``-`` on a separate lane).
 
-    ``timelines`` is a sequence of
-    :class:`~repro.metrics.timeline.WorkerTimeline` objects or their
+    ``timelines`` is a :class:`~repro.metrics.traces.RunTrace` (its recorded
+    ``info["timelines"]`` are rendered), a sequence of
+    :class:`~repro.metrics.timeline.WorkerTimeline` objects, or their
     serialized dictionaries (``RunTrace.info["timelines"]``).  Each row is one
     worker; a cell shows the activity occupying most of its time slice.  This
     is the schedule view behind the straggler and async analyses: persistent
     stragglers show as rows of solid ``#`` while their peers fill with ``.``
     on synchronous runs, and as staggered ``#`` blocks on quorum schedules.
-    """
-    from repro.metrics.timeline import WorkerTimeline, timelines_from_dicts
 
+    ``epoch`` (1-based, requires a trace) renders a single epoch instead of
+    the cumulative fit: the trace's per-epoch boundary snapshots
+    (``info["timeline_epochs"]``) locate the window on every worker's clock.
+    """
+    from repro.metrics.timeline import (
+        WorkerTimeline,
+        slice_epoch,
+        timelines_from_dicts,
+    )
+
+    if isinstance(timelines, RunTrace):
+        trace = timelines
+        rows = trace.info.get("timelines")
+        if not rows:
+            raise ValueError(
+                "trace has no recorded timelines; run with engine='event' "
+                "(or an asynchronous solver)"
+            )
+        timelines = timelines_from_dicts(rows)
+        if epoch is not None:
+            boundaries = trace.info.get("timeline_epochs", {}).get("boundaries")
+            if not boundaries:
+                raise ValueError(
+                    "trace has no per-epoch timeline boundaries "
+                    "(info['timeline_epochs'])"
+                )
+            timelines = slice_epoch(timelines, boundaries, epoch)
+            if title is None:
+                title = f"{trace.method} — epoch {epoch}"
+    elif epoch is not None:
+        raise ValueError(
+            "epoch slicing needs a RunTrace with recorded epoch boundaries; "
+            "pass the trace instead of raw timelines"
+        )
     if not timelines:
         raise ValueError("timelines must not be empty")
     if not isinstance(timelines[0], WorkerTimeline):
@@ -202,6 +236,69 @@ def plot_gantt(
         lines.append(f"w{tl.worker_id:<3d}|{render(tl.segments, _GANTT_GLYPHS)}|")
         if tl.background:
             lines.append(f"    |{render(tl.background, {'comm': '-'})}| (background)")
+    return "\n".join(lines)
+
+
+def format_schedule(trace: RunTrace) -> str:
+    """Human-readable summary of a trace's declared + observed round schedule.
+
+    Solvers that compile their epochs into a
+    :class:`~repro.distributed.schedule.RoundPlan` record the declared
+    structure and the per-epoch observations in ``trace.info["schedule"]``;
+    this renders them as the schedule table the harness reports print.
+    """
+    schedule = trace.info.get("schedule")
+    if not schedule:
+        return f"{trace.method}: no declared schedule (event-driven or legacy run)"
+    declared = schedule.get("declared") or {}
+    rounds = declared.get("rounds")
+    lines = [
+        f"schedule of {trace.method} ({declared.get('plan', trace.method)}):",
+        "  declared: "
+        + (
+            f"{rounds} communication round(s)/epoch"
+            if rounds is not None
+            else "dynamic rounds (data-dependent inner loop)"
+        )
+        + f", {declared.get('local_steps', 0)} local step(s)"
+        + (
+            f", {declared['overlapped']} overlapped collective(s)"
+            if declared.get("overlapped")
+            else ""
+        ),
+    ]
+    def render_steps(steps, indent: str) -> None:
+        for step in steps:
+            kind = step.get("step")
+            if kind == "local":
+                lines.append(
+                    f"{indent}local     {step.get('label', step.get('name', ''))}"
+                )
+            elif kind == "collective":
+                flags = []
+                if step.get("joint_with_previous"):
+                    flags.append("joint")
+                if step.get("overlap"):
+                    flags.append("overlap")
+                suffix = f" [{', '.join(flags)}]" if flags else ""
+                lines.append(f"{indent}comm      {step['op']}({step['name']}){suffix}")
+            elif kind == "dynamic":
+                lines.append(
+                    f"{indent}dynamic   {step['name']}: {step.get('rounds', '')}"
+                )
+            elif kind == "repeat":
+                lines.append(f"{indent}repeat    x{step['times']}:")
+                render_steps(step.get("steps", ()), indent + "  ")
+
+    render_steps(declared.get("steps", ()), "    ")
+    epochs = schedule.get("epochs", ())
+    if epochs:
+        observed = [e["rounds"] for e in epochs]
+        total_bytes = sum(e.get("bytes", 0.0) for e in epochs)
+        lines.append(
+            f"  observed: rounds/epoch min {min(observed)} max {max(observed)} "
+            f"over {len(epochs)} epoch(s), {total_bytes:.3g} bytes total"
+        )
     return "\n".join(lines)
 
 

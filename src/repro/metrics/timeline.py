@@ -154,6 +154,54 @@ def max_time(timelines: Sequence[WorkerTimeline]) -> float:
     return max((tl.t for tl in timelines), default=0.0)
 
 
+def slice_epoch(
+    timelines: Sequence[WorkerTimeline],
+    boundaries: Sequence[Sequence[float]],
+    epoch: int,
+) -> List[WorkerTimeline]:
+    """Cut one epoch's window out of cumulative per-worker timelines.
+
+    ``boundaries[e][i]`` is worker ``i``'s local clock at the end of epoch
+    ``e + 1`` (what ``RunTrace.info["timeline_epochs"]["boundaries"]``
+    records).  Epoch ``epoch`` (1-based) runs, on worker ``i``, from
+    ``boundaries[epoch - 2][i]`` (or 0 for the first epoch) to
+    ``boundaries[epoch - 1][i]``.  Segments are clipped to that window and
+    shifted so the earliest window start across workers lands at 0 — workers
+    keep their relative offsets, which is what makes asynchronous epochs
+    render honestly.
+    """
+    if not 1 <= epoch <= len(boundaries):
+        raise ValueError(
+            f"epoch must lie in [1, {len(boundaries)}], got {epoch}"
+        )
+    starts = (
+        [0.0] * len(timelines) if epoch == 1 else list(boundaries[epoch - 2])
+    )
+    ends = list(boundaries[epoch - 1])
+    if len(starts) != len(timelines) or len(ends) != len(timelines):
+        raise ValueError(
+            f"boundaries describe {len(ends)} workers, got {len(timelines)} timelines"
+        )
+    t0 = min(starts)
+
+    def clipped(segments, start: float, end: float) -> List[TimelineSegment]:
+        out = []
+        for seg in segments:
+            lo, hi = max(seg.start, start), min(seg.end, end)
+            if hi > lo:
+                out.append(TimelineSegment(lo - t0, hi - t0, seg.kind, seg.label))
+        return out
+
+    sliced: List[WorkerTimeline] = []
+    for tl, start, end in zip(timelines, starts, ends):
+        cut = WorkerTimeline(worker_id=tl.worker_id)
+        cut.segments = clipped(tl.segments, start, end)
+        cut.background = clipped(tl.background, start, end)
+        cut.t = end - t0
+        sliced.append(cut)
+    return sliced
+
+
 def timelines_from_dicts(rows: Sequence[dict]) -> List[WorkerTimeline]:
     """Rebuild :class:`WorkerTimeline` objects from serialized dictionaries.
 

@@ -1,0 +1,459 @@
+"""Tests for the round-schedule IR: plan structure, declared-round checking,
+golden-trace equivalence of every ported solver on both engines, the GIANT
+overlap variant, per-epoch Gantt slicing, and hyper-parameter provenance."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.admm.newton_admm import NewtonADMM
+from repro.baselines.aide import AIDE
+from repro.baselines.cocoa import CoCoA
+from repro.baselines.dane import InexactDANE
+from repro.baselines.disco import DiSCO
+from repro.baselines.giant import GIANT
+from repro.baselines.sync_sgd import SynchronousSGD
+from repro.datasets.synthetic import make_multiclass_gaussian
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.network import wan_slow
+from repro.distributed.schedule import (
+    Collective,
+    RoundPlan,
+    ScheduleError,
+    execute_plan,
+)
+from repro.harness.plotting import format_schedule, plot_gantt
+from repro.metrics.timeline import slice_epoch
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "schedule_equivalence.json"
+
+#: solver name -> factory; mirrors tests/golden/generate_schedule_goldens.py
+SOLVER_FACTORIES = {
+    "newton_admm": lambda: NewtonADMM(lam=1e-3, max_epochs=4, record_accuracy=False),
+    "giant": lambda: GIANT(lam=1e-3, max_epochs=4, record_accuracy=False),
+    "inexact_dane": lambda: InexactDANE(lam=1e-3, max_epochs=2, record_accuracy=False),
+    "aide": lambda: AIDE(lam=1e-3, max_epochs=2, tau=0.5, record_accuracy=False),
+    "disco": lambda: DiSCO(lam=1e-3, max_epochs=3, record_accuracy=False),
+    "cocoa": lambda: CoCoA(lam=1e-3, max_epochs=3, record_accuracy=False),
+    "sync_sgd": lambda: SynchronousSGD(
+        lam=1e-3, max_epochs=2, step_size=0.2, record_accuracy=False
+    ),
+}
+
+#: statically declarable communication rounds per outer iteration
+DECLARED_ROUNDS = {
+    "newton_admm": 1,
+    "giant": 3,
+    "inexact_dane": 2,
+    "aide": 2,
+    "disco": None,  # one all-reduce per CG matvec — data-dependent
+    "cocoa": 1,
+    "sync_sgd": 1,  # one per mini-batch step; one step at this shard size
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_multiclass_gaussian(240, 10, 3, class_separation=3.0, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def binary_dataset():
+    return make_multiclass_gaussian(200, 8, 2, class_separation=3.0, random_state=1)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _dataset_for(name, dataset, binary_dataset):
+    return binary_dataset if name == "cocoa" else dataset
+
+
+# ---------------------------------------------------------------------------
+# IR structure
+# ---------------------------------------------------------------------------
+class TestRoundPlanStructure:
+    def test_declared_rounds_count_opening_collectives(self):
+        plan = RoundPlan("demo")
+        plan.local("a", lambda w, ctx: 0.0)
+        plan.allreduce("s", lambda ctx: ctx["a"])
+        plan.reduce_scalar("r", lambda ctx: ctx["a"], joint_with_previous=True)
+        plan.allreduce("t", lambda ctx: ctx["a"])
+        assert plan.declared_rounds == 2
+        assert plan.declared_collectives == 3
+        assert plan.is_static
+
+    def test_dynamic_step_makes_rounds_undeclarable(self):
+        plan = RoundPlan("demo")
+        plan.allreduce("s", lambda ctx: [])
+        plan.dynamic("inner", lambda cluster, ctx: None)
+        assert plan.declared_rounds is None
+        assert not plan.is_static
+
+    def test_describe_is_serializable(self):
+        plan = RoundPlan("demo")
+        plan.local("a", lambda w, ctx: 0.0, label="work")
+        plan.allreduce("s", lambda ctx: ctx["a"], overlap=True)
+        description = plan.describe()
+        json.dumps(description)  # must round-trip to JSON for traces
+        assert description["plan"] == "demo"
+        assert description["rounds"] == 1
+        assert description["overlapped"] == 1
+        assert [s["step"] for s in description["steps"]] == ["local", "collective"]
+
+    def test_repeat_multiplies_declared_counts_with_constant_description(self):
+        def body(b):
+            b.local("g", lambda w, ctx: 0.0)
+            b.allreduce("s", lambda ctx: ctx["g"])
+
+        small, large = RoundPlan("few"), RoundPlan("many")
+        small.repeat(2, body)
+        large.repeat(500, body)
+        assert small.declared_rounds == 2
+        assert large.declared_rounds == 500
+        assert large.declared_collectives == 500
+        # The recorded structure is one body + a count, not 500 copies.
+        assert large.describe()["steps"] == [
+            {
+                "step": "repeat",
+                "times": 500,
+                "steps": small.describe()["steps"][0]["steps"],
+            }
+        ]
+
+    def test_repeat_executes_body_times(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, random_state=0)
+        plan = RoundPlan("looped", context={"total": 0.0})
+
+        def body(b):
+            b.local("g", lambda w, ctx: 1.0)
+            b.allreduce("s", lambda ctx: ctx["g"])
+            b.master(lambda ctx: ctx.__setitem__("total", ctx["total"] + ctx["s"]))
+
+        plan.repeat(3, body)
+        plan.returns("total")
+        execution = execute_plan(cluster, plan)
+        assert execution.rounds == 3
+        assert execution.result == 3 * 4.0  # 3 rounds x 4 workers' ones
+
+    def test_unknown_collective_op_rejected(self):
+        with pytest.raises(ValueError):
+            Collective("x", "alltoallv", lambda ctx: [])
+
+    def test_reduce_scalar_cannot_overlap(self):
+        with pytest.raises(ValueError):
+            Collective("x", "reduce_scalar", lambda ctx: [], overlap=True)
+
+
+class TestDeclaredRoundChecking:
+    def test_hidden_communication_raises_schedule_error(self, dataset):
+        # A plan whose master step smuggles an extra collective past the
+        # declared structure must be rejected by the engine check.
+        cluster = SimulatedCluster(dataset, 4, random_state=0)
+
+        plan = RoundPlan("smuggler")
+        plan.local("g", lambda w, ctx: np.zeros(cluster.dim))
+        plan.allreduce("s", lambda ctx: ctx["g"])
+        plan.master(
+            lambda ctx: cluster.comm.allreduce(ctx["g"])  # undeclared round
+        )
+        with pytest.raises(ScheduleError, match="declares 1"):
+            execute_plan(cluster, plan)
+
+    def test_check_can_be_disabled(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, random_state=0)
+        plan = RoundPlan("smuggler")
+        plan.local("g", lambda w, ctx: np.zeros(cluster.dim))
+        plan.allreduce("s", lambda ctx: ctx["g"])
+        plan.master(lambda ctx: cluster.comm.allreduce(ctx["g"]))
+        execution = execute_plan(cluster, plan, check=False)
+        assert execution.rounds == 2
+
+    def test_reading_in_flight_overlap_result_rejected(self, dataset):
+        # Overlap models bytes still on the wire: a plan that consumes the
+        # overlapped collective's value before a Join describes a schedule no
+        # real cluster can run, and the executor rejects it.
+        cluster = SimulatedCluster(dataset, 4, engine="event", random_state=0)
+        plan = RoundPlan("premature-read")
+        plan.local("g", lambda w, ctx: np.zeros(cluster.dim))
+        plan.allreduce("s", lambda ctx: ctx["g"], overlap=True)
+        plan.master(lambda ctx: ctx["s"] * 2.0)  # reads before the join
+        with pytest.raises(ScheduleError, match="overlapped"):
+            execute_plan(cluster, plan)
+
+    def test_get_is_not_a_guard_bypass(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, engine="event", random_state=0)
+        plan = RoundPlan("get-bypass")
+        plan.local("g", lambda w, ctx: np.zeros(cluster.dim))
+        plan.allreduce("s", lambda ctx: ctx["g"], overlap=True)
+        plan.master(lambda ctx: ctx.get("s"))
+        with pytest.raises(ScheduleError, match="overlapped"):
+            execute_plan(cluster, plan)
+
+    def test_plan_must_end_joined(self, dataset):
+        # An unjoined background transfer would leak into the next epoch's
+        # accounting; the executor requires the plan to end joined.
+        cluster = SimulatedCluster(dataset, 4, engine="event", random_state=0)
+        plan = RoundPlan("leaky")
+        plan.local("g", lambda w, ctx: np.zeros(cluster.dim))
+        plan.allreduce("s", lambda ctx: ctx["g"], overlap=True)
+        with pytest.raises(ScheduleError, match="in flight"):
+            execute_plan(cluster, plan)
+
+    def test_joined_overlap_result_readable(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, engine="event", random_state=0)
+        plan = RoundPlan("joined-read")
+        plan.local("g", lambda w, ctx: np.ones(cluster.dim))
+        plan.allreduce("s", lambda ctx: ctx["g"], overlap=True)
+        plan.local("hide", lambda w, ctx: float(w.worker_id))  # independent work
+        plan.join()
+        plan.master(lambda ctx: ctx["s"], name="out")
+        plan.returns("out")
+        execution = execute_plan(cluster, plan)
+        assert np.array_equal(execution.result, 4.0 * np.ones(cluster.dim))
+
+    def test_execution_summary(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, random_state=0)
+        plan = RoundPlan("one-round")
+        plan.local("g", lambda w, ctx: np.zeros(cluster.dim))
+        plan.allreduce("s", lambda ctx: ctx["g"])
+        plan.returns("s")
+        execution = execute_plan(cluster, plan)
+        assert execution.rounds == 1
+        assert execution.collectives == 1
+        assert execution.bytes_transferred > 0
+        assert np.array_equal(execution.result, np.zeros(cluster.dim))
+
+
+# ---------------------------------------------------------------------------
+# Golden-trace equivalence: the refactor changed no float
+# ---------------------------------------------------------------------------
+class TestGoldenEquivalence:
+    """Every ported solver replays the pre-refactor imperative path exactly:
+    bit-identical iterates, identical modelled times and communication totals,
+    on both the lock-step and the event engine."""
+
+    @pytest.mark.parametrize("name", sorted(SOLVER_FACTORIES))
+    @pytest.mark.parametrize("mode", ["lockstep", "event"])
+    def test_matches_pre_refactor_golden(
+        self, name, mode, dataset, binary_dataset, golden
+    ):
+        data = _dataset_for(name, dataset, binary_dataset)
+        cluster = SimulatedCluster(data, 4, engine=mode, random_state=0)
+        trace = SOLVER_FACTORIES[name]().fit(cluster)
+        expected = golden[name]
+        assert trace.final_w.tolist() == expected["final_w"]
+        assert [r.objective for r in trace.records] == expected["objectives"]
+        assert [r.modelled_time for r in trace.records] == expected["modelled_times"]
+        assert [r.comm_time for r in trace.records] == expected["comm_times"]
+        assert cluster.comm.log.n_rounds == expected["comm_rounds"]
+        assert cluster.comm.log.n_collectives == expected["n_collectives"]
+        assert cluster.comm.log.bytes_transferred == expected["bytes_transferred"]
+
+    @pytest.mark.parametrize("name", sorted(SOLVER_FACTORIES))
+    def test_schedule_declares_expected_rounds(
+        self, name, dataset, binary_dataset
+    ):
+        data = _dataset_for(name, dataset, binary_dataset)
+        cluster = SimulatedCluster(data, 4, random_state=0)
+        trace = SOLVER_FACTORIES[name]().fit(cluster)
+        schedule = trace.info["schedule"]
+        assert schedule["declared"]["rounds"] == DECLARED_ROUNDS[name]
+        for epoch_row in schedule["epochs"]:
+            if DECLARED_ROUNDS[name] is not None:
+                assert epoch_row["rounds"] == DECLARED_ROUNDS[name]
+            else:
+                assert epoch_row["rounds"] >= 1
+
+    def test_schedule_info_serializable(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, random_state=0)
+        trace = NewtonADMM(lam=1e-3, max_epochs=2, record_accuracy=False).fit(cluster)
+        json.dumps(trace.info["schedule"])
+
+    def test_format_schedule_renders_declared_structure(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, random_state=0)
+        trace = NewtonADMM(lam=1e-3, max_epochs=3, record_accuracy=False).fit(cluster)
+        art = format_schedule(trace)
+        assert "1 communication round(s)/epoch" in art
+        assert "allreduce(payload_sum)" in art
+        assert "[joint]" in art
+        assert "min 1 max 1" in art
+
+
+# ---------------------------------------------------------------------------
+# GIANT overlap variant
+# ---------------------------------------------------------------------------
+class TestGiantOverlap:
+    def test_iterates_identical_time_strictly_lower_on_event(self, dataset):
+        traces = {}
+        for overlap in (False, True):
+            cluster = SimulatedCluster(
+                dataset, 4, engine="event", network=wan_slow(), random_state=0
+            )
+            traces[overlap] = GIANT(
+                lam=1e-3, max_epochs=3, overlap_gradient=overlap,
+                record_accuracy=False,
+            ).fit(cluster)
+        assert np.array_equal(traces[False].final_w, traces[True].final_w)
+        assert traces[True].final.modelled_time < traces[False].final.modelled_time
+        # Still three declared rounds — overlap changes *when* the transfer
+        # moves, not the round structure.
+        declared = traces[True].info["schedule"]["declared"]
+        assert declared["rounds"] == 3
+        assert declared["overlapped"] == 1
+
+    def test_lockstep_charges_overlap_in_full(self, dataset):
+        traces = {}
+        for overlap in (False, True):
+            cluster = SimulatedCluster(
+                dataset, 4, engine="lockstep", network=wan_slow(), random_state=0
+            )
+            traces[overlap] = GIANT(
+                lam=1e-3, max_epochs=3, overlap_gradient=overlap,
+                record_accuracy=False,
+            ).fit(cluster)
+        assert np.array_equal(traces[False].final_w, traces[True].final_w)
+        # Identical communication (the transfer is charged in full without an
+        # event engine); the hoisted f(w) evaluation costs one extra kernel
+        # launch per epoch, so the lock-step overlap variant is never faster.
+        assert traces[True].final.comm_time == traces[False].final.comm_time
+        overhead = (
+            traces[True].final.compute_time - traces[False].final.compute_time
+        )
+        assert overhead > 0
+        assert traces[True].final.modelled_time == pytest.approx(
+            traces[False].final.modelled_time + overhead
+        )
+
+    def test_background_lane_recorded(self, dataset):
+        cluster = SimulatedCluster(
+            dataset, 4, engine="event", network=wan_slow(), random_state=0
+        )
+        trace = GIANT(
+            lam=1e-3, max_epochs=2, overlap_gradient=True, record_accuracy=False
+        ).fit(cluster)
+        assert any(tl.get("background") for tl in trace.info["timelines"])
+
+
+# ---------------------------------------------------------------------------
+# Per-epoch timeline deltas
+# ---------------------------------------------------------------------------
+class TestEpochGantt:
+    @pytest.fixture(scope="class")
+    def event_trace(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, engine="event", random_state=0)
+        return NewtonADMM(lam=1e-3, max_epochs=4, record_accuracy=False).fit(cluster)
+
+    def test_boundaries_recorded_per_epoch(self, event_trace):
+        boundaries = event_trace.info["timeline_epochs"]["boundaries"]
+        assert len(boundaries) == 4  # one snapshot per executed epoch
+        assert all(len(b) == 4 for b in boundaries)  # one clock per worker
+        # Boundaries are non-decreasing per worker.
+        for i in range(4):
+            times = [b[i] for b in boundaries]
+            assert times == sorted(times)
+
+    def test_epoch_slices_partition_the_fit(self, event_trace):
+        from repro.metrics.timeline import timelines_from_dicts
+
+        timelines = timelines_from_dicts(event_trace.info["timelines"])
+        boundaries = event_trace.info["timeline_epochs"]["boundaries"]
+        for worker in range(4):
+            total = sum(seg.duration for seg in timelines[worker].segments)
+            sliced_total = 0.0
+            for epoch in range(1, len(boundaries) + 1):
+                cut = slice_epoch(timelines, boundaries, epoch)[worker]
+                sliced_total += sum(seg.duration for seg in cut.segments)
+            assert sliced_total == pytest.approx(total)
+
+    def test_plot_gantt_accepts_trace_and_epoch(self, event_trace):
+        full = plot_gantt(event_trace)
+        single = plot_gantt(event_trace, epoch=2)
+        assert "w0" in full and "w0" in single
+        assert "epoch 2" in single
+        # A single epoch spans strictly less time than the whole fit.
+        span_full = float(full.splitlines()[0].split("..")[1].split("s")[0])
+        span_epoch = float(
+            single.splitlines()[1].split("..")[1].split("s")[0]
+        )
+        assert span_epoch < span_full
+
+    def test_epoch_out_of_range_rejected(self, event_trace):
+        with pytest.raises(ValueError):
+            plot_gantt(event_trace, epoch=99)
+
+    def test_epoch_needs_a_trace(self, event_trace):
+        with pytest.raises(ValueError, match="RunTrace"):
+            plot_gantt(event_trace.info["timelines"], epoch=1)
+
+    def test_lockstep_trace_has_no_timelines(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, engine="lockstep", random_state=0)
+        trace = NewtonADMM(lam=1e-3, max_epochs=2, record_accuracy=False).fit(cluster)
+        assert "timelines" not in trace.info
+        with pytest.raises(ValueError, match="no recorded timelines"):
+            plot_gantt(trace)
+
+
+# ---------------------------------------------------------------------------
+# Hyper-parameter provenance (repr fallback instead of silent drop)
+# ---------------------------------------------------------------------------
+class TestHyperparameterProvenance:
+    def test_none_and_scalars_pass_through(self):
+        solver = NewtonADMM(lam=1e-3, rho0=None)
+        params = solver.hyperparameters()
+        assert params["rho0"] is None  # previously silently dropped
+        assert params["lam"] == 1e-3
+        assert params["penalty"] == "spectral"
+
+    def test_non_scalars_serialized_via_repr(self, dataset):
+        solver = SynchronousSGD(
+            lam=1e-3, max_epochs=1, steps_per_epoch=None,
+            random_state=np.random.default_rng(0),
+        )
+        params = solver.hyperparameters()
+        assert params["steps_per_epoch"] is None
+        assert isinstance(params["random_state"], str)  # repr fallback
+        assert " at 0x" not in params["random_state"]  # address-free, stable
+        json.dumps(params)
+
+    def test_repr_fallback_is_deterministic_across_instances(self):
+        a = SynchronousSGD(lam=1e-3, random_state=np.random.default_rng(0))
+        b = SynchronousSGD(lam=1e-3, random_state=np.random.default_rng(0))
+        assert a.hyperparameters() == b.hyperparameters()
+
+    def test_run_state_logs_stay_out_of_provenance(self, dataset):
+        # staleness_log is run state behind a read-only property; the repr
+        # fallback must not sweep a previous run's log into the next trace.
+        from repro.admm.async_newton_admm import AsyncNewtonADMM
+
+        cluster = SimulatedCluster(dataset, 4, engine="event", random_state=0)
+        solver = AsyncNewtonADMM(lam=1e-3, max_epochs=3, record_accuracy=False)
+        solver.fit(cluster)
+        assert solver.staleness_log  # populated by the run...
+        assert "staleness_log" not in solver.hyperparameters()  # ...not recorded
+        cluster.reset_accounting()
+        trace = solver.fit(cluster)
+        assert "staleness_log" not in trace.info["hyperparameters"]
+
+    def test_typoed_returns_key_fails_at_the_plan(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, random_state=0)
+        plan = RoundPlan("typo")
+        plan.local("g", lambda w, ctx: 0.0)
+        plan.returns("gg")
+        with pytest.raises(KeyError):
+            execute_plan(cluster, plan)
+
+    def test_trace_provenance_keeps_every_hyperparameter(self, dataset):
+        cluster = SimulatedCluster(dataset, 4, random_state=0)
+        trace = GIANT(lam=1e-3, max_epochs=1, record_accuracy=False).fit(cluster)
+        recorded = trace.info["hyperparameters"]
+        public_attrs = {
+            k for k in vars(GIANT(lam=1e-3)) if not k.startswith("_")
+        }
+        assert public_attrs <= set(recorded)
+        json.dumps(recorded)
