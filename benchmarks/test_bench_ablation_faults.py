@@ -1,0 +1,39 @@
+"""Ablation — worker crash/restart under identical fault schedules: strict
+synchronous Newton-ADMM aborts (or stalls for the restart) while the
+quorum-based asynchronous variant rides through; the report carries the
+modelled time delta each strategy pays for the same crash."""
+
+import math
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_faults
+
+
+def test_ablation_faults(benchmark):
+    result = run_once(benchmark, ablation_faults)
+    rows = {(r["method"], r["policy"]): r for r in result["rows"]}
+    print("\n" + result["report"])
+
+    nofault = rows[("newton_admm", "(no fault)")]
+    raised = rows[("newton_admm", "raise")]
+    stalled = rows[("newton_admm", "stall")]
+    asyn = rows[("async_newton_admm", "quorum (rides through)")]
+
+    # Strict sync under the default policy aborts with the structured error.
+    assert "WorkerLostError" in raised["outcome"]
+    assert math.isnan(raised["final_objective"])
+
+    # The stall policy completes with identical numerics, paying the downtime
+    # as modelled time: its delta is positive and at least the time the
+    # worker was away minus the crash-free remainder.
+    assert stalled["final_objective"] == nofault["final_objective"]
+    assert stalled["modelled_delta_s"] > 0.0
+    assert stalled["total_modelled_time_s"] > nofault["total_modelled_time_s"]
+
+    # The quorum schedule rides through: it completes, reaches the no-fault
+    # sync target, and its time-to-target is finite and smaller than the
+    # stalled sync run's.
+    assert math.isfinite(asyn["time_to_target_s"])
+    assert asyn["final_objective"] <= nofault["final_objective"]
+    assert asyn["time_to_target_s"] < stalled["time_to_target_s"]

@@ -7,19 +7,26 @@ factor by which Newton-ADMM is faster to reach SGD's final objective
 (the paper's headline on HIGGS is 22.5x).
 
 Run with:  python examples/first_order_vs_admm.py
+(`--smoke` shrinks the workload to CI size; the docs CI job runs it.)
 """
+
+import sys
 
 from repro import NewtonADMM, SimulatedCluster, SynchronousSGD, load_dataset
 from repro.metrics import format_table
 from repro.metrics.traces import time_to_objective
 
+SMOKE = "--smoke" in sys.argv[1:]
+
 
 def main() -> None:
-    train, test = load_dataset("higgs_like", n_train=20000, n_test=4000, random_state=0)
+    n_train, n_test = (3000, 600) if SMOKE else (20000, 4000)
+    epochs = 4 if SMOKE else 20
+    train, test = load_dataset("higgs_like", n_train=n_train, n_test=n_test, random_state=0)
     cluster = SimulatedCluster(train, n_workers=8, random_state=0)
     lam = 1e-5
 
-    admm = NewtonADMM(lam=lam, max_epochs=20, cg_max_iter=10, cg_tol=1e-10).fit(
+    admm = NewtonADMM(lam=lam, max_epochs=epochs, cg_max_iter=10, cg_tol=1e-10).fit(
         cluster, test=test
     )
 
@@ -27,7 +34,7 @@ def main() -> None:
     best_sgd = None
     for step in (0.01, 0.1, 1.0):
         trace = SynchronousSGD(
-            lam=lam, max_epochs=20, step_size=step, batch_size=128, random_state=0
+            lam=lam, max_epochs=epochs, step_size=step, batch_size=128, random_state=0
         ).fit(cluster, test=test)
         if best_sgd is None or trace.final.objective < best_sgd.final.objective:
             best_sgd = trace

@@ -9,15 +9,22 @@ Figure 5, and also reports how the penalty policy ablation behaves on this
 workload.
 
 Run with:  python examples/highdim_sparse_e18.py
+(`--smoke` shrinks the workload to CI size; the docs CI job runs it.)
 """
+
+import sys
 
 from repro import GIANT, NewtonADMM, SimulatedCluster, load_dataset
 from repro.metrics import format_table
 from repro.metrics.traces import average_epoch_time
 
-FEATURE_SCALE = 0.05  # fraction of E18's 279,998 features
+SMOKE = "--smoke" in sys.argv[1:]
+
+FEATURE_SCALE = 0.01 if SMOKE else 0.05  # fraction of E18's 279,998 features
 N_WORKERS = 16
-EPOCHS = 20
+EPOCHS = 3 if SMOKE else 20
+N_TRAIN = 600 if SMOKE else 4000
+N_TEST = 150 if SMOKE else 800
 
 
 def main() -> None:
@@ -25,8 +32,8 @@ def main() -> None:
     for lam in (1e-3, 1e-5):
         train, test = load_dataset(
             "e18_like",
-            n_train=4000,
-            n_test=800,
+            n_train=N_TRAIN,
+            n_test=N_TEST,
             feature_scale=FEATURE_SCALE,
             random_state=0,
         )
@@ -59,7 +66,8 @@ def main() -> None:
 
     # Penalty-policy ablation on the same workload (lambda = 1e-5).
     train, test = load_dataset(
-        "e18_like", n_train=4000, n_test=800, feature_scale=FEATURE_SCALE, random_state=0
+        "e18_like", n_train=N_TRAIN, n_test=N_TEST, feature_scale=FEATURE_SCALE,
+        random_state=0,
     )
     cluster = SimulatedCluster(train, N_WORKERS, random_state=0)
     ablation_rows = []

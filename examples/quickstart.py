@@ -5,15 +5,21 @@ runs Newton-ADMM for 30 outer iterations and prints the per-epoch trace plus
 the final test accuracy.
 
 Run with:  python examples/quickstart.py
+(`--smoke` shrinks the workload to CI size; the docs CI job runs it.)
 """
+
+import sys
 
 from repro import NewtonADMM, SimulatedCluster, load_dataset
 from repro.metrics import format_series
 
+SMOKE = "--smoke" in sys.argv[1:]
+
 
 def main() -> None:
     # 1. Data: the MNIST stand-in at a laptop-friendly scale.
-    train, test = load_dataset("mnist_like", n_train=4000, n_test=1000, random_state=0)
+    n_train, n_test = (600, 150) if SMOKE else (4000, 1000)
+    train, test = load_dataset("mnist_like", n_train=n_train, n_test=n_test, random_state=0)
     print(f"train: {train!r}")
     print(f"test:  {test!r}")
 
@@ -25,7 +31,7 @@ def main() -> None:
     #    lambda = 1e-5, 10 CG iterations at 1e-4, 10 line-search halvings.
     solver = NewtonADMM(
         lam=1e-5,
-        max_epochs=30,
+        max_epochs=5 if SMOKE else 30,
         cg_max_iter=10,
         cg_tol=1e-4,
         line_search_max_iter=10,

@@ -7,19 +7,24 @@ target of theta = 0.05, using a high-precision single-node Newton solve as
 the reference optimum.
 
 Run with:  python examples/scaling_study.py
+(`--smoke` shrinks the workload to CI size; the docs CI job runs it.)
 """
+
+import sys
 
 from repro import GIANT, NewtonADMM, SimulatedCluster, load_dataset
 from repro.harness.runner import reference_optimum
 from repro.metrics import format_table
 from repro.metrics.traces import average_epoch_time, speedup_ratio
 
+SMOKE = "--smoke" in sys.argv[1:]
+
 DATASET = "mnist_like"
 LAM = 1e-5
-WORKER_COUNTS = (1, 2, 4, 8)
-STRONG_TOTAL = 4000
-PER_WORKER = 500
-EPOCHS = 30
+WORKER_COUNTS = (1, 2) if SMOKE else (1, 2, 4, 8)
+STRONG_TOTAL = 800 if SMOKE else 4000
+PER_WORKER = 200 if SMOKE else 500
+EPOCHS = 5 if SMOKE else 30
 
 
 def run_pair(train, n_workers):

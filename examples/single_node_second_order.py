@@ -7,7 +7,10 @@ sub-sampled Newton and Newton-Sketch — plus L-BFGS as the quasi-Newton
 reference, on an L2-regularized logistic regression.
 
 Run with:  python examples/single_node_second_order.py
+(`--smoke` shrinks the workload to CI size; the docs CI job runs it.)
 """
+
+import sys
 
 import numpy as np
 
@@ -22,22 +25,26 @@ from repro.solvers import (
     TrustRegionNewton,
 )
 
+SMOKE = "--smoke" in sys.argv[1:]
+
 
 def main() -> None:
-    train, test = load_dataset("higgs_like", n_train=8000, n_test=2000, random_state=0)
+    n_train, n_test = (1500, 400) if SMOKE else (8000, 2000)
+    iters = 8 if SMOKE else 30
+    train, test = load_dataset("higgs_like", n_train=n_train, n_test=n_test, random_state=0)
     loss = BinaryLogistic(train.X, train.y)
     objective = RegularizedObjective(loss, L2Regularizer(loss.dim, 1e-4))
 
     solvers = {
-        "newton_cg": NewtonCG(max_iterations=30, cg_max_iter=20, cg_tol=1e-6),
-        "trust_region": TrustRegionNewton(max_iterations=30, cg_max_iter=30),
+        "newton_cg": NewtonCG(max_iterations=iters, cg_max_iter=20, cg_tol=1e-6),
+        "trust_region": TrustRegionNewton(max_iterations=iters, cg_max_iter=30),
         "subsampled_newton": SubsampledNewton(
-            hessian_sample_fraction=0.1, max_iterations=30, cg_max_iter=20, random_state=0
+            hessian_sample_fraction=0.1, max_iterations=iters, cg_max_iter=20, random_state=0
         ),
         "newton_sketch": NewtonSketch(
-            sketch_size=400, sketch_kind="count", max_iterations=30, random_state=0
+            sketch_size=400, sketch_kind="count", max_iterations=iters, random_state=0
         ),
-        "lbfgs": LBFGS(max_iterations=100),
+        "lbfgs": LBFGS(max_iterations=25 if SMOKE else 100),
     }
 
     rows = []

@@ -11,7 +11,10 @@ synchronous schedule (everyone waits for worker 0) and the asynchronous
 quorum-based Newton-ADMM that does not.
 
 Run with:  python examples/slow_networks_and_stragglers.py
+(`--smoke` shrinks the workload to CI size; the docs CI job runs it.)
 """
+
+import sys
 
 from repro import (
     GIANT,
@@ -28,13 +31,18 @@ from repro.harness.plotting import plot_gantt
 from repro.metrics import format_table
 from repro.metrics.traces import average_epoch_time, time_to_objective
 
+SMOKE = "--smoke" in sys.argv[1:]
+
 
 def run(method_name, train, test, *, network, straggler=None):
     cluster = SimulatedCluster(
         train, n_workers=8, network=network, straggler=straggler, random_state=0
     )
     solver_cls = {"newton_admm": NewtonADMM, "giant": GIANT}[method_name]
-    solver = solver_cls(lam=1e-5, max_epochs=5, cg_max_iter=10, record_accuracy=False)
+    solver = solver_cls(
+        lam=1e-5, max_epochs=3 if SMOKE else 5, cg_max_iter=10,
+        record_accuracy=False,
+    )
     trace = solver.fit(cluster, test=test)
     return {
         "method": method_name,
@@ -46,7 +54,8 @@ def run(method_name, train, test, *, network, straggler=None):
 
 
 def main() -> None:
-    train, test = load_dataset("mnist_like", n_train=4000, n_test=800, random_state=0)
+    n_train, n_test = (600, 120) if SMOKE else (4000, 800)
+    train, test = load_dataset("mnist_like", n_train=n_train, n_test=n_test, random_state=0)
 
     # --- interconnect sweep ---------------------------------------------------
     for network in (infiniband_100g(), ethernet_10g(), wan_slow()):

@@ -1,0 +1,104 @@
+"""Markdown link checker for the repository's guides (stdlib only).
+
+Walks the given markdown files/directories, extracts inline links and
+images, and verifies that every *relative* target resolves to an existing
+file (anchors are checked against the target's headings).  External links
+(http/https/mailto) are skipped — CI must not depend on the network.
+
+Usage (what the CI docs job runs)::
+
+    python scripts/check_links.py README.md docs
+
+Exit code 0 when every link resolves, 1 otherwise (with a report of the
+broken ones).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: fenced code blocks are stripped before link extraction
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, spaces to dashes, drop punct."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r"\s+", "-", text).strip("-")
+
+
+def _anchors_of(path: Path) -> set:
+    try:
+        content = path.read_text(encoding="utf-8")
+    except OSError:
+        return set()
+    return {_slugify(h) for h in _HEADING_RE.findall(_FENCE_RE.sub("", content))}
+
+
+def iter_markdown_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {raw}")
+    return files
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Return (target, problem) pairs for every broken link in ``path``."""
+    problems: List[Tuple[str, str]] = []
+    content = _FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for target in _LINK_RE.findall(content):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        base, _, anchor = target.partition("#")
+        if not base:  # same-file anchor
+            if anchor and _slugify(anchor) not in _anchors_of(path):
+                problems.append((target, "missing anchor"))
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append((target, "missing file"))
+            continue
+        if anchor and resolved.suffix == ".md":
+            if _slugify(anchor) not in _anchors_of(resolved):
+                problems.append((target, f"missing anchor in {base}"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        argv = ["README.md", "docs"]
+    files = iter_markdown_files(argv)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    broken = 0
+    for path in files:
+        for target, problem in check_file(path):
+            print(f"{path}: broken link {target!r} ({problem})", file=sys.stderr)
+            broken += 1
+    checked = len(files)
+    if broken:
+        print(f"check_links: {broken} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_links: OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

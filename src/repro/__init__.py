@@ -51,6 +51,7 @@ from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.engine import EventEngine
 from repro.distributed.collectives import TunedNetworkModel, tuned_network
 from repro.distributed.device import DeviceModel, tesla_p100
+from repro.distributed.faults import FailureModel, WorkerLostError
 from repro.distributed.network import NetworkModel, ethernet_10g, infiniband_100g
 from repro.distributed.stragglers import StragglerModel
 from repro.metrics.traces import RunTrace, speedup_ratio
@@ -83,6 +84,8 @@ __all__ = [
     "TunedNetworkModel",
     "tuned_network",
     "StragglerModel",
+    "FailureModel",
+    "WorkerLostError",
     "EventEngine",
     "SimulatedCluster",
     "ClassificationDataset",

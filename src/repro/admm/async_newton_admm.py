@@ -23,6 +23,15 @@ therefore *measured from the schedule* and recorded per z-update in
 Communication stays one round per z-update (a reduce of the arrived payloads
 joint with the z broadcast), so the paper's "single round per iteration"
 invariant carries over to the asynchronous execution path.
+
+Under an injected :class:`~repro.distributed.faults.FailureModel` the quorum
+schedule *rides through* worker loss: a crashed worker's in-flight push is
+dropped, its held contribution leaves the master's running sums (the
+consensus update reweights over the survivors), quorum and the staleness gate
+shrink to the live membership, and a restarted worker rejoins with a fresh
+x-update from its last checkpointed state.  Strict-sync Newton-ADMM, by
+contrast, raises :class:`~repro.distributed.faults.WorkerLostError` or stalls
+— the difference the ``ablation-faults`` experiment measures.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from repro.admm.penalty import PenaltyObservation, PolicyFactory, make_penalty_p
 from repro.backend import copy_array
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.comm import _nbytes
+from repro.distributed.faults import crash_guard, crashed_at_start, pop_next_arrival
 from repro.distributed.solver_base import DistributedSolver
 from repro.distributed.worker import Worker
 from repro.objectives.base import ProximallyAugmentedObjective
@@ -117,6 +127,8 @@ class AsyncNewtonADMM(NewtonADMM):
         self._z_version = 0
         self._p2p_seconds = 0.0
         self._payload_bytes = 0.0
+        #: crashed workers -> scheduled restart time (inf = never)
+        self._dead: Dict[int, float] = {}
 
     def _resolve_quorum(self, n_workers: int) -> int:
         if self.quorum is None:
@@ -140,8 +152,21 @@ class AsyncNewtonADMM(NewtonADMM):
         the completion is scheduled on the worker's own timeline: modelled
         compute seconds (straggler-scaled, keyed by worker id) plus the push
         transfer, which travels while other workers keep computing.
+
+        Under fault injection, a crash inside the cycle freezes the worker's
+        timeline at the crash and drops the push: the in-flight contribution
+        never reaches the master (the local state acts as a checkpoint a
+        restarted worker resumes from).
         """
         engine = cluster.engine
+        fs = cluster.fault_state
+        start = engine.time_of(worker.worker_id)
+        if fs is not None:
+            fs.begin_cycle(worker.worker_id, start)
+            restart = crashed_at_start(fs, worker.worker_id, start)
+            if restart is not None:
+                self._dead[worker.worker_id] = restart
+                return
         alpha = self.over_relaxation
         z_local = worker.get_vector("z_local")
         x = worker.get_vector("x")
@@ -164,6 +189,16 @@ class AsyncNewtonADMM(NewtonADMM):
         seconds = worker.modelled_compute_time() * cluster.straggler_factor(
             worker.worker_id
         )
+        if fs is not None:
+            # Crashed mid-cycle: partial work on the timeline, no push — the
+            # in-flight contribution is dropped.
+            restart = crash_guard(
+                fs, engine, worker.worker_id, start, seconds,
+                self._p2p_seconds, busy_label="x-update", comm_label="push",
+            )
+            if restart is not None:
+                self._dead[worker.worker_id] = restart
+                return
         engine.compute(worker.worker_id, seconds, label="x-update")
         engine.communicate(worker.worker_id, self._p2p_seconds, label="push")
         engine.post(
@@ -198,6 +233,7 @@ class AsyncNewtonADMM(NewtonADMM):
         self._rho = {}
         self._contrib_version = {}
         self._z_version = 0
+        self._dead = {}
         self._payload_bytes = float(_nbytes(w0))
         self._p2p_seconds = cluster.network.point_to_point(self._payload_bytes)
 
@@ -218,6 +254,25 @@ class AsyncNewtonADMM(NewtonADMM):
         for worker in cluster.workers:
             self._start_x_update(cluster, worker)
 
+    def _revive(self, cluster: SimulatedCluster, worker_id: int, restart: float) -> None:
+        """Fold a restarted worker back in: downtime onto its timeline, then a
+        fresh x-update from its last checkpointed state."""
+        fs = cluster.fault_state
+        fs.note_restart(worker_id, restart)
+        fs.catch_up_timeline(cluster.engine, worker_id, restart)
+        self._dead.pop(worker_id, None)
+        self._start_x_update(cluster, cluster.workers[worker_id])
+
+    def _next_event(self, cluster: SimulatedCluster):
+        """Earliest arrival, reviving restartable crashed workers first."""
+        if not self._dead:
+            return cluster.engine.pop()
+        return pop_next_arrival(
+            cluster.engine,
+            self._dead,
+            lambda wid, r: self._revive(cluster, wid, r),
+        )
+
     def _can_fire(self, quorum: int) -> bool:
         if len(self._pending) < quorum:
             return False
@@ -226,11 +281,12 @@ class AsyncNewtonADMM(NewtonADMM):
         # fire is what refreshes it, whereas waiting for an in-flight worker
         # genuinely brings newer data.  Every non-pending worker has exactly
         # one in-flight event, so a blocked fire always makes progress.
+        # Crashed workers cannot bring fresh data and are excluded.
         pending = set(self._pending)
         lagging = [
             version
             for worker_id, version in self._contrib_version.items()
-            if worker_id not in pending
+            if worker_id not in pending and worker_id not in self._dead
         ]
         if not lagging:
             return True
@@ -251,7 +307,7 @@ class AsyncNewtonADMM(NewtonADMM):
         cg_iters: List[float] = []
 
         while True:
-            event = engine.pop()
+            event = self._next_event(cluster)
             data = event.payload
             worker_id = event.worker_id
             self._contrib[worker_id] = data["payload"]
@@ -261,15 +317,22 @@ class AsyncNewtonADMM(NewtonADMM):
                 self._pending.append(worker_id)
             newton_iters.append(float(data["newton_iters"]))
             cg_iters.append(float(data["cg_iters"]))
-            if self._can_fire(quorum):
+            # Quorum shrinks to the live membership: the schedule rides
+            # through worker loss instead of waiting for the dead.
+            n_alive = cluster.n_workers - len(self._dead)
+            if self._can_fire(max(1, min(quorum, n_alive))):
                 break
 
         # ---- consensus z-update at the quorum time --------------------------
+        # Crashed workers' held contributions leave the running sums: the
+        # consensus update reweights over the surviving membership (eq. 7
+        # with the live rho_i only).
         fired_at = event.time
         self._z_version += 1
-        rho_sum = float(sum(self._rho.values()))
+        live = [wid for wid in sorted(self._contrib) if wid not in self._dead]
+        rho_sum = float(sum(self._rho[wid] for wid in live))
         payload_sum = None
-        for worker_id in sorted(self._contrib):
+        for worker_id in live:
             contribution = self._contrib[worker_id]
             payload_sum = (
                 copy_array(contribution)
@@ -278,7 +341,8 @@ class AsyncNewtonADMM(NewtonADMM):
             )
         z_new = payload_sum / (self.lam + rho_sum)
         ages = [
-            float(self._z_version - 1 - v) for v in self._contrib_version.values()
+            float(self._z_version - 1 - self._contrib_version[wid])
+            for wid in live
         ]
 
         # One communication round per z-update: the arrived payloads reduce to
@@ -338,6 +402,13 @@ class AsyncNewtonADMM(NewtonADMM):
         n_folded = len(self._pending)
         self._pending = []
 
+        # Restarts that fell due before this z-update rejoin now even if the
+        # quorum never needed their events, so the recorded fault events and
+        # the live membership reflect the schedule honestly.
+        for wid, r in sorted(self._dead.items()):
+            if r <= fired_at:
+                self._revive(cluster, wid, r)
+
         engine.advance_global_to(
             fired_at + self._p2p_seconds, comm_seconds=comm_seconds
         )
@@ -354,12 +425,13 @@ class AsyncNewtonADMM(NewtonADMM):
         self._last_extras = {
             "primal_residual": float(np.sqrt(primal_sq)),
             "dual_residual": float(np.sqrt(dual_sq)),
-            "mean_rho": float(np.mean(list(self._rho.values()))),
+            "mean_rho": float(np.mean([self._rho[wid] for wid in live])),
             "quorum_size": float(n_folded),
             "mean_staleness": float(np.mean(ages)),
             "max_staleness": float(np.max(ages)),
             "local_newton_iters": float(np.mean(newton_iters)),
             "local_cg_iters": float(np.mean(cg_iters)),
+            "alive_workers": float(cluster.n_workers - len(self._dead)),
         }
         return z_new
 

@@ -73,6 +73,12 @@ class NewtonADMM(DistributedSolver):
         Boyd-style absolute/relative tolerances on the primal and dual
         residuals; when both are positive the solver stops as soon as both
         residuals fall below their thresholds (before ``max_epochs``).
+    on_failure:
+        Reaction of the strict-sync schedule to an injected worker crash:
+        ``"raise"`` (default, a :class:`~repro.distributed.faults.WorkerLostError`)
+        or ``"stall"`` (wait for the restart).  The quorum-based
+        :class:`~repro.admm.async_newton_admm.AsyncNewtonADMM` rides through
+        crashes instead.
     """
 
     name = "newton_admm"
@@ -95,6 +101,7 @@ class NewtonADMM(DistributedSolver):
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
+        on_failure: str = "raise",
     ):
         super().__init__(
             lam=lam,
@@ -102,6 +109,7 @@ class NewtonADMM(DistributedSolver):
             evaluate_every=evaluate_every,
             record_accuracy=record_accuracy,
             tol_grad=tol_grad,
+            on_failure=on_failure,
         )
         if local_newton_iters < 1:
             raise ValueError(

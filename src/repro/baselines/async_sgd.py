@@ -25,6 +25,13 @@ Passing an explicit ``staleness=k`` switches to the forced-staleness mode
 (the gradient for step ``t`` is evaluated at the weights of step ``t - k``)
 so ablations can isolate the staleness effect; the timing still comes from
 the simulated schedule.
+
+Under an injected :class:`~repro.distributed.faults.FailureModel` the
+parameter-server schedule rides through worker loss naturally: a crashed
+worker's in-flight gradient is dropped, the server keeps applying the
+survivors' updates, and a restarted worker pulls fresh weights and resumes
+cycling.  Only the loss of *every* worker with no scheduled restart raises
+:class:`~repro.distributed.faults.WorkerLostError`.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ import numpy as np
 from repro.backend import copy_array
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.comm import _nbytes
+from repro.distributed.faults import crash_guard, crashed_at_start, pop_next_arrival
 from repro.distributed.solver_base import DistributedSolver
 from repro.objectives.softmax import SoftmaxCrossEntropy
 from repro.utils.rng import check_random_state
@@ -103,6 +111,8 @@ class AsynchronousSGD(DistributedSolver):
         self._push_seconds = 0.0
         self._last_extras: Dict[str, float] = {}
         self._staleness_log: List[int] = []
+        #: crashed workers -> scheduled restart time (inf = never)
+        self._dead: Dict[int, float] = {}
 
     # -- schedule helpers ----------------------------------------------------
     def _cycle_compute_seconds(self, cluster: SimulatedCluster, worker) -> float:
@@ -119,18 +129,52 @@ class AsynchronousSGD(DistributedSolver):
 
         The worker snapshots the server weights it just pulled; the push is
         charged to its timeline and the arrival is posted as an in-flight
-        event, so the message travels while other workers keep computing.
+        event, so the message travels while other workers keep computing.  A
+        crash inside the cycle freezes the timeline and drops the push — the
+        in-flight gradient never reaches the server.
         """
         engine = cluster.engine
+        fs = cluster.fault_state
+        wid = worker.worker_id
+        start = engine.time_of(wid)
+        if fs is not None:
+            fs.begin_cycle(wid, start)
+            restart = crashed_at_start(fs, wid, start)
+            if restart is not None:
+                self._dead[wid] = restart
+                return
         worker.state["w_pulled"] = copy_array(self._w)
         worker.state["pulled_version"] = self._version
-        engine.compute(
-            worker.worker_id,
-            self._cycle_compute_seconds(cluster, worker),
-            label="minibatch-grad",
-        )
+        seconds = self._cycle_compute_seconds(cluster, worker)
+        if fs is not None:
+            restart = crash_guard(
+                fs, engine, wid, start, seconds, self._push_seconds,
+                busy_label="minibatch-grad", comm_label="push",
+            )
+            if restart is not None:
+                self._dead[wid] = restart
+                return
+        engine.compute(wid, seconds, label="minibatch-grad")
         engine.communicate(worker.worker_id, self._push_seconds, label="push")
         engine.post(worker.worker_id, 0.0)
+
+    def _revive(self, cluster: SimulatedCluster, worker_id: int, restart: float) -> None:
+        """Restarted worker: downtime onto its timeline, then a fresh cycle."""
+        fs = cluster.fault_state
+        fs.note_restart(worker_id, restart)
+        fs.catch_up_timeline(cluster.engine, worker_id, restart)
+        self._dead.pop(worker_id, None)
+        self._start_cycle(cluster, cluster.workers[worker_id])
+
+    def _next_event(self, cluster: SimulatedCluster):
+        """Earliest arrival, reviving restartable crashed workers first."""
+        if not self._dead:
+            return cluster.engine.pop()
+        return pop_next_arrival(
+            cluster.engine,
+            self._dead,
+            lambda wid, r: self._revive(cluster, wid, r),
+        )
 
     # -- hooks ---------------------------------------------------------------
     def _initialize(self, cluster: SimulatedCluster, w0) -> None:
@@ -139,6 +183,7 @@ class AsynchronousSGD(DistributedSolver):
         self._server_free = 0.0
         self._last_extras = {}
         self._staleness_log = []
+        self._dead = {}
         if self.staleness is not None:
             # Forced-staleness mode: history of past server iterates; index 0
             # is the most stale one.
@@ -193,7 +238,7 @@ class AsynchronousSGD(DistributedSolver):
         epoch_end = engine.now
 
         for _ in range(n_updates):
-            event = engine.pop()
+            event = self._next_event(cluster)
             worker = cluster.workers[event.worker_id]
             # Server applies arrivals in order, one at a time.
             applied_at = max(event.time, self._server_free)
@@ -234,6 +279,13 @@ class AsynchronousSGD(DistributedSolver):
             self._start_cycle(cluster, worker)
             epoch_end = max(epoch_end, self._server_free)
 
+        # Restarts that fell due during the epoch but were never needed to
+        # feed the update loop still happen: the workers rejoin now so the
+        # recorded events and the next epoch's schedule reflect them.
+        for wid, r in sorted(self._dead.items()):
+            if r <= epoch_end:
+                self._revive(cluster, wid, r)
+
         # Global modelled time: the epoch ends when the server has handled
         # the last update; its serialized handling bounds the comm share.
         comm_seconds = n_updates * server_handling
@@ -252,6 +304,7 @@ class AsynchronousSGD(DistributedSolver):
             "max_staleness": float(arr.max()) if arr.size else 0.0,
             "staleness_mode": "fixed" if self._history is not None else "measured",
             "step_size": self.step_size,
+            "alive_workers": float(cluster.n_workers - len(self._dead)),
         }
         return self._w
 

@@ -62,6 +62,7 @@ class CoCoA(DistributedSolver):
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
+        on_failure: str = "raise",
         random_state=0,
     ):
         super().__init__(
@@ -70,6 +71,7 @@ class CoCoA(DistributedSolver):
             evaluate_every=evaluate_every,
             record_accuracy=record_accuracy,
             tol_grad=tol_grad,
+            on_failure=on_failure,
         )
         if local_passes < 1:
             raise ValueError(f"local_passes must be >= 1, got {local_passes}")

@@ -67,6 +67,7 @@ class InexactDANE(DistributedSolver):
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
+        on_failure: str = "raise",
     ):
         super().__init__(
             lam=lam,
@@ -74,6 +75,7 @@ class InexactDANE(DistributedSolver):
             evaluate_every=evaluate_every,
             record_accuracy=record_accuracy,
             tol_grad=tol_grad,
+            on_failure=on_failure,
         )
         self.eta = float(eta)
         if mu < 0:

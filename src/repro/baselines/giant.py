@@ -84,6 +84,7 @@ class GIANT(DistributedSolver):
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
+        on_failure: str = "raise",
     ):
         super().__init__(
             lam=lam,
@@ -91,6 +92,7 @@ class GIANT(DistributedSolver):
             evaluate_every=evaluate_every,
             record_accuracy=record_accuracy,
             tol_grad=tol_grad,
+            on_failure=on_failure,
         )
         self.cg_max_iter = int(cg_max_iter)
         self.cg_tol = float(cg_tol)

@@ -52,6 +52,7 @@ class SynchronousSGD(DistributedSolver):
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
+        on_failure: str = "raise",
         random_state=0,
     ):
         super().__init__(
@@ -60,6 +61,7 @@ class SynchronousSGD(DistributedSolver):
             evaluate_every=evaluate_every,
             record_accuracy=record_accuracy,
             tol_grad=tol_grad,
+            on_failure=on_failure,
         )
         if step_size <= 0:
             raise ValueError(f"step_size must be positive, got {step_size}")

@@ -11,8 +11,10 @@ algorithm code.
 from __future__ import annotations
 
 import inspect
+import math
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Union
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.backend import ArrayBackend, BackendLike, get_backend
 from repro.datasets.base import ClassificationDataset
@@ -20,6 +22,11 @@ from repro.datasets.sharding import shard_dataset
 from repro.distributed.comm import Communicator
 from repro.distributed.device import DeviceModel
 from repro.distributed.engine import EventEngine
+from repro.distributed.faults import (
+    FAULT_POLICIES,
+    FailureModel,
+    WorkerLostError,
+)
 from repro.distributed.network import NetworkModel, infiniband_100g
 from repro.distributed.stragglers import StragglerModel
 from repro.distributed.worker import Worker
@@ -102,6 +109,13 @@ class SimulatedCluster:
         Optional :class:`~repro.distributed.stragglers.StragglerModel` that
         multiplies per-worker modelled compute times by sampled slowdowns at
         every synchronization round.
+    faults:
+        Optional :class:`~repro.distributed.faults.FailureModel` injecting
+        worker crashes (and restarts) into both execution paths.  How a
+        synchronous round reacts to a lost worker is the executing plan's
+        ``on_failure`` policy (``"raise"``/``"stall"``/``"degrade"``);
+        asynchronous solvers always ride through with the survivors.  A model
+        whose specs never fire leaves runs bit-identical.
     backend:
         Array backend name or instance every worker's objective and state
         vectors live on (``None`` -> the session default, normally NumPy).
@@ -129,6 +143,7 @@ class SimulatedCluster:
         executor: str = "serial",
         max_threads: Optional[int] = None,
         straggler: Optional[StragglerModel] = None,
+        faults: Optional[FailureModel] = None,
         backend: BackendLike = None,
         engine: str = "lockstep",
         random_state=None,
@@ -163,6 +178,12 @@ class SimulatedCluster:
         self.device = devices[0]
         self.devices = devices
         self.straggler = straggler
+        self.faults = faults
+        self.fault_state = faults.start(self.n_workers) if faults is not None else None
+        # Per-plan fault policy; execute_plan swaps it via fault_policy().
+        self._fault_policy = "raise"
+        #: worker ids whose results survived the most recent degraded round
+        self.last_round_survivors: List[int] = list(range(self.n_workers))
         self.executor = executor
         self.max_threads = max_threads
         self.clock = SimulatedClock()
@@ -259,14 +280,216 @@ class SimulatedCluster:
                     [w.worker_id for w in targets], self.n_workers
                 )
                 times = [t * f for t, f in zip(times, factors)]
-            if self.engine_mode == "event":
-                self.engine.run_round(
-                    {w.worker_id: t for w, t in zip(targets, times)},
-                    category="compute",
-                )
-            else:
-                self.clock.advance(max(times), category="compute")
+            if self.fault_state is not None:
+                kept = self._apply_round_faults(targets, times)
+                return [results[i] for i in kept]
+            self._advance_round_clock(targets, times)
+            self.last_round_survivors = [w.worker_id for w in targets]
         return results
+
+    def _advance_round_clock(self, targets: Sequence[Worker], times: Sequence[float]) -> None:
+        """Charge one fault-free synchronous round (the historical accounting)."""
+        if self.engine_mode == "event":
+            self.engine.run_round(
+                {w.worker_id: t for w, t in zip(targets, times)},
+                category="compute",
+            )
+        else:
+            self.clock.advance(max(times), category="compute")
+
+    # -- fault handling ----------------------------------------------------
+    @contextmanager
+    def fault_policy(self, policy: str):
+        """Scoped fault policy for synchronous rounds (used by ``execute_plan``).
+
+        ``"raise"`` (default) aborts with :class:`WorkerLostError` when a
+        needed worker is down, ``"stall"`` idles the cluster until the worker
+        restarts, ``"degrade"`` proceeds with the survivors (their results
+        only; see ``last_round_survivors``).
+        """
+        if policy not in FAULT_POLICIES:
+            raise ValueError(
+                f"fault policy must be one of {FAULT_POLICIES}, got {policy!r}"
+            )
+        previous = self._fault_policy
+        self._fault_policy = policy
+        try:
+            yield self
+        finally:
+            self._fault_policy = previous
+
+    def stall_for_restart(self, down_ids: Sequence[int], *, label: str = "stall") -> float:
+        """Idle the whole cluster until the earliest restart among ``down_ids``.
+
+        Raises :class:`WorkerLostError` when none of them ever restarts (the
+        ``"stall"`` policy cannot make progress).  Modelled time is charged to
+        the ``"stall"`` clock category on both engines identically.
+        """
+        fs = self.fault_state
+        now = self.clock.time
+        restarts = {int(w): fs.restart_time(int(w), now) for w in down_ids}
+        finite = [r for r in restarts.values() if math.isfinite(r)]
+        if not finite:
+            wid = min(restarts)
+            raise WorkerLostError(
+                wid,
+                now,
+                round=fs.round,
+                reason="crashed with no scheduled restart; 'stall' cannot complete",
+            )
+        target = min(finite)
+        if self.engine_mode == "event":
+            for wid in range(self.n_workers):
+                # Crashed workers' timelines stay frozen; their downtime is
+                # drawn when they rejoin (catch_up_timeline).
+                if wid not in restarts and not fs.is_down(wid, now):
+                    self.engine.wait_until(wid, target, label)
+        if target > now:
+            self.clock.advance(target - now, category="stall")
+        for wid, r in restarts.items():
+            if r <= target:
+                fs.note_restart(wid, r)
+                if self.engine_mode == "event":
+                    # Draw the downtime before anything barriers the frozen
+                    # timeline forward (which would render it as a wait).
+                    fs.catch_up_timeline(self.engine, wid, target)
+        return self.clock.time
+
+    def _apply_round_faults(
+        self, targets: Sequence[Worker], times: Sequence[float]
+    ) -> List[int]:
+        """Charge one synchronous round under the active fault policy.
+
+        Returns the indices (into ``targets``) of the workers whose results
+        survive the round; also sets ``last_round_survivors``.  A round in
+        which no crash fires takes exactly the fault-free path, keeping
+        no-fault runs bit-identical.
+        """
+        fs = self.fault_state
+        policy = self._fault_policy
+        ids = [w.worker_id for w in targets]
+        label = "compute"
+        fs.begin_round(ids, self.clock.time)
+
+        # ---- workers already down at the round's synchronization point ------
+        excluded: List[int] = []
+        while True:
+            now = self.clock.time
+            down = [
+                wid for wid in ids
+                if wid not in excluded and fs.is_down(wid, now)
+            ]
+            if not down:
+                break
+            for wid in down:
+                fs.note_crash(wid, fs.crash_time_of(wid, now))
+            if policy == "raise":
+                raise WorkerLostError(
+                    down[0], now, round=fs.round,
+                    reason="down at synchronization point (policy 'raise')",
+                )
+            if policy == "degrade":
+                excluded.extend(down)
+                break
+            self.stall_for_restart(down, label=label + "-stall")
+        now = self.clock.time
+
+        keep = [i for i, wid in enumerate(ids) if wid not in excluded]
+        if not keep:
+            raise WorkerLostError(
+                ids[0] if ids else 0, now, round=fs.round,
+                reason="no surviving workers in the round",
+            )
+        # Restarted participants rejoin: record restarts that passed silently
+        # (degraded rounds) and draw their downtime onto the timeline.
+        for i in keep:
+            fs.rejoin_if_restarted(ids[i], now)
+        if self.engine_mode == "event":
+            for i in keep:
+                fs.catch_up_timeline(self.engine, ids[i], now)
+
+        # ---- mid-round crashes ----------------------------------------------
+        crashes: Dict[int, float] = {}
+        for i in keep:
+            c = fs.first_crash_in(ids[i], now, now + times[i])
+            if c is not None:
+                crashes[ids[i]] = c
+        if not crashes and not excluded:
+            self._advance_round_clock(targets, times)
+            self.last_round_survivors = list(ids)
+            return list(range(len(ids)))
+        if crashes and policy == "raise":
+            wid = min(crashes, key=lambda w: (crashes[w], w))
+            fs.note_crash(wid, crashes[wid])
+            raise WorkerLostError(
+                wid, crashes[wid], round=fs.round,
+                reason="crashed mid-round (policy 'raise')",
+            )
+
+        # Effective completion offsets: survivors finish on time; under
+        # "stall" a crashed worker redoes its full compute after restarting,
+        # under "degrade" its contribution is simply dropped.
+        effective: Dict[int, float] = {}
+        redo: Dict[int, tuple] = {}
+        survivor_idx: List[int] = []
+        for i in keep:
+            wid = ids[i]
+            if wid in crashes:
+                c = crashes[wid]
+                fs.note_crash(wid, c)
+                if policy == "degrade":
+                    continue
+                r = fs.restart_time(wid, c)
+                if not math.isfinite(r):
+                    raise WorkerLostError(
+                        wid, c, round=fs.round,
+                        reason="crashed with no scheduled restart; 'stall' cannot complete",
+                    )
+                fs.note_restart(wid, r)
+                effective[wid] = (r - now) + times[i]
+                redo[wid] = (c, r)
+            else:
+                effective[wid] = times[i]
+            survivor_idx.append(i)
+        if not survivor_idx:
+            raise WorkerLostError(
+                ids[keep[0]], now, round=fs.round,
+                reason="no surviving workers in the round",
+            )
+
+        total = max(effective[ids[i]] for i in survivor_idx)
+        compute_part = min(total, max(times[i] for i in keep))
+        stall_part = total - compute_part
+
+        if self.engine_mode == "event":
+            for i in keep:
+                wid = ids[i]
+                if wid in redo:
+                    c, r = redo[wid]
+                    self.engine.compute(wid, c - now, label)
+                    self.engine.mark_down(wid, r)
+                    self.engine.compute(wid, times[i], label + "-redo")
+                elif wid in crashes:  # degrade: partial work, then frozen
+                    self.engine.compute(wid, crashes[wid] - now, label)
+                else:
+                    self.engine.compute(wid, times[i], label)
+            self.engine.barrier([ids[i] for i in survivor_idx], label=label)
+        if compute_part > 0:
+            self.clock.advance(compute_part, category="compute")
+        if stall_part > 0:
+            self.clock.advance(stall_part, category="stall")
+        self.last_round_survivors = [ids[i] for i in survivor_idx]
+        return survivor_idx
+
+    def alive_worker_ids(self) -> List[int]:
+        """Worker ids not currently inside a crash interval (all, without faults)."""
+        if self.fault_state is None:
+            return list(range(self.n_workers))
+        now = self.clock.time
+        return [
+            wid for wid in range(self.n_workers)
+            if not self.fault_state.is_down(wid, now)
+        ]
 
     def straggler_factor(self, worker_id: int) -> float:
         """One cycle's slowdown factor for ``worker_id`` (1.0 without a model).
@@ -307,6 +530,9 @@ class SimulatedCluster:
         self.engine.reset()
         if self.straggler is not None:
             self.straggler.reset()
+        if self.fault_state is not None:
+            self.fault_state.reset()
+        self.last_round_survivors = list(range(self.n_workers))
         for w in self.workers:
             w.objective.reset_counters()
             w.mark_flops()
@@ -324,6 +550,7 @@ class SimulatedCluster:
             "backend": self.backend.name,
             "engine": self.engine_mode,
             "worker_sizes": self.worker_sizes(),
+            "faults": self.faults.describe() if self.faults is not None else None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -12,7 +12,7 @@ this class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -77,6 +77,12 @@ class Communicator:
     pair executed back-to-back counts as one round (use
     ``joint_with_previous=True`` on the second collective), matching the
     paper's "one round of communication per iteration" accounting.
+
+    Every collective accepts ``participants`` — a subset of worker ids taking
+    part in a *degraded* round after worker failures (see
+    :mod:`repro.distributed.faults`).  Buffers must then be one per
+    participant; the cost model and the engine barrier cover only the
+    participants, and crashed workers' frozen timelines are untouched.
     """
 
     def __init__(
@@ -104,13 +110,17 @@ class Communicator:
         *,
         joint_with_previous: bool,
         overlap: bool = False,
+        participants: Optional[Sequence[int]] = None,
     ) -> None:
         if self.engine is not None:
             if overlap:
                 self.engine.background_collective(seconds, label=operation)
             else:
                 self.engine.collective(
-                    seconds, category="communication", label=operation
+                    seconds,
+                    category="communication",
+                    label=operation,
+                    worker_ids=participants,
                 )
         else:
             # Overlap needs per-worker timelines; without an engine the cost
@@ -142,6 +152,21 @@ class Communicator:
         # semantics).
         return [ensure_float_array(b) for b in buffers]
 
+    def _membership(
+        self, participants: Optional[Sequence[int]], overlap: bool
+    ) -> tuple:
+        """Resolve a degraded membership: (participant ids or None, count)."""
+        if participants is None:
+            return None, self.n_workers
+        if overlap:
+            raise ValueError(
+                "overlapped collectives do not support degraded membership"
+            )
+        ids = [int(i) for i in participants]
+        if not ids:
+            raise ValueError("a collective needs at least one participant")
+        return ids, len(ids)
+
     # -- collectives -------------------------------------------------------
     def gather(
         self,
@@ -149,13 +174,16 @@ class Communicator:
         *,
         joint_with_previous: bool = False,
         overlap: bool = False,
+        participants: Optional[Sequence[int]] = None,
     ) -> List[np.ndarray]:
-        """Gather one buffer per worker at the master."""
-        buffers = self._check_buffers(buffers, self.n_workers)
+        """Gather one buffer per (participating) worker at the master."""
+        ids, n = self._membership(participants, overlap)
+        buffers = self._check_buffers(buffers, n)
         per_worker = max(_nbytes(b) for b in buffers)
-        seconds = self.network.gather(self.n_workers, per_worker)
-        self._account("gather", per_worker * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous, overlap=overlap)
+        seconds = self.network.gather(n, per_worker)
+        self._account("gather", per_worker * n, seconds,
+                      joint_with_previous=joint_with_previous, overlap=overlap,
+                      participants=ids)
         return [_copy(b) for b in buffers]
 
     def scatter(
@@ -164,13 +192,16 @@ class Communicator:
         *,
         joint_with_previous: bool = False,
         overlap: bool = False,
+        participants: Optional[Sequence[int]] = None,
     ) -> List[np.ndarray]:
-        """Send a distinct buffer from the master to each worker."""
-        buffers = self._check_buffers(buffers, self.n_workers)
+        """Send a distinct buffer from the master to each (participating) worker."""
+        ids, n = self._membership(participants, overlap)
+        buffers = self._check_buffers(buffers, n)
         per_worker = max(_nbytes(b) for b in buffers)
-        seconds = self.network.scatter(self.n_workers, per_worker)
-        self._account("scatter", per_worker * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous, overlap=overlap)
+        seconds = self.network.scatter(n, per_worker)
+        self._account("scatter", per_worker * n, seconds,
+                      joint_with_previous=joint_with_previous, overlap=overlap,
+                      participants=ids)
         return [_copy(b) for b in buffers]
 
     def broadcast(
@@ -179,13 +210,16 @@ class Communicator:
         *,
         joint_with_previous: bool = False,
         overlap: bool = False,
+        participants: Optional[Sequence[int]] = None,
     ) -> List[np.ndarray]:
-        """Replicate a master buffer on every worker."""
+        """Replicate a master buffer on every (participating) worker."""
+        ids, n = self._membership(participants, overlap)
         buffer = ensure_float_array(buffer)
-        seconds = self.network.broadcast(self.n_workers, _nbytes(buffer))
-        self._account("broadcast", _nbytes(buffer) * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous, overlap=overlap)
-        return [_copy(buffer) for _ in range(self.n_workers)]
+        seconds = self.network.broadcast(n, _nbytes(buffer))
+        self._account("broadcast", _nbytes(buffer) * n, seconds,
+                      joint_with_previous=joint_with_previous, overlap=overlap,
+                      participants=ids)
+        return [_copy(buffer) for _ in range(n)]
 
     def allreduce(
         self,
@@ -193,9 +227,11 @@ class Communicator:
         *,
         joint_with_previous: bool = False,
         overlap: bool = False,
+        participants: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Element-wise sum of one buffer per worker, result visible everywhere."""
-        buffers = self._check_buffers(buffers, self.n_workers)
+        ids, n = self._membership(participants, overlap)
+        buffers = self._check_buffers(buffers, n)
         shapes = {b.shape for b in buffers}
         if len(shapes) != 1:
             raise ValueError(f"allreduce buffers must share a shape, got {shapes}")
@@ -207,9 +243,10 @@ class Communicator:
                 for b in buffers
             ]
         nbytes = _nbytes(buffers[0])
-        seconds = self.network.allreduce(self.n_workers, nbytes)
-        self._account("allreduce", nbytes * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous, overlap=overlap)
+        seconds = self.network.allreduce(n, nbytes)
+        self._account("allreduce", nbytes * n, seconds,
+                      joint_with_previous=joint_with_previous, overlap=overlap,
+                      participants=ids)
         total = _copy(buffers[0])
         for b in buffers[1:]:
             total += b
@@ -221,26 +258,35 @@ class Communicator:
         *,
         joint_with_previous: bool = False,
         overlap: bool = False,
+        participants: Optional[Sequence[int]] = None,
     ) -> List[np.ndarray]:
-        """Every worker receives every worker's buffer."""
-        buffers = self._check_buffers(buffers, self.n_workers)
+        """Every (participating) worker receives every participant's buffer."""
+        ids, n = self._membership(participants, overlap)
+        buffers = self._check_buffers(buffers, n)
         per_worker = max(_nbytes(b) for b in buffers)
-        seconds = self.network.allgather(self.n_workers, per_worker)
-        self._account("allgather", per_worker * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous, overlap=overlap)
+        seconds = self.network.allgather(n, per_worker)
+        self._account("allgather", per_worker * n, seconds,
+                      joint_with_previous=joint_with_previous, overlap=overlap,
+                      participants=ids)
         return [_copy(b) for b in buffers]
 
     def reduce_scalar(
-        self, values: Sequence[float], *, joint_with_previous: bool = False
+        self,
+        values: Sequence[float],
+        *,
+        joint_with_previous: bool = False,
+        participants: Optional[Sequence[int]] = None,
     ) -> float:
-        """Sum one scalar per worker at the master (e.g. local objective values)."""
-        if len(values) != self.n_workers:
+        """Sum one scalar per (participating) worker at the master."""
+        ids, n = self._membership(participants, overlap=False)
+        if len(values) != n:
             raise ValueError(
-                f"expected {self.n_workers} scalars, got {len(values)}"
+                f"expected {n} scalars, got {len(values)}"
             )
-        seconds = self.network.reduce(self.n_workers, 8.0)
-        self._account("reduce_scalar", 8.0 * self.n_workers, seconds,
-                      joint_with_previous=joint_with_previous)
+        seconds = self.network.reduce(n, 8.0)
+        self._account("reduce_scalar", 8.0 * n, seconds,
+                      joint_with_previous=joint_with_previous,
+                      participants=ids)
         return float(np.sum(np.asarray(values, dtype=np.float64)))
 
     # -- reporting -------------------------------------------------------

@@ -71,6 +71,16 @@ class EventEngine:
         The cluster's :class:`SimulatedClock`; a private clock is created when
         omitted (unit tests).  The engine only ever *advances* it, keeping the
         modelled-time accounting of existing traces intact.
+
+    Examples
+    --------
+    >>> engine = EventEngine(2)
+    >>> engine.run_round({0: 1.0, 1: 3.0})   # lock-step round: barrier at max
+    3.0
+    >>> engine.collective(0.5)               # everyone pays the transfer
+    3.5
+    >>> engine.timelines[0].totals()["wait"] # the fast worker waited
+    2.0
     """
 
     def __init__(self, n_workers: int, clock: Optional[SimulatedClock] = None):
@@ -92,6 +102,7 @@ class EventEngine:
         return self.clock.time
 
     def timeline(self, worker_id: int) -> WorkerTimeline:
+        """The per-worker activity record (validates ``worker_id``)."""
         return self.timelines[self._check_worker(worker_id)]
 
     def time_of(self, worker_id: int) -> float:
@@ -118,6 +129,18 @@ class EventEngine:
     def wait_until(self, worker_id: int, time: float, label: str = "wait") -> float:
         """Idle one worker until the absolute time ``time`` (no-op if past)."""
         return self.timeline(worker_id).wait_until(time, label)
+
+    def mark_down(self, worker_id: int, until: float, label: str = "down") -> float:
+        """Record a crash outage: the worker is ``down`` until ``until``.
+
+        The fault injector uses this to draw a crashed worker's downtime onto
+        its frozen timeline once the restart time is known; a target in the
+        past is a no-op.
+        """
+        tl = self.timeline(worker_id)
+        if until > tl.t:
+            tl.advance(until - tl.t, "down", label)
+        return tl.t
 
     # -- synchronization -----------------------------------------------------
     def barrier(
@@ -170,16 +193,25 @@ class EventEngine:
         *,
         category: str = "communication",
         label: str = "collective",
+        worker_ids: Optional[Iterable[int]] = None,
     ) -> float:
-        """Blocking collective: barrier everyone, charge everyone ``seconds``.
+        """Blocking collective: barrier the participants, charge each ``seconds``.
 
-        Any still-pending background transfer is joined first (a blocking
-        collective on the same interconnect cannot start before it drains).
+        ``worker_ids`` defaults to every worker; a subset models a collective
+        over the surviving members of a degraded round (crashed workers'
+        timelines stay frozen).  Any still-pending background transfer is
+        joined first (a blocking collective on the same interconnect cannot
+        start before it drains).
         """
         self.join_background()
-        self.barrier(label=label)
-        for tl in self.timelines:
-            tl.advance(seconds, "comm", label)
+        ids = (
+            list(range(self.n_workers))
+            if worker_ids is None
+            else [self._check_worker(i) for i in worker_ids]
+        )
+        self.barrier(ids, label=label)
+        for i in ids:
+            self.timelines[i].advance(seconds, "comm", label)
         self.clock.advance(seconds, category=category)
         return self.now
 
@@ -225,6 +257,7 @@ class EventEngine:
 
     @property
     def background_pending(self) -> bool:
+        """True while an overlapped transfer has not been joined yet."""
         return self._background_until > 0.0
 
     # -- event queue -------------------------------------------------------
@@ -259,12 +292,14 @@ class EventEngine:
         return heapq.heappop(self._queue)
 
     def peek_time(self) -> float:
+        """Arrival time of the earliest pending event (without removing it)."""
         if not self._queue:
             raise RuntimeError("event queue is empty — nothing was scheduled")
         return self._queue[0].time
 
     @property
     def n_pending(self) -> int:
+        """Number of posted events not yet popped."""
         return len(self._queue)
 
     # -- global clock helpers ------------------------------------------------
@@ -297,6 +332,7 @@ class EventEngine:
 
     # -- bookkeeping -------------------------------------------------------
     def describe(self) -> Dict[str, float]:
+        """Engine state snapshot (worker count, clocks, pending events)."""
         return {
             "n_workers": float(self.n_workers),
             "now": float(self.now),

@@ -1,0 +1,555 @@
+"""Fault injection: worker crashes and restarts as first-class engine events.
+
+The straggler model (:mod:`repro.distributed.stragglers`) can only slow a
+worker down; this module can *lose* one.  A :class:`FailureModel` attached to
+a :class:`~repro.distributed.cluster.SimulatedCluster` describes when workers
+crash — deterministically (``crash_at_time``/``crash_at_round``) or
+stochastically (seeded exponential ``mtbf``) — and whether they come back
+(``restart_after``).  At fit time the model is instantiated into a
+:class:`FaultInjector`, the runtime state machine both execution paths
+consult:
+
+* **synchronous plans** — the cluster checks the injector at every
+  synchronization point.  A crashed worker's timeline freezes and its
+  in-flight round contribution is dropped; what happens next is the plan's
+  declared :attr:`~repro.distributed.schedule.RoundPlan.on_failure` policy:
+  ``"raise"`` aborts with a structured :class:`WorkerLostError`, ``"stall"``
+  idles the cluster until the worker restarts (and re-runs its lost round),
+  ``"degrade"`` proceeds with the survivors;
+* **asynchronous solvers** — quorum Newton-ADMM and async SGD drop the
+  crashed worker's in-flight push events, reweight their aggregation over the
+  survivors, and fold restarted workers back in when they return.
+
+Every crash/restart that takes effect is recorded as an event (exported to
+``RunTrace.info["faults"]`` and rendered by
+:func:`~repro.harness.plotting.plot_gantt` as ``X``/``^`` markers); a model
+whose specs never trigger leaves modelled times and iterates bit-identical to
+a run without one.
+
+Examples
+--------
+>>> model = FailureModel(crash_at_time={0: 2.5}, restart_after=1.0)
+>>> injector = model.start(n_workers=2)
+>>> injector.is_down(0, 3.0), injector.is_down(0, 3.6), injector.is_down(1, 3.0)
+(True, False, False)
+>>> FailureModel.from_spec("w0@2.5,restart=1.0") == model
+True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.distributed.injection import injection_worker_rngs
+
+#: fault-handling policies a synchronous plan may declare (see ``RoundPlan``)
+FAULT_POLICIES = ("raise", "stall", "degrade")
+
+_INF = float("inf")
+
+
+class WorkerLostError(RuntimeError):
+    """A worker a schedule depends on crashed and will not return in time.
+
+    Structured: ``worker_id``, modelled ``time`` of the loss, and the
+    synchronization ``round`` (when known) are attributes, so experiment
+    drivers can report *which* worker died *when* rather than just that a run
+    failed.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        time: float,
+        *,
+        round: Optional[int] = None,
+        reason: str = "crashed",
+    ):
+        self.worker_id = int(worker_id)
+        self.time = float(time)
+        self.round = round
+        message = f"worker {self.worker_id} lost at modelled t={self.time:.6g}s"
+        if round is not None:
+            message += f" (sync round {round})"
+        message += f": {reason}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """When workers crash, and whether they restart.
+
+    Attributes
+    ----------
+    crash_at_time:
+        ``worker_id -> modelled time`` of a deterministic crash.
+    crash_at_round:
+        ``worker_id -> 1-based synchronization round`` at whose start the
+        worker crashes (rounds are counted per
+        :meth:`~repro.distributed.cluster.SimulatedCluster.map_workers` round
+        on the synchronous path, and per local cycle for asynchronous
+        solvers).
+    mtbf:
+        Mean time between failures of a seeded exponential crash process, per
+        worker (``None`` disables it).  Each worker samples from its own
+        independent stream (see :mod:`repro.distributed.injection`), so the
+        schedule is deterministic under a fixed ``random_state`` regardless
+        of query order.
+    restart_after:
+        Seconds after a crash at which the worker comes back (``None`` =
+        crashed workers never return).
+    random_state:
+        Seed of the MTBF streams.  The streams are salted, so a
+        :class:`~repro.distributed.stragglers.StragglerModel` sharing the
+        same seed draws an independent sequence and the two schedules compose
+        reproducibly.
+
+    Examples
+    --------
+    >>> FailureModel(mtbf=10.0, restart_after=2.0, random_state=7).active
+    True
+    >>> FailureModel().active        # no specs: attaching it changes nothing
+    False
+    """
+
+    crash_at_time: Mapping[int, float] = field(default_factory=dict)
+    crash_at_round: Mapping[int, int] = field(default_factory=dict)
+    mtbf: Optional[float] = None
+    restart_after: Optional[float] = None
+    random_state: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        crash_at_time = {
+            int(k): float(v) for k, v in dict(self.crash_at_time).items()
+        }
+        crash_at_round = {
+            int(k): int(v) for k, v in dict(self.crash_at_round).items()
+        }
+        for wid, t in crash_at_time.items():
+            if wid < 0:
+                raise ValueError(f"worker id must be >= 0, got {wid}")
+            if t < 0:
+                raise ValueError(f"crash time must be >= 0, got {t}")
+        for wid, r in crash_at_round.items():
+            if wid < 0:
+                raise ValueError(f"worker id must be >= 0, got {wid}")
+            if r < 1:
+                raise ValueError(f"crash round must be >= 1, got {r}")
+        if self.mtbf is not None and self.mtbf <= 0:
+            raise ValueError(f"mtbf must be positive, got {self.mtbf}")
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise ValueError(
+                f"restart_after must be positive, got {self.restart_after}"
+            )
+        # frozen dataclass: bypass the guard to store normalized copies
+        object.__setattr__(self, "crash_at_time", crash_at_time)
+        object.__setattr__(self, "crash_at_round", crash_at_round)
+
+    @property
+    def active(self) -> bool:
+        """True when any crash spec is set (an inactive model is a no-op)."""
+        return bool(self.crash_at_time or self.crash_at_round or self.mtbf)
+
+    def start(self, n_workers: int) -> "FaultInjector":
+        """Instantiate the runtime state machine for one cluster."""
+        return FaultInjector(self, n_workers)
+
+    def describe(self) -> dict:
+        """JSON-serializable description (recorded in run provenance)."""
+        return {
+            "crash_at_time": {str(k): v for k, v in self.crash_at_time.items()},
+            "crash_at_round": {str(k): v for k, v in self.crash_at_round.items()},
+            "mtbf": self.mtbf,
+            "restart_after": self.restart_after,
+            "random_state": self.random_state,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FailureModel":
+        """Parse the CLI's ``--faults`` spec string.
+
+        Comma-separated tokens:
+
+        * ``W@T`` (or ``wW@T``) — worker ``W`` crashes at modelled time ``T``;
+        * ``W@rK`` — worker ``W`` crashes at the start of sync round ``K``;
+        * ``mtbf=S`` — seeded exponential crashes with mean ``S`` seconds;
+        * ``restart=S`` — crashed workers return after ``S`` seconds;
+        * ``seed=N`` — seed of the MTBF streams.
+
+        Examples
+        --------
+        >>> FailureModel.from_spec("0@2.5,w1@r3,restart=1.0").crash_at_round
+        {1: 3}
+        """
+        crash_at_time: Dict[int, float] = {}
+        crash_at_round: Dict[int, int] = {}
+        mtbf: Optional[float] = None
+        restart_after: Optional[float] = None
+        random_state: Optional[int] = 0
+        for token in str(spec).split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token:
+                key, _, value = token.partition("=")
+                key = key.strip().lower()
+                if key == "mtbf":
+                    mtbf = float(value)
+                elif key == "restart":
+                    restart_after = float(value)
+                elif key == "seed":
+                    random_state = int(value)
+                else:
+                    raise ValueError(
+                        f"unknown fault-spec key {key!r} in {spec!r}; "
+                        "expected mtbf=, restart= or seed="
+                    )
+            elif "@" in token:
+                wid_part, _, at = token.partition("@")
+                wid = int(wid_part.strip().lstrip("wW") or "-1")
+                at = at.strip()
+                if at.lower().startswith("r"):
+                    crash_at_round[wid] = int(at[1:])
+                else:
+                    crash_at_time[wid] = float(at)
+            else:
+                raise ValueError(
+                    f"cannot parse fault-spec token {token!r} in {spec!r}; "
+                    "expected W@TIME, W@rROUND, mtbf=, restart= or seed="
+                )
+        return cls(
+            crash_at_time=crash_at_time,
+            crash_at_round=crash_at_round,
+            mtbf=mtbf,
+            restart_after=restart_after,
+            random_state=random_state,
+        )
+
+
+class FaultInjector:
+    """Runtime crash/restart state for one cluster run.
+
+    Owned by the :class:`~repro.distributed.cluster.SimulatedCluster`
+    (``cluster.fault_state``) and reset by ``reset_accounting``, so two runs
+    on the same cluster see the same fault schedule.  All queries are pure
+    reads of the (lazily materialized, per-worker) schedule; the ``note_*``
+    methods record events as the simulation acts on them.
+
+    Examples
+    --------
+    >>> inj = FailureModel(crash_at_time={1: 5.0}).start(4)
+    >>> inj.first_crash_in(1, 0.0, 10.0)
+    5.0
+    >>> inj.first_crash_in(0, 0.0, 10.0) is None
+    True
+    """
+
+    def __init__(self, model: FailureModel, n_workers: int):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.model = model
+        self.n_workers = int(n_workers)
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the schedule (same seed => same crashes next run)."""
+        n = self.n_workers
+        restart = self.model.restart_after
+        #: events actually delivered to the simulation, in the order acted on
+        self.events: List[Dict[str, float]] = []
+        #: synchronization rounds seen so far (drives ``crash_at_round``)
+        self.round = 0
+        # deterministic intervals: crash_at_time, plus crash_at_round entries
+        # appended when their round begins (their clock time is only known
+        # then); MTBF intervals live separately and grow lazily per worker.
+        self._fixed: List[List[Tuple[float, float]]] = [[] for _ in range(n)]
+        self._mtbf: List[List[Tuple[float, float]]] = [[] for _ in range(n)]
+        self._round_armed: set = set()
+        # workers currently down, with their crash time; cleared on restart.
+        self._down_since: Dict[int, float] = {}
+        # crash/restart pairs not yet drawn onto a timeline (event engine).
+        self._timeline_debt: Dict[int, List[float]] = {}
+        for wid, t in self.model.crash_at_time.items():
+            if wid < n:
+                self._fixed[wid].append((t, t + restart if restart else _INF))
+        self._mtbf_rngs = (
+            injection_worker_rngs(self.model.random_state, n, stream="failures")
+            if self.model.mtbf
+            else None
+        )
+        # per-worker cycle counters used by async solvers' crash_at_round
+        self._cycles = [0] * n
+
+    # -- schedule materialization -----------------------------------------
+    def _ensure_mtbf(self, worker_id: int, until: float) -> None:
+        if self._mtbf_rngs is None or not math.isfinite(until):
+            return
+        intervals = self._mtbf[worker_id]
+        restart = self.model.restart_after
+        while not intervals or (
+            math.isfinite(intervals[-1][1]) and intervals[-1][1] <= until
+        ):
+            base = intervals[-1][1] if intervals else 0.0
+            gap = float(self._mtbf_rngs[worker_id].exponential(self.model.mtbf))
+            crash = base + gap
+            intervals.append((crash, crash + restart if restart else _INF))
+
+    def _intervals(self, worker_id: int, until: float):
+        self._ensure_mtbf(worker_id, until)
+        yield from self._fixed[worker_id]
+        yield from self._mtbf[worker_id]
+
+    # -- queries ------------------------------------------------------------
+    def is_down(self, worker_id: int, t: float) -> bool:
+        """Is the worker inside a crash interval at modelled time ``t``?"""
+        return any(c <= t < r for c, r in self._intervals(worker_id, t))
+
+    def crash_time_of(self, worker_id: int, t: float) -> float:
+        """Start of the crash interval containing ``t`` (requires ``is_down``)."""
+        times = [c for c, r in self._intervals(worker_id, t) if c <= t < r]
+        if not times:
+            raise ValueError(f"worker {worker_id} is not down at t={t}")
+        return min(times)
+
+    def first_crash_in(
+        self, worker_id: int, start: float, end: float
+    ) -> Optional[float]:
+        """Earliest crash in ``[start, end)``, or ``None``."""
+        times = [
+            c for c, _ in self._intervals(worker_id, end) if start <= c < end
+        ]
+        return min(times) if times else None
+
+    def restart_time(self, worker_id: int, t: float) -> float:
+        """When a worker down at ``t`` is back up (``inf`` = never).
+
+        Chained/overlapping crash intervals are followed to the first instant
+        at which no interval covers the worker.
+        """
+        r = float(t)
+        changed = True
+        while changed:
+            changed = False
+            for c, rr in self._intervals(worker_id, r if math.isfinite(r) else t):
+                if c <= r < rr:
+                    r = rr
+                    changed = True
+                    if not math.isfinite(r):
+                        return r
+        return r if r > t else _INF
+
+    @property
+    def any_down(self) -> bool:
+        return bool(self._down_since)
+
+    def down_workers(self) -> List[int]:
+        """Workers whose crash the simulation has acted on and not yet revived."""
+        return sorted(self._down_since)
+
+    # -- round / cycle lifecycle -------------------------------------------
+    def begin_round(self, worker_ids: Sequence[int], now: float) -> int:
+        """Count one synchronization round and arm ``crash_at_round`` specs.
+
+        A worker whose declared round begins now gets a crash interval
+        starting at the round's synchronization time.  Arming triggers at the
+        worker's first participating round *at or after* the configured one,
+        so a spec is not silently dropped when the worker happened to sit out
+        (subset round, degraded membership) the exact round number.
+        """
+        self.round += 1
+        restart = self.model.restart_after
+        for wid in worker_ids:
+            wid = int(wid)
+            if wid in self._round_armed or wid >= self.n_workers:
+                continue
+            target = self.model.crash_at_round.get(wid)
+            if target is not None and self.round >= target:
+                self._round_armed.add(wid)
+                self._fixed[wid].append(
+                    (now, now + restart if restart else _INF)
+                )
+        return self.round
+
+    def begin_cycle(self, worker_id: int, now: float) -> None:
+        """Asynchronous analogue of :meth:`begin_round`: count one local
+        cycle of ``worker_id`` and arm its ``crash_at_round`` spec (round
+        ``k`` = the worker's k-th cycle)."""
+        wid = int(worker_id)
+        self._cycles[wid] += 1
+        if wid in self._round_armed:
+            return
+        target = self.model.crash_at_round.get(wid)
+        if target is not None and self._cycles[wid] >= target:
+            self._round_armed.add(wid)
+            restart = self.model.restart_after
+            self._fixed[wid].append((now, now + restart if restart else _INF))
+
+    # -- event recording ------------------------------------------------------
+    def note_crash(self, worker_id: int, time: float) -> None:
+        """Record that the simulation acted on a crash (idempotent while down)."""
+        wid = int(worker_id)
+        if wid in self._down_since:
+            return
+        self._down_since[wid] = float(time)
+        self._timeline_debt[wid] = [float(time)]
+        self.events.append(
+            {"kind": "crash", "worker_id": wid, "time": float(time),
+             "round": self.round}
+        )
+
+    def rejoin_if_restarted(self, worker_id: int, now: float) -> bool:
+        """Record the restart of a worker whose downtime has already passed.
+
+        Degraded rounds simply drop a crashed worker; when it comes back it
+        rejoins silently at the next synchronization point — this notes the
+        restart event at its scheduled time so provenance and Gantt markers
+        stay complete.
+        """
+        wid = int(worker_id)
+        if wid in self._down_since and not self.is_down(wid, now):
+            self.note_restart(
+                wid, self.restart_time(wid, self._down_since[wid])
+            )
+            return True
+        return False
+
+    def note_restart(self, worker_id: int, time: float) -> None:
+        """Record that a down worker came back (idempotent while up)."""
+        wid = int(worker_id)
+        if wid not in self._down_since:
+            return
+        del self._down_since[wid]
+        self._timeline_debt.setdefault(wid, []).append(float(time))
+        self.events.append(
+            {"kind": "restart", "worker_id": wid, "time": float(time),
+             "round": self.round}
+        )
+
+    # -- timeline bookkeeping (event engine) ---------------------------------
+    def catch_up_timeline(self, engine, worker_id: int, now: float) -> None:
+        """Draw a restarted worker's downtime onto its timeline and rejoin it.
+
+        The worker's clock froze at the crash; this advances it with a
+        ``down`` segment to the recorded restart, then a ``wait`` to ``now``
+        (it restarted mid-someone-else's round and waits for the next
+        synchronization point).
+        """
+        wid = int(worker_id)
+        debt = self._timeline_debt.pop(wid, None)
+        if not debt or len(debt) < 2:
+            if debt:  # crash recorded but no restart yet: keep the debt
+                self._timeline_debt[wid] = debt
+            return
+        restart = debt[1]
+        tl = engine.timeline(wid)
+        if restart > tl.t:
+            tl.advance(restart - tl.t, "down", "down")
+        tl.wait_until(now, "restart")
+
+    def close_open_downtime(self, engine, until: float) -> None:
+        """Extend still-down workers' timelines with a ``down`` segment to
+        the end of the run so permanently lost workers render in the Gantt
+        chart.  ``until`` is the final global clock; the downtime extends to
+        the latest worker clock when that runs ahead (asynchronous runs)."""
+        horizon = max(
+            [float(until)] + [tl.t for tl in engine.timelines]
+        )
+        for wid, debt in list(self._timeline_debt.items()):
+            tl = engine.timeline(wid)
+            if not tl.segments and tl.t == 0.0:
+                continue  # lock-step run: timelines were never used
+            end = debt[1] if len(debt) > 1 else horizon
+            if end > tl.t:
+                tl.advance(end - tl.t, "down", "down")
+
+    def describe(self) -> dict:
+        return {
+            "model": self.model.describe(),
+            "rounds_seen": self.round,
+            "events": [dict(e) for e in self.events],
+        }
+
+
+def crashed_at_start(injector: FaultInjector, worker_id: int, start: float):
+    """Cycle-start crash check for asynchronous solvers.
+
+    Returns the worker's restart time (``inf`` = never) when it is already
+    down at ``start`` — recording the crash — or ``None`` when it is up.
+    """
+    if not injector.is_down(worker_id, start):
+        return None
+    injector.note_crash(worker_id, injector.crash_time_of(worker_id, start))
+    return injector.restart_time(worker_id, start)
+
+
+def crash_guard(
+    injector: FaultInjector,
+    engine,
+    worker_id: int,
+    start: float,
+    busy_seconds: float,
+    comm_seconds: float,
+    *,
+    busy_label: str,
+    comm_label: str,
+):
+    """Apply the fault schedule to one asynchronous work cycle.
+
+    The cycle is ``busy_seconds`` of compute followed by ``comm_seconds`` of
+    push starting at ``start`` on ``worker_id``'s timeline.  Returns ``None``
+    when the cycle completes; otherwise the worker crashed mid-cycle: the
+    crash is recorded, the partial busy/comm segments up to the crash are
+    drawn (the timeline then freezes, and the caller must NOT post the
+    arrival — the in-flight contribution is dropped), and the worker's
+    restart time (``inf`` = never) is returned.
+
+    Shared by :class:`~repro.admm.async_newton_admm.AsyncNewtonADMM` and
+    :class:`~repro.baselines.async_sgd.AsynchronousSGD` so the subtle
+    crash-window accounting cannot drift between them.
+    """
+    crash = injector.first_crash_in(
+        worker_id, start, start + busy_seconds + comm_seconds
+    )
+    if crash is None:
+        return None
+    injector.note_crash(worker_id, crash)
+    busy = min(busy_seconds, crash - start)
+    if busy > 0:
+        engine.compute(worker_id, busy, label=busy_label)
+    comm = min(comm_seconds, max(crash - start - busy_seconds, 0.0))
+    if comm > 0:
+        engine.communicate(worker_id, comm, label=comm_label)
+    return injector.restart_time(worker_id, crash)
+
+
+def pop_next_arrival(engine, dead: Dict[int, float], revive, *, now=None):
+    """Pop the earliest event, reviving restartable dead workers first.
+
+    Shared by the asynchronous solvers.  ``dead`` maps crashed worker ids to
+    their restart times (``inf`` = never); ``revive(worker_id, restart_time)``
+    must restart the worker's cycle (which may post new, possibly earlier,
+    events) and remove it from ``dead``.  Raises :class:`WorkerLostError`
+    when every worker is lost with no restart scheduled.
+    """
+    while True:
+        restartable = sorted(
+            (r, w) for w, r in dead.items() if math.isfinite(r)
+        )
+        if engine.n_pending == 0:
+            if not restartable:
+                wid = min(dead) if dead else 0
+                raise WorkerLostError(
+                    wid,
+                    engine.now if now is None else now,
+                    reason="no surviving workers and no scheduled restarts",
+                )
+            r, wid = restartable[0]
+            revive(wid, r)
+            continue
+        if restartable and restartable[0][0] <= engine.peek_time():
+            r, wid = restartable[0]
+            revive(wid, r)
+            continue
+        return engine.pop()

@@ -1,0 +1,71 @@
+"""Seeded RNG plumbing shared by the injection models (stragglers, faults).
+
+Both :class:`~repro.distributed.stragglers.StragglerModel` and
+:class:`~repro.distributed.faults.FailureModel` draw their schedules from a
+seed, and both are routinely attached to the *same* cluster with the *same*
+seed.  If they derived their generators identically, their draw sequences
+would be perfectly correlated — a straggler round would silently consume the
+failure schedule's randomness (or vice versa) and neither schedule would be
+reproducible on its own.  This module is the one place that derivation lives:
+
+* ``injection_rng(seed)`` reproduces the historical
+  :func:`~repro.utils.rng.check_random_state` derivation bit-for-bit, so
+  existing straggler schedules are unchanged;
+* ``injection_rng(seed, stream="...")`` derives a statistically independent
+  child keyed by the stream name, so differently-named consumers of one seed
+  never share draws;
+* ``injection_worker_rngs(seed, n, stream="...")`` derives one independent
+  generator *per worker*, which makes per-worker schedules (stochastic MTBF
+  crash sequences) order-independent: querying worker 3's schedule never
+  perturbs worker 0's.
+
+Examples
+--------
+>>> a = injection_rng(0)                      # StragglerModel's stream
+>>> b = injection_rng(0, stream="failures")   # FailureModel's stream
+>>> float(a.random()) != float(b.random())    # same seed, independent draws
+True
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomStateLike, check_random_state, spawn_rngs
+
+
+def _stream_salt(stream: str) -> List[int]:
+    """Stable integer words for a stream name (no hash(): PYTHONHASHSEED-proof)."""
+    return [int(b) for b in stream.encode("utf-8")]
+
+
+def injection_rng(
+    random_state: RandomStateLike, stream: Optional[str] = None
+) -> np.random.Generator:
+    """Normalize a seed into a generator, optionally on a named stream.
+
+    ``stream=None`` is exactly :func:`~repro.utils.rng.check_random_state`
+    (the derivation :class:`StragglerModel` has always used, kept so existing
+    straggler schedules stay bit-identical).  A string stream derives an
+    independent child via :class:`numpy.random.SeedSequence` salting, so two
+    models sharing one seed draw from disjoint sequences.
+    """
+    if stream is None:
+        return check_random_state(random_state)
+    return spawn_rngs(random_state, 1, salt=_stream_salt(stream))[0]
+
+
+def injection_worker_rngs(
+    random_state: RandomStateLike, n_workers: int, stream: str
+) -> List[np.random.Generator]:
+    """One independent generator per worker on a named stream.
+
+    Per-worker streams make lazily-sampled schedules deterministic regardless
+    of query order: extending worker ``i``'s schedule consumes only worker
+    ``i``'s generator.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return spawn_rngs(random_state, n_workers, salt=_stream_salt(stream))

@@ -58,6 +58,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.distributed.faults import FAULT_POLICIES, WorkerLostError
+
 #: collective operations a :class:`Collective` step may name
 COLLECTIVE_OPS = (
     "allreduce",
@@ -92,13 +94,19 @@ class LocalStep:
 
 @dataclass
 class Collective:
-    """One communicator collective; ``payload(ctx)`` builds the buffers."""
+    """One communicator collective; ``payload(ctx)`` builds the buffers.
+
+    ``on_failure`` optionally overrides the plan's fault policy for this one
+    synchronization point (e.g. a plan that stalls its compute rounds but
+    degrades a final diagnostic gather); ``None`` inherits the plan's policy.
+    """
 
     name: str
     op: str
     payload: Callable[[dict], Any]
     joint_with_previous: bool = False
     overlap: bool = False
+    on_failure: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.op not in COLLECTIVE_OPS:
@@ -107,19 +115,26 @@ class Collective:
             )
         if self.overlap and self.op == "reduce_scalar":
             raise ValueError("reduce_scalar does not support overlap")
+        if self.on_failure is not None and self.on_failure not in FAULT_POLICIES:
+            raise ValueError(
+                f"on_failure must be one of {FAULT_POLICIES}, got {self.on_failure!r}"
+            )
 
     @property
     def opens_round(self) -> bool:
         return not self.joint_with_previous
 
     def describe(self) -> dict:
-        return {
+        out = {
             "step": "collective",
             "name": self.name,
             "op": self.op,
             "joint_with_previous": self.joint_with_previous,
             "overlap": self.overlap,
         }
+        if self.on_failure is not None:
+            out["on_failure"] = self.on_failure
+        return out
 
 
 @dataclass
@@ -219,16 +234,44 @@ class RoundPlan:
     :class:`Collective` binds the reduced/distributed value, a
     :class:`GlobalStep` binds its return value.  ``returns`` names the context
     key whose value is the epoch's resulting iterate.
+
+    ``on_failure`` declares how the plan reacts when an attached
+    :class:`~repro.distributed.faults.FailureModel` takes a worker down at
+    one of its synchronization points: ``"raise"`` (default) aborts with a
+    structured :class:`~repro.distributed.faults.WorkerLostError`, ``"stall"``
+    idles the cluster until the worker restarts (re-running the lost round),
+    ``"degrade"`` proceeds with the surviving workers — their ids are bound
+    to ``ctx["alive_workers"]`` so payload/master steps can reweight.
+
+    Examples
+    --------
+    >>> plan = RoundPlan("mean-of-ones", on_failure="stall")
+    >>> _ = plan.local("ones", lambda worker, ctx: 1.0)
+    >>> _ = plan.allreduce("total", lambda ctx: ctx["ones"]).returns("total")
+    >>> plan.declared_rounds
+    1
     """
 
-    def __init__(self, name: str, *, context: Optional[dict] = None):
+    def __init__(
+        self,
+        name: str,
+        *,
+        context: Optional[dict] = None,
+        on_failure: str = "raise",
+    ):
         self.name = name
         self.steps: List[Step] = []
         self.context: Dict[str, Any] = dict(context or {})
         self.returns_key: Optional[str] = None
+        if on_failure not in FAULT_POLICIES:
+            raise ValueError(
+                f"on_failure must be one of {FAULT_POLICIES}, got {on_failure!r}"
+            )
+        self.on_failure = on_failure
 
     # -- builders ----------------------------------------------------------
     def add(self, step: Step) -> "RoundPlan":
+        """Append an already-constructed step; returns the plan (fluent)."""
         self.steps.append(step)
         return self
 
@@ -240,6 +283,9 @@ class RoundPlan:
         label: str = "compute",
         workers: Optional[Sequence[int]] = None,
     ) -> "RoundPlan":
+        """Append a :class:`LocalStep`: run ``fn(worker, ctx)`` on every
+        worker (or the ``workers`` subset) in parallel; the list of results
+        binds to ``ctx[name]``."""
         return self.add(LocalStep(name, fn, label=label, workers=workers))
 
     def collective(
@@ -251,6 +297,9 @@ class RoundPlan:
         joint_with_previous: bool = False,
         overlap: bool = False,
     ) -> "RoundPlan":
+        """Append a :class:`Collective` of kind ``op`` (see
+        :data:`COLLECTIVE_OPS`); ``payload(ctx)`` builds the buffers and the
+        reduced/distributed value binds to ``ctx[name]``."""
         return self.add(
             Collective(
                 name,
@@ -262,35 +311,50 @@ class RoundPlan:
         )
 
     def allreduce(self, name: str, payload, **kwargs) -> "RoundPlan":
+        """Append an all-reduce collective (element-wise sum, visible everywhere)."""
         return self.collective(name, "allreduce", payload, **kwargs)
 
     def broadcast(self, name: str, payload, **kwargs) -> "RoundPlan":
+        """Append a master-to-everyone broadcast collective."""
         return self.collective(name, "broadcast", payload, **kwargs)
 
     def gather(self, name: str, payload, **kwargs) -> "RoundPlan":
+        """Append a gather-at-the-master collective (one buffer per worker)."""
         return self.collective(name, "gather", payload, **kwargs)
 
     def scatter(self, name: str, payload, **kwargs) -> "RoundPlan":
+        """Append a master-to-each-worker scatter collective."""
         return self.collective(name, "scatter", payload, **kwargs)
 
     def allgather(self, name: str, payload, **kwargs) -> "RoundPlan":
+        """Append an all-gather collective (everyone receives every buffer)."""
         return self.collective(name, "allgather", payload, **kwargs)
 
     def reduce_scalar(self, name: str, payload, **kwargs) -> "RoundPlan":
+        """Append a scalar reduction (one float per worker, summed at the
+        master) — typically joined to the preceding collective's round via
+        ``joint_with_previous=True``."""
         return self.collective(name, "reduce_scalar", payload, **kwargs)
 
     def master(self, fn: Callable[[dict], Any], *, name: Optional[str] = None) -> "RoundPlan":
+        """Append a :class:`GlobalStep`: uncharged master-side glue ``fn(ctx)``
+        whose return value binds to ``ctx[name]`` when named."""
         return self.add(GlobalStep(fn, name=name))
 
     def barrier(self, label: str = "barrier") -> "RoundPlan":
+        """Append an explicit synchronization point (event engine only)."""
         return self.add(Barrier(label))
 
     def join(self) -> "RoundPlan":
+        """Append a :class:`Join`: block on previously overlapped collectives,
+        charging only the part of the transfer compute did not hide."""
         return self.add(Join())
 
     def dynamic(
         self, name: str, fn: Callable[..., Any], *, rounds: str = "data-dependent"
     ) -> "RoundPlan":
+        """Append a :class:`DynamicStep` ``fn(cluster, ctx)`` issuing its own
+        data-dependent rounds; makes the plan's round count undeclarable."""
         return self.add(DynamicStep(name, fn, rounds=rounds))
 
     def repeat(self, times: int, build: Callable[["RoundPlan"], Any]) -> "RoundPlan":
@@ -304,6 +368,7 @@ class RoundPlan:
         return self.add(Repeat(times, body.steps))
 
     def returns(self, key: str) -> "RoundPlan":
+        """Name the context key whose value is the epoch's resulting iterate."""
         self.returns_key = key
         return self
 
@@ -361,6 +426,7 @@ class RoundPlan:
             "overlapped": self.n_overlapped,
             "local_steps": count_local(self.steps),
             "dynamic": not self.is_static,
+            "on_failure": self.on_failure,
             "steps": [s.describe() for s in self.steps],
         }
 
@@ -387,6 +453,7 @@ class PlanExecution:
     overlapped: int = 0
 
     def summary(self) -> dict:
+        """Observed per-epoch schedule facts (logged to ``trace.info``)."""
         return {
             "rounds": self.rounds,
             "collectives": self.collectives,
@@ -429,9 +496,74 @@ class _PlanContext(dict):
         return super().get(key, default)
 
 
-def _execute_steps(cluster, steps: Sequence[Step], ctx: _PlanContext) -> int:
+def _guard_collective(cluster, policy: str, members: Optional[List[int]]):
+    """Apply the fault policy at a collective's synchronization point.
+
+    Returns ``(participants, base)``: the participant ids to hand the
+    communicator (``None`` = full membership, the fault-free fast path) and
+    the membership the payload's buffers were built for (the survivors of the
+    most recent local round when one ran, every worker otherwise) — the
+    executor uses ``base`` to slice per-worker buffers down to the
+    participants.  ``"raise"`` aborts if any worker is down, ``"stall"``
+    idles the cluster until every down worker restarts, ``"degrade"``
+    proceeds over the members still alive at the collective instant (a
+    worker that crashed after computing but before the barrier is dropped:
+    its contribution is in flight when it dies).
+    """
+    fs = getattr(cluster, "fault_state", None)
+    base = members if members is not None else list(range(cluster.n_workers))
+    if fs is None:
+        return None, base
+    now = cluster.clock.time
+    down = [
+        wid for wid in range(cluster.n_workers) if fs.is_down(wid, now)
+    ]
+    for wid in down:
+        fs.note_crash(wid, fs.crash_time_of(wid, now))
+    if down and policy == "raise":
+        raise WorkerLostError(
+            down[0], now, round=fs.round,
+            reason="down at collective (policy 'raise')",
+        )
+    if down and policy == "stall":
+        while down:
+            cluster.stall_for_restart(down, label="collective-stall")
+            now = cluster.clock.time
+            down = [
+                wid for wid in range(cluster.n_workers)
+                if fs.is_down(wid, now)
+            ]
+        return None, base
+    if policy != "degrade":
+        return None, base
+    alive = [wid for wid in base if wid not in down]
+    if not alive:
+        raise WorkerLostError(
+            down[0] if down else base[0], now, round=fs.round,
+            reason="no surviving workers",
+        )
+    if len(alive) == cluster.n_workers:
+        return None, base
+    return alive, base
+
+
+def _execute_steps(
+    cluster,
+    steps: Sequence[Step],
+    ctx: _PlanContext,
+    *,
+    policy: str = "raise",
+    state: Optional[Dict[str, Any]] = None,
+) -> int:
     """Run ``steps`` in order; returns the number of overlapped collectives."""
     comm = cluster.comm
+    degraded = (
+        policy == "degrade" and getattr(cluster, "fault_state", None) is not None
+    )
+    if state is None:
+        # ``members`` tracks the degraded membership of the current epoch:
+        # the survivors of the most recent local round, or None for "all".
+        state = {"members": None}
     overlapped = 0
     for step in steps:
         if isinstance(step, LocalStep):
@@ -439,17 +571,42 @@ def _execute_steps(cluster, steps: Sequence[Step], ctx: _PlanContext) -> int:
             targets = None
             if step.workers is not None:
                 targets = [cluster.workers[int(i)] for i in step.workers]
+            elif degraded:
+                alive = cluster.alive_worker_ids()
+                if not alive:
+                    raise WorkerLostError(
+                        0, cluster.clock.time, reason="no surviving workers"
+                    )
+                if len(alive) < cluster.n_workers:
+                    targets = [cluster.workers[i] for i in alive]
             results = cluster.map_workers(
                 lambda worker, _fn=fn: _fn(worker, ctx), workers=targets
             )
             ctx[step.name] = results
+            if degraded:
+                state["members"] = list(cluster.last_round_survivors)
+                ctx["alive_workers"] = list(cluster.last_round_survivors)
         elif isinstance(step, Collective):
+            participants, base = _guard_collective(
+                cluster, step.on_failure or policy, state["members"]
+            )
             buffers = step.payload(ctx)
+            if (
+                participants is not None
+                and step.op != "broadcast"  # broadcast takes ONE buffer
+                and hasattr(buffers, "__len__")
+                and len(buffers) == len(base)
+            ):
+                # Per-worker buffers were built for ``base`` (in id order);
+                # slice them down to the workers still participating.
+                buffers = [buffers[base.index(wid)] for wid in participants]
             kwargs: Dict[str, Any] = {
                 "joint_with_previous": step.joint_with_previous
             }
             if step.op != "reduce_scalar":
                 kwargs["overlap"] = step.overlap
+            if participants is not None:
+                kwargs["participants"] = participants
             ctx[step.name] = getattr(comm, step.op)(buffers, **kwargs)
             if step.overlap:
                 overlapped += 1
@@ -473,7 +630,9 @@ def _execute_steps(cluster, steps: Sequence[Step], ctx: _PlanContext) -> int:
             ctx[step.name] = step.fn(cluster, ctx)
         elif isinstance(step, Repeat):
             for _ in range(step.times):
-                overlapped += _execute_steps(cluster, step.steps, ctx)
+                overlapped += _execute_steps(
+                    cluster, step.steps, ctx, policy=policy, state=state
+                )
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown plan step {step!r}")
     return overlapped
@@ -487,13 +646,35 @@ def execute_plan(cluster, plan: RoundPlan, *, check: bool = True) -> PlanExecuti
     which is what makes the port bit-identical in iterates and modelled times
     on both the lock-step and the event path (pinned by the golden-trace
     fixtures in ``tests/test_schedule.py``).
+
+    When the cluster carries a :class:`~repro.distributed.faults.FailureModel`,
+    the plan's ``on_failure`` policy governs every synchronization point for
+    the duration of the execution (local rounds via ``map_workers``,
+    collectives via the guard here).
+
+    Examples
+    --------
+    ::
+
+        plan = RoundPlan("one-allreduce")
+        plan.local("g", lambda worker, ctx: worker.objective.gradient(w))
+        plan.allreduce("g_sum", lambda ctx: ctx["g"])
+        plan.returns("g_sum")
+        execution = execute_plan(cluster, plan)   # raises ScheduleError on a
+        execution.rounds                          # declared-round mismatch
     """
     comm = cluster.comm
     rounds0 = comm.log.n_rounds
     collectives0 = comm.log.n_collectives
     bytes0 = comm.log.bytes_transferred
     ctx = _PlanContext(plan.context)
-    overlapped = _execute_steps(cluster, plan.steps, ctx)
+    fault_state = getattr(cluster, "fault_state", None)
+    if fault_state is not None and plan.on_failure == "degrade":
+        ctx["alive_workers"] = cluster.alive_worker_ids()
+    with cluster.fault_policy(plan.on_failure):
+        overlapped = _execute_steps(
+            cluster, plan.steps, ctx, policy=plan.on_failure
+        )
     if ctx.in_flight:
         # An unjoined transfer would silently drain into the *next* epoch's
         # first blocking collective, undercharging this epoch and

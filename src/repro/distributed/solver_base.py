@@ -33,6 +33,7 @@ from repro.backend import copy_array
 from repro.datasets.base import ClassificationDataset
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.engine import timelines_dict
+from repro.distributed.faults import FAULT_POLICIES
 from repro.distributed.schedule import RoundPlan, execute_plan
 from repro.metrics.classification import accuracy
 from repro.metrics.timeline import timeline_summary
@@ -56,6 +57,15 @@ class DistributedSolver(ABC):
         Also compute train/test accuracy at every recorded epoch.
     tol_grad:
         Optional early stop when the global gradient norm falls below this.
+    on_failure:
+        Declared reaction of this solver's round plans to a worker lost under
+        an injected :class:`~repro.distributed.faults.FailureModel`:
+        ``"raise"`` (default) aborts with a structured
+        :class:`~repro.distributed.faults.WorkerLostError`, ``"stall"`` idles
+        the cluster until the worker restarts, ``"degrade"`` proceeds with
+        the survivors (only meaningful for plans written to reweight).
+        Asynchronous solvers ignore it — their quorum schedules always ride
+        through with the surviving workers.
     """
 
     #: human-readable method name used in traces and reports
@@ -73,16 +83,22 @@ class DistributedSolver(ABC):
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
+        on_failure: str = "raise",
     ):
         self.lam = check_positive(lam, name="lam", strict=False)
         if max_epochs < 1:
             raise ValueError(f"max_epochs must be >= 1, got {max_epochs}")
         if evaluate_every < 1:
             raise ValueError(f"evaluate_every must be >= 1, got {evaluate_every}")
+        if on_failure not in FAULT_POLICIES:
+            raise ValueError(
+                f"on_failure must be one of {FAULT_POLICIES}, got {on_failure!r}"
+            )
         self.max_epochs = int(max_epochs)
         self.evaluate_every = int(evaluate_every)
         self.record_accuracy = bool(record_accuracy)
         self.tol_grad = float(tol_grad)
+        self.on_failure = on_failure
         self._schedule_log: List[dict] = []
         self._schedule_declared: Optional[dict] = None
 
@@ -111,6 +127,10 @@ class DistributedSolver(ABC):
         directly on the engine's event queue.
         """
         plan = self._plan_epoch(cluster, epoch)
+        if plan.on_failure == "raise" and self.on_failure != "raise":
+            # The solver-declared policy lands in the plan; plans that set an
+            # explicit non-default policy of their own keep it.
+            plan.on_failure = self.on_failure
         execution = execute_plan(cluster, plan)
         if self._schedule_declared is None:
             self._schedule_declared = plan.describe()
@@ -192,6 +212,16 @@ class DistributedSolver(ABC):
                 "declared": self._schedule_declared,
                 "epochs": self._schedule_log,
             }
+        fault_state = getattr(cluster, "fault_state", None)
+        if fault_state is not None:
+            # Permanently lost workers get their open downtime drawn so the
+            # Gantt chart shows them down to the end of the run.
+            fault_state.close_open_downtime(cluster.engine, cluster.clock.time)
+            if fault_state.events:
+                trace.info["faults"] = {
+                    "model": cluster.faults.describe(),
+                    "events": [dict(e) for e in fault_state.events],
+                }
         self._attach_timelines(trace, cluster, epoch_boundaries)
         return trace
 

@@ -97,6 +97,11 @@ EXPERIMENT_REGISTRY: Dict[str, tuple] = {
         "Ablation — async Newton-ADMM / async SGD vs sync under a straggler",
         "objective",
     ),
+    "ablation-faults": (
+        experiments.ablation_faults,
+        "Ablation — worker crash/restart: quorum async rides through, sync stalls or fails",
+        None,
+    ),
 }
 
 
@@ -148,6 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
             "execution engine for synchronous solvers (default: lockstep; "
             "'event' runs on the discrete-event scheduler — identical results "
             "and modelled times, plus per-worker busy/wait/comm timelines)"
+        ),
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject worker crashes into every cluster the experiment builds: "
+            "comma-separated 'W@TIME' / 'W@rROUND' crash specs plus optional "
+            "'mtbf=S', 'restart=S', 'seed=N' (e.g. '0@2.5,restart=1.0'); "
+            "see repro.distributed.faults.FailureModel.from_spec"
         ),
     )
     run.add_argument(
@@ -237,6 +253,15 @@ def _cmd_run(args, print_fn: Callable[[str], None]) -> int:
         from repro.harness.config import set_default_engine
 
         print_fn(f"using execution engine: {set_default_engine(args.engine)}")
+    if getattr(args, "faults", None):
+        from repro.harness.config import set_default_faults
+
+        try:
+            set_default_faults(args.faults)
+        except ValueError as exc:
+            print_fn(f"error: {exc}")
+            return 2
+        print_fn(f"injecting faults: {args.faults}")
     names: List[str] = (
         sorted(EXPERIMENT_REGISTRY) if args.experiment == "all" else [args.experiment]
     )
@@ -245,7 +270,19 @@ def _cmd_run(args, print_fn: Callable[[str], None]) -> int:
     for name in names:
         driver, description, plot_metric = EXPERIMENT_REGISTRY[name]
         print_fn(f"== {name}: {description} (scale={scale.value}) ==")
-        result = driver(scale, seed=args.seed)
+        try:
+            result = driver(scale, seed=args.seed)
+        except Exception as exc:
+            from repro.distributed.faults import WorkerLostError
+
+            if not isinstance(exc, WorkerLostError):
+                raise
+            # Injected faults + the default strict-sync 'raise' policy: report
+            # the structured loss instead of a traceback.
+            print_fn(f"aborted by injected fault: {exc}")
+            exit_code = 1
+            print_fn("")
+            continue
         print_fn(str(result.get("report", "")))
         if plot_metric and not args.no_plot:
             traces = _collect_traces(result)

@@ -96,6 +96,11 @@ class ClusterConfig:
         Execution engine for the synchronous paths: ``"lockstep"``,
         ``"event"``, or ``None`` for the session default set via
         :func:`set_default_engine` (the CLI's ``--engine``).
+    faults:
+        Fault-injection spec string understood by
+        :meth:`repro.distributed.faults.FailureModel.from_spec` (e.g.
+        ``"0@2.5,restart=1.0"``), or ``None`` for the session default set via
+        :func:`set_default_faults` (the CLI's ``--faults``).
     """
 
     dataset: str
@@ -108,6 +113,7 @@ class ClusterConfig:
     executor: str = "serial"
     backend: Optional[str] = None
     engine: Optional[str] = None
+    faults: Optional[str] = None
     seed: int = 0
     dataset_kwargs: Dict[str, object] = field(default_factory=dict)
 
@@ -134,6 +140,31 @@ def set_default_engine(mode: str) -> str:
 
 def default_engine() -> str:
     return _DEFAULT_ENGINE
+
+
+#: session default for ``ClusterConfig.faults`` (see :func:`set_default_faults`)
+_DEFAULT_FAULTS: Optional[str] = None
+
+
+def set_default_faults(spec: Optional[str]) -> Optional[str]:
+    """Set the session-wide default fault-injection spec (the CLI's ``--faults``).
+
+    The spec is validated eagerly by parsing it with
+    :meth:`~repro.distributed.faults.FailureModel.from_spec`; every
+    :class:`ClusterConfig` whose ``faults`` is ``None`` resolves to it at
+    cluster-build time.  ``None`` clears the default.
+    """
+    global _DEFAULT_FAULTS
+    if spec is not None:
+        from repro.distributed.faults import FailureModel
+
+        FailureModel.from_spec(spec)  # raises ValueError on a bad spec
+    _DEFAULT_FAULTS = spec
+    return _DEFAULT_FAULTS
+
+
+def default_faults() -> Optional[str]:
+    return _DEFAULT_FAULTS
 
 
 @dataclass

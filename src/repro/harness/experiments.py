@@ -894,3 +894,178 @@ def ablation_async_admm(
         ),
     )
     return {"rows": rows, "traces": traces, "target": target, "report": report}
+
+
+def ablation_faults(
+    scale=ExperimentScale.QUICK,
+    *,
+    dataset: str = "mnist_like",
+    n_workers: int = 8,
+    lam: float = 1e-5,
+    crash_fraction: float = 0.35,
+    downtime_fraction: float = 0.5,
+    seed: int = 0,
+) -> dict:
+    """Ablation: worker loss mid-run — quorum async rides through, sync does not.
+
+    A no-fault synchronous Newton-ADMM run calibrates the schedule: worker 0
+    crashes ``crash_fraction`` of the way through its modelled time and stays
+    down for ``downtime_fraction`` of it.  Under that *identical* fault
+    schedule the sweep then runs strict-sync Newton-ADMM with its two
+    declared policies — ``on_failure="raise"`` (the run aborts with a
+    structured :class:`~repro.distributed.faults.WorkerLostError`) and
+    ``on_failure="stall"`` (the cluster idles until the restart and pays the
+    downtime at full price) — and quorum-based async Newton-ADMM (quorum
+    ``N - 1``), which keeps firing z-updates off the survivors and folds the
+    worker back in when it returns.  The report's ``modelled_delta_s`` column
+    is the time-to-no-fault-target penalty each strategy pays for the same
+    crash.
+    """
+    from repro.distributed.faults import FailureModel, WorkerLostError
+
+    scale = _scale(scale)
+    sync_epochs = _epoch_budget(scale, 10, 25, 60)
+    # One async "epoch" is one z-update fed by ~quorum workers; budget like
+    # the async ablation so the comparison is on modelled time, not epochs.
+    async_epochs = 4 * sync_epochs
+    n_train = train_size_for(dataset, scale)
+    n_test = test_size_for(dataset, scale)
+
+    from repro.datasets.registry import load_dataset as _load
+    from repro.distributed.cluster import SimulatedCluster
+
+    train, test = _load(dataset, n_train=n_train, n_test=n_test, random_state=seed)
+
+    def make_cluster(faults: Optional[FailureModel] = None) -> SimulatedCluster:
+        return SimulatedCluster(
+            train, n_workers, faults=faults, engine="event", random_state=seed
+        )
+
+    cluster_config = _cluster_config(dataset, n_workers, scale, seed=seed)
+    shared = dict(lam=lam, cg_max_iter=10, cg_tol=1e-4, record_accuracy=False)
+
+    # ---- calibration: the no-fault synchronous run -------------------------
+    baseline = run_method(
+        SolverConfig("newton_admm", {**shared, "max_epochs": sync_epochs}),
+        cluster_config,
+        cluster=make_cluster(),
+        test=test,
+    )
+    base_time = baseline.total_time()
+    target = baseline.final.objective
+    crash_time = crash_fraction * base_time
+    restart_after = downtime_fraction * base_time
+
+    def fault_model() -> FailureModel:
+        return FailureModel(
+            crash_at_time={0: crash_time}, restart_after=restart_after
+        )
+
+    traces: Dict[str, RunTrace] = {"newton_admm_nofault": baseline}
+    rows: List[dict] = [
+        {
+            "method": "newton_admm",
+            "policy": "(no fault)",
+            "outcome": "completed",
+            "final_objective": target,
+            "total_modelled_time_s": base_time,
+            "time_to_target_s": time_to_objective(baseline, target),
+            "modelled_delta_s": 0.0,
+        }
+    ]
+
+    # ---- strict sync, policy 'raise': the run aborts -----------------------
+    try:
+        run_method(
+            SolverConfig("newton_admm", {**shared, "max_epochs": sync_epochs}),
+            cluster_config,
+            cluster=make_cluster(fault_model()),
+            test=test,
+        )
+        raise RuntimeError(
+            "ablation-faults: strict-sync run survived an injected crash"
+        )
+    except WorkerLostError as exc:
+        rows.append(
+            {
+                "method": "newton_admm",
+                "policy": "raise",
+                "outcome": (
+                    f"WorkerLostError: worker {exc.worker_id} "
+                    f"at t={exc.time:.3g}s"
+                ),
+                "final_objective": float("nan"),
+                "total_modelled_time_s": float("nan"),
+                "time_to_target_s": float("nan"),
+                "modelled_delta_s": float("nan"),
+            }
+        )
+
+    # ---- strict sync, policy 'stall': completes, paying the downtime --------
+    stalled = run_method(
+        SolverConfig(
+            "newton_admm",
+            {**shared, "max_epochs": sync_epochs, "on_failure": "stall"},
+        ),
+        cluster_config,
+        cluster=make_cluster(fault_model()),
+        test=test,
+    )
+    traces["newton_admm_stall"] = stalled
+    stall_t2t = time_to_objective(stalled, target)
+    rows.append(
+        {
+            "method": "newton_admm",
+            "policy": "stall",
+            "outcome": "completed (stalled for restart)",
+            "final_objective": stalled.final.objective,
+            "total_modelled_time_s": stalled.total_time(),
+            "time_to_target_s": stall_t2t,
+            "modelled_delta_s": stall_t2t - time_to_objective(baseline, target),
+        }
+    )
+
+    # ---- quorum async: rides through the crash ------------------------------
+    asyn = run_method(
+        SolverConfig(
+            "async_newton_admm",
+            {
+                **shared,
+                "max_epochs": async_epochs,
+                "quorum": max(n_workers - 1, 1),
+                "max_staleness": 10,
+            },
+        ),
+        cluster_config,
+        cluster=make_cluster(fault_model()),
+        test=test,
+    )
+    traces["async_newton_admm"] = asyn
+    async_t2t = time_to_objective(asyn, target)
+    rows.append(
+        {
+            "method": "async_newton_admm",
+            "policy": "quorum (rides through)",
+            "outcome": "completed",
+            "final_objective": asyn.final.objective,
+            "total_modelled_time_s": asyn.total_time(),
+            "time_to_target_s": async_t2t,
+            "modelled_delta_s": async_t2t - time_to_objective(baseline, target),
+        }
+    )
+
+    report = format_table(
+        rows,
+        title=(
+            f"Ablation — worker 0 crashes at t={crash_time:.3g}s, restarts "
+            f"after {restart_after:.3g}s ({n_workers} workers, event engine)"
+        ),
+    )
+    return {
+        "rows": rows,
+        "traces": traces,
+        "target": target,
+        "crash_time": crash_time,
+        "restart_after": restart_after,
+        "report": report,
+    }

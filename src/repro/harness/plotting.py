@@ -132,8 +132,9 @@ def plot_traces(
     )
 
 
-#: Gantt glyphs per segment kind (busy compute, barrier/idle wait, transfer)
-_GANTT_GLYPHS = {"busy": "#", "wait": ".", "comm": "~"}
+#: Gantt glyphs per segment kind (busy compute, barrier/idle wait, transfer,
+#: crashed-awaiting-restart downtime)
+_GANTT_GLYPHS = {"busy": "#", "wait": ".", "comm": "~", "down": "x"}
 
 
 def plot_gantt(
@@ -145,7 +146,8 @@ def plot_gantt(
     epoch: Optional[int] = None,
 ) -> str:
     """ASCII Gantt chart of per-worker timelines (busy ``#``, wait ``.``,
-    comm ``~``, background transfers ``-`` on a separate lane).
+    comm ``~``, crash downtime ``x``, background transfers ``-`` on a
+    separate lane).
 
     ``timelines`` is a :class:`~repro.metrics.traces.RunTrace` (its recorded
     ``info["timelines"]`` are rendered), a sequence of
@@ -156,9 +158,16 @@ def plot_gantt(
     stragglers show as rows of solid ``#`` while their peers fill with ``.``
     on synchronous runs, and as staggered ``#`` blocks on quorum schedules.
 
+    When the trace carries injected fault events (``info["faults"]``,
+    recorded by :mod:`repro.distributed.faults`), the cumulative view marks
+    each crash with ``X`` and each restart with ``^`` on the affected
+    worker's row, on top of the ``x`` downtime fill.
+
     ``epoch`` (1-based, requires a trace) renders a single epoch instead of
     the cumulative fit: the trace's per-epoch boundary snapshots
-    (``info["timeline_epochs"]``) locate the window on every worker's clock.
+    (``info["timeline_epochs"]``) locate the window on every worker's clock
+    (fault markers are omitted in the sliced view — the events are stamped on
+    the global clock).
     """
     from repro.metrics.timeline import (
         WorkerTimeline,
@@ -166,8 +175,11 @@ def plot_gantt(
         timelines_from_dicts,
     )
 
+    fault_events = ()
     if isinstance(timelines, RunTrace):
         trace = timelines
+        if epoch is None:
+            fault_events = trace.info.get("faults", {}).get("events", ())
         rows = trace.info.get("timelines")
         if not rows:
             raise ValueError(
@@ -230,12 +242,27 @@ def plot_gantt(
 
     lines = [title] if title else []
     lines.append(
-        f"gantt 0 .. {span:.3g}s   legend: # busy   . wait   ~ comm   - overlap"
+        f"gantt 0 .. {span:.3g}s   legend: # busy   . wait   ~ comm   "
+        f"x down   - overlap   X crash   ^ restart"
     )
+    row_of = {}
     for tl in timelines:
         lines.append(f"w{tl.worker_id:<3d}|{render(tl.segments, _GANTT_GLYPHS)}|")
+        row_of[int(tl.worker_id)] = len(lines) - 1
         if tl.background:
             lines.append(f"    |{render(tl.background, {'comm': '-'})}| (background)")
+    # Overlay crash/restart markers from recorded fault events.  Rows are
+    # "wNNN|<cells>|": the cell area starts at column 5.
+    for event in fault_events:
+        row = row_of.get(int(event.get("worker_id", -1)))
+        t = float(event.get("time", -1.0))
+        if row is None or not 0.0 <= t <= span:
+            continue
+        col = int(np.clip(t / span * width, 0, width - 1))
+        marker = "X" if event.get("kind") == "crash" else "^"
+        chars = list(lines[row])
+        chars[5 + col] = marker
+        lines[row] = "".join(chars)
     return "\n".join(lines)
 
 
@@ -264,6 +291,11 @@ def format_schedule(trace: RunTrace) -> str:
         + (
             f", {declared['overlapped']} overlapped collective(s)"
             if declared.get("overlapped")
+            else ""
+        )
+        + (
+            f", on worker failure: {declared['on_failure']}"
+            if declared.get("on_failure") not in (None, "raise")
             else ""
         ),
     ]

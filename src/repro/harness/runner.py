@@ -30,8 +30,14 @@ from repro.distributed.network import (
     infiniband_100g,
     wan_slow,
 )
+from repro.distributed.faults import FailureModel
 from repro.distributed.solver_base import DistributedSolver
-from repro.harness.config import ClusterConfig, SolverConfig, default_engine
+from repro.harness.config import (
+    ClusterConfig,
+    SolverConfig,
+    default_engine,
+    default_faults,
+)
 from repro.metrics.traces import RunTrace
 from repro.objectives.base import RegularizedObjective
 from repro.objectives.regularizers import L2Regularizer
@@ -102,6 +108,7 @@ def build_cluster(
         random_state=config.seed,
         **config.dataset_kwargs,
     )
+    fault_spec = config.faults if config.faults is not None else default_faults()
     cluster = SimulatedCluster(
         train,
         config.n_workers,
@@ -111,6 +118,7 @@ def build_cluster(
         executor=config.executor,
         backend=config.backend,
         engine=config.engine if config.engine is not None else default_engine(),
+        faults=FailureModel.from_spec(fault_spec) if fault_spec else None,
         random_state=config.seed,
     )
     return cluster, test

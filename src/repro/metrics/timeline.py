@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-#: segment kinds in display order
-SEGMENT_KINDS = ("busy", "wait", "comm")
+#: segment kinds in display order (``down`` = crashed, waiting for restart)
+SEGMENT_KINDS = ("busy", "wait", "comm", "down")
 
 
 @dataclass(frozen=True)

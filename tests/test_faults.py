@@ -1,0 +1,648 @@
+"""Tests for the fault-injection subsystem: the failure model and injector,
+deterministic schedules, bit-identical no-fault behavior, the three sync
+policies on both engines, quorum ride-through, degraded-membership plans,
+Gantt failure markers, the --faults CLI plumbing, and the shared RNG helper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.admm.async_newton_admm import AsyncNewtonADMM
+from repro.admm.newton_admm import NewtonADMM
+from repro.baselines.async_sgd import AsynchronousSGD
+from repro.baselines.giant import GIANT
+from repro.datasets.synthetic import make_multiclass_gaussian
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.faults import FailureModel, WorkerLostError
+from repro.distributed.injection import injection_rng, injection_worker_rngs
+from repro.distributed.schedule import RoundPlan, execute_plan
+from repro.distributed.stragglers import StragglerModel
+from repro.harness.plotting import plot_gantt
+from repro.metrics.traces import time_to_objective
+from repro.utils.rng import check_random_state
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_multiclass_gaussian(240, 10, 3, class_separation=3.0, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def nofault_trace(dataset):
+    cluster = SimulatedCluster(dataset, 4, random_state=0)
+    return NewtonADMM(lam=1e-3, max_epochs=6, record_accuracy=False).fit(cluster)
+
+
+def _crash_time(nofault_trace, fraction=0.35):
+    return fraction * nofault_trace.final.modelled_time
+
+
+# ---------------------------------------------------------------------------
+# FailureModel / FaultInjector
+# ---------------------------------------------------------------------------
+class TestFailureModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(crash_at_time={0: -1.0})
+        with pytest.raises(ValueError):
+            FailureModel(crash_at_round={0: 0})
+        with pytest.raises(ValueError):
+            FailureModel(mtbf=0.0)
+        with pytest.raises(ValueError):
+            FailureModel(restart_after=0.0)
+        with pytest.raises(ValueError):
+            FailureModel(crash_at_time={-1: 1.0})
+
+    def test_active_flag(self):
+        assert not FailureModel().active
+        assert FailureModel(crash_at_time={0: 1.0}).active
+        assert FailureModel(mtbf=5.0).active
+
+    def test_from_spec_round_trip(self):
+        model = FailureModel.from_spec("0@2.5,w1@r3,mtbf=5.0,restart=1.0,seed=7")
+        assert model.crash_at_time == {0: 2.5}
+        assert model.crash_at_round == {1: 3}
+        assert model.mtbf == 5.0
+        assert model.restart_after == 1.0
+        assert model.random_state == 7
+        assert model == FailureModel.from_spec("w0@2.5, 1@r3, mtbf=5, restart=1, seed=7")
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FailureModel.from_spec("bogus")
+        with pytest.raises(ValueError):
+            FailureModel.from_spec("frequency=3")
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        json.dumps(FailureModel(crash_at_time={0: 1.0}, mtbf=2.0).describe())
+
+    def test_intervals_and_restart(self):
+        injector = FailureModel(crash_at_time={0: 2.0}, restart_after=1.5).start(2)
+        assert not injector.is_down(0, 1.9)
+        assert injector.is_down(0, 2.0)
+        assert injector.is_down(0, 3.4)
+        assert not injector.is_down(0, 3.5)
+        assert injector.restart_time(0, 2.5) == 3.5
+        assert injector.first_crash_in(0, 0.0, 10.0) == 2.0
+        assert injector.first_crash_in(1, 0.0, 10.0) is None
+        assert injector.crash_time_of(0, 3.0) == 2.0
+
+    def test_no_restart_means_forever(self):
+        injector = FailureModel(crash_at_time={0: 2.0}).start(1)
+        assert injector.is_down(0, 1e9)
+        assert math.isinf(injector.restart_time(0, 2.0))
+
+    def test_mtbf_schedule_is_deterministic_and_per_worker(self):
+        def crashes(injector, wid):
+            return [injector.first_crash_in(wid, 0.0, 100.0)]
+
+        a = FailureModel(mtbf=10.0, restart_after=1.0, random_state=3).start(4)
+        b = FailureModel(mtbf=10.0, restart_after=1.0, random_state=3).start(4)
+        # Query b in reverse worker order: schedules must still agree.
+        for wid in (3, 2, 1, 0):
+            b.first_crash_in(wid, 0.0, 100.0)
+        for wid in range(4):
+            assert crashes(a, wid) == crashes(b, wid)
+        # Different workers draw different first-crash times.
+        firsts = {a.first_crash_in(wid, 0.0, 1e6) for wid in range(4)}
+        assert len(firsts) == 4
+
+    def test_crash_at_round_triggers_at_round_start(self, dataset):
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_round={2: 2}), random_state=0,
+        )
+        with pytest.raises(WorkerLostError) as err:
+            NewtonADMM(lam=1e-3, max_epochs=4, record_accuracy=False).fit(cluster)
+        assert err.value.worker_id == 2
+        # Round 1 completes; the crash is armed at the start of sync round 2.
+        assert err.value.round >= 2
+
+    def test_worker_lost_error_is_structured(self):
+        err = WorkerLostError(3, 1.25, round=7, reason="testing")
+        assert err.worker_id == 3
+        assert err.time == 1.25
+        assert err.round == 7
+        assert "worker 3" in str(err) and "testing" in str(err)
+
+
+# ---------------------------------------------------------------------------
+# Shared RNG plumbing (stragglers + faults compose reproducibly)
+# ---------------------------------------------------------------------------
+class TestInjectionStreams:
+    def test_default_stream_matches_check_random_state(self):
+        assert injection_rng(42).random() == check_random_state(42).random()
+
+    def test_named_stream_is_independent_of_default(self):
+        assert injection_rng(42).random() != injection_rng(42, stream="failures").random()
+
+    def test_worker_streams_are_stable_and_distinct(self):
+        a = injection_worker_rngs(0, 3, stream="failures")
+        b = injection_worker_rngs(0, 3, stream="failures")
+        draws_a = [g.random() for g in a]
+        draws_b = [g.random() for g in b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 3
+
+    def test_straggler_draws_unchanged_by_refactor(self):
+        # StragglerModel still derives its generator exactly as before the
+        # shared helper existed, so historical schedules are unchanged.
+        model = StragglerModel(probability=0.5, jitter=0.2, random_state=7)
+        rng = check_random_state(7)
+        expected = np.ones(4)
+        expected *= rng.lognormal(mean=0.0, sigma=0.2, size=4)
+        hit = rng.random(4) < 0.5
+        expected[hit] *= 4.0
+        np.testing.assert_allclose(model.sample_factors(4), expected)
+
+    def test_straggler_and_failure_schedules_compose(self, dataset):
+        # Same seed on both models: the straggler factors drawn in a run must
+        # not depend on whether a FailureModel is attached.
+        def run(faults):
+            cluster = SimulatedCluster(
+                dataset, 4,
+                straggler=StragglerModel(jitter=0.3, random_state=5),
+                faults=faults,
+                random_state=0,
+            )
+            trace = NewtonADMM(lam=1e-3, max_epochs=3, record_accuracy=False).fit(cluster)
+            return trace.final.modelled_time
+
+        inactive = FailureModel(crash_at_time={0: 1e9}, random_state=5)
+        assert run(None) == run(inactive)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical no-fault behavior
+# ---------------------------------------------------------------------------
+class TestInactiveModelIsInvisible:
+    @pytest.mark.parametrize("mode", ["lockstep", "event"])
+    def test_sync_run_bit_identical(self, mode, dataset):
+        def run(faults):
+            cluster = SimulatedCluster(dataset, 4, faults=faults, engine=mode,
+                                       random_state=0)
+            return NewtonADMM(lam=1e-3, max_epochs=5, record_accuracy=False).fit(cluster)
+
+        plain = run(None)
+        attached = run(FailureModel(crash_at_time={0: 1e9}, mtbf=None))
+        assert np.array_equal(plain.final_w, attached.final_w)
+        for a, b in zip(plain.records, attached.records):
+            assert a.objective == b.objective
+            assert a.modelled_time == b.modelled_time
+            assert a.comm_time == b.comm_time
+        assert "faults" not in attached.info  # no events => no fault record
+
+    def test_async_run_bit_identical(self, dataset):
+        def run(faults):
+            cluster = SimulatedCluster(dataset, 4, faults=faults, random_state=0)
+            return AsyncNewtonADMM(lam=1e-3, max_epochs=8, record_accuracy=False).fit(cluster)
+
+        plain = run(None)
+        attached = run(FailureModel(crash_at_time={0: 1e9}))
+        assert np.array_equal(plain.final_w, attached.final_w)
+        assert plain.final.modelled_time == attached.final.modelled_time
+
+    def test_async_sgd_bit_identical(self, dataset):
+        def run(faults):
+            cluster = SimulatedCluster(dataset, 4, faults=faults, random_state=0)
+            return AsynchronousSGD(lam=1e-3, max_epochs=2, random_state=0).fit(cluster)
+
+        assert np.array_equal(
+            run(None).final_w, run(FailureModel(crash_at_time={0: 1e9})).final_w
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sync policies, both engines
+# ---------------------------------------------------------------------------
+class TestSyncPolicies:
+    @pytest.mark.parametrize("mode", ["lockstep", "event"])
+    def test_raise_policy_aborts_with_structured_error(self, mode, dataset, nofault_trace):
+        crash = _crash_time(nofault_trace)
+        cluster = SimulatedCluster(
+            dataset, 4, faults=FailureModel(crash_at_time={1: crash}),
+            engine=mode, random_state=0,
+        )
+        with pytest.raises(WorkerLostError) as err:
+            NewtonADMM(lam=1e-3, max_epochs=6, record_accuracy=False).fit(cluster)
+        assert err.value.worker_id == 1
+        assert err.value.time >= crash * 0.5
+
+    @pytest.mark.parametrize("mode", ["lockstep", "event"])
+    def test_stall_policy_completes_identically_but_later(self, mode, dataset, nofault_trace):
+        crash = _crash_time(nofault_trace)
+        downtime = 0.5 * nofault_trace.final.modelled_time
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_time={1: crash}, restart_after=downtime),
+            engine=mode, random_state=0,
+        )
+        trace = NewtonADMM(
+            lam=1e-3, max_epochs=6, record_accuracy=False, on_failure="stall"
+        ).fit(cluster)
+        # Stalling changes no numerics — only modelled time.
+        assert np.array_equal(trace.final_w, nofault_trace.final_w)
+        assert trace.final.modelled_time > nofault_trace.final.modelled_time
+        assert trace.final.modelled_time >= nofault_trace.final.modelled_time + 0.9 * downtime
+        kinds = [e["kind"] for e in trace.info["faults"]["events"]]
+        assert kinds == ["crash", "restart"]
+
+    def test_stall_times_identical_across_engines(self, dataset, nofault_trace):
+        crash = _crash_time(nofault_trace)
+        traces = {}
+        for mode in ("lockstep", "event"):
+            cluster = SimulatedCluster(
+                dataset, 4,
+                faults=FailureModel(crash_at_time={1: crash}, restart_after=crash),
+                engine=mode, random_state=0,
+            )
+            traces[mode] = NewtonADMM(
+                lam=1e-3, max_epochs=6, record_accuracy=False, on_failure="stall"
+            ).fit(cluster)
+        assert np.array_equal(traces["lockstep"].final_w, traces["event"].final_w)
+        assert (
+            traces["lockstep"].final.modelled_time
+            == traces["event"].final.modelled_time
+        )
+
+    def test_stall_without_restart_raises(self, dataset, nofault_trace):
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_time={1: _crash_time(nofault_trace)}),
+            random_state=0,
+        )
+        with pytest.raises(WorkerLostError, match="no scheduled restart"):
+            NewtonADMM(
+                lam=1e-3, max_epochs=6, record_accuracy=False, on_failure="stall"
+            ).fit(cluster)
+
+    def test_giant_raises_too(self, dataset):
+        probe = GIANT(lam=1e-3, max_epochs=4, record_accuracy=False).fit(
+            SimulatedCluster(dataset, 4, random_state=0)
+        )
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_time={0: 0.5 * probe.final.modelled_time}),
+            random_state=0,
+        )
+        with pytest.raises(WorkerLostError):
+            GIANT(lam=1e-3, max_epochs=4, record_accuracy=False).fit(cluster)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            NewtonADMM(on_failure="shrug")
+        with pytest.raises(ValueError):
+            RoundPlan("p", on_failure="shrug")
+
+    def test_stall_charges_stall_category(self, dataset, nofault_trace):
+        crash = _crash_time(nofault_trace)
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_time={1: crash}, restart_after=crash),
+            random_state=0,
+        )
+        NewtonADMM(
+            lam=1e-3, max_epochs=6, record_accuracy=False, on_failure="stall"
+        ).fit(cluster)
+        assert cluster.clock.category("stall") > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Degraded membership
+# ---------------------------------------------------------------------------
+class TestDegradePolicy:
+    @pytest.mark.parametrize("mode", ["lockstep", "event"])
+    def test_degraded_plan_runs_on_survivors_and_reweights(self, mode, dataset):
+        cluster = SimulatedCluster(
+            dataset, 4, faults=FailureModel(crash_at_time={3: 0.0}),
+            engine=mode, random_state=0,
+        )
+        plan = RoundPlan("degraded-mean", on_failure="degrade")
+        plan.local("vals", lambda worker, ctx: float(worker.worker_id + 1))
+        plan.reduce_scalar("total", lambda ctx: ctx["vals"])
+        plan.master(
+            lambda ctx: ctx["total"] / len(ctx["alive_workers"]), name="mean"
+        )
+        plan.returns("mean")
+        execution = execute_plan(cluster, plan)
+        # Worker 3 (value 4.0) is down from t=0: mean over survivors 1, 2, 3.
+        assert execution.result == pytest.approx(2.0)
+        assert cluster.last_round_survivors == [0, 1, 2]
+
+    def test_degraded_collective_membership_costs_less(self, dataset):
+        def bytes_with(faults):
+            cluster = SimulatedCluster(dataset, 4, faults=faults, random_state=0)
+            plan = RoundPlan("g", on_failure="degrade")
+            plan.local("vals", lambda worker, ctx: np.ones(8))
+            plan.allreduce("sum", lambda ctx: ctx["vals"])
+            plan.returns("sum")
+            execute_plan(cluster, plan)
+            return cluster.comm.log.bytes_transferred
+
+        assert bytes_with(FailureModel(crash_at_time={3: 0.0})) < bytes_with(None)
+
+    def test_per_collective_degrade_override_in_strict_plan(self, dataset):
+        # The documented combo: a plan that stalls its compute rounds but
+        # degrades a diagnostic collective.  The payload builds one buffer
+        # per worker; the executor slices it to the surviving membership.
+        from repro.distributed.schedule import Collective
+
+        def charged_value(worker, ctx):
+            # Consume FLOPs so the local round has nonzero modelled time.
+            worker.objective.value(np.zeros(worker.dim))
+            return float(worker.worker_id + 1)
+
+        # Find the modelled time at which the local round ends, so the crash
+        # lands between the local step and the collective.
+        base = SimulatedCluster(dataset, 4, random_state=0)
+        base_plan = RoundPlan("timing-probe")
+        base_plan.local("vals", charged_value)
+        execute_plan(base, base_plan)
+        after_local = base.clock.time
+        assert after_local > 0.0
+
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_time={3: after_local}),
+            engine="event", random_state=0,
+        )
+        plan = RoundPlan("stall-plan-degrade-gather", on_failure="stall")
+        plan.local("vals", charged_value)
+        plan.add(
+            Collective(
+                "total", "reduce_scalar", lambda ctx: ctx["vals"],
+                on_failure="degrade",
+            )
+        )
+        plan.returns("total")
+        execution = execute_plan(cluster, plan)
+        # Worker 3's buffer (4.0) is sliced out of the degraded collective.
+        assert execution.result == pytest.approx(1.0 + 2.0 + 3.0)
+
+    def test_degrade_drops_worker_down_at_the_collective_instant(self, dataset):
+        # A worker that crashes after finishing its compute but before the
+        # barrier is dropped from the collective: its contribution is in
+        # flight when it dies, and its frozen timeline is left untouched.
+        def charged_ones(worker, ctx):
+            worker.objective.value(np.zeros(worker.dim))
+            return np.ones(4)
+
+        base = SimulatedCluster(dataset, 4, random_state=0)
+        base_plan = RoundPlan("timing-probe")
+        base_plan.local("vals", charged_ones)
+        execute_plan(base, base_plan)
+        after_local = base.clock.time
+        assert after_local > 0.0
+
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_time={1: after_local}),
+            engine="event", random_state=0,
+        )
+        plan = RoundPlan("degrade", on_failure="degrade")
+        plan.local("vals", charged_ones)
+        plan.allreduce("sum", lambda ctx: ctx["vals"])
+        plan.returns("sum")
+        execution = execute_plan(cluster, plan)
+        assert np.array_equal(execution.result, 3.0 * np.ones(4))
+        # The dead worker's timeline froze at the crash: no comm segment from
+        # the collective landed on it.
+        tl = cluster.engine.timeline(1)
+        assert all(seg.kind != "comm" for seg in tl.segments)
+
+    def test_crash_at_round_not_dropped_when_worker_sits_out(self):
+        # Arming uses >= so a worker absent from the configured round crashes
+        # at its next participating round instead of never.
+        injector = FailureModel(crash_at_round={1: 2}).start(4)
+        injector.begin_round([0, 1], 0.0)   # round 1: participates, no crash
+        injector.begin_round([0], 1.0)      # round 2: worker 1 sits out
+        injector.begin_round([0, 1], 2.0)   # round 3: armed now, at t=2.0
+        assert injector.is_down(1, 2.0)
+        assert injector.first_crash_in(1, 0.0, 10.0) == 2.0
+
+    def test_all_workers_lost_raises_even_degraded(self, dataset):
+        cluster = SimulatedCluster(
+            dataset, 2,
+            faults=FailureModel(crash_at_time={0: 0.0, 1: 0.0}),
+            random_state=0,
+        )
+        plan = RoundPlan("doomed", on_failure="degrade")
+        plan.local("vals", lambda worker, ctx: 1.0)
+        with pytest.raises(WorkerLostError):
+            execute_plan(cluster, plan)
+
+
+# ---------------------------------------------------------------------------
+# Quorum ride-through (the acceptance criterion, both engines)
+# ---------------------------------------------------------------------------
+class TestQuorumRidesThrough:
+    @pytest.mark.parametrize("mode", ["lockstep", "event"])
+    def test_async_completes_and_reaches_target_while_sync_raises(
+        self, mode, dataset, nofault_trace
+    ):
+        crash = _crash_time(nofault_trace)
+        downtime = 0.5 * nofault_trace.final.modelled_time
+        target = nofault_trace.final.objective
+
+        def fault_model():
+            return FailureModel(crash_at_time={1: crash}, restart_after=downtime)
+
+        # Strict sync under the identical schedule: the barrier cannot form.
+        with pytest.raises(WorkerLostError):
+            NewtonADMM(lam=1e-3, max_epochs=6, record_accuracy=False).fit(
+                SimulatedCluster(dataset, 4, faults=fault_model(),
+                                 engine=mode, random_state=0)
+            )
+
+        # Quorum async on the same schedule rides through to the target.
+        asyn = AsyncNewtonADMM(
+            lam=1e-3, max_epochs=30, quorum=3, max_staleness=10,
+            record_accuracy=False,
+        ).fit(
+            SimulatedCluster(dataset, 4, faults=fault_model(),
+                             engine=mode, random_state=0)
+        )
+        assert asyn.final.objective <= target
+        assert math.isfinite(time_to_objective(asyn, target))
+        kinds = [e["kind"] for e in asyn.info["faults"]["events"]]
+        assert kinds.count("crash") == 1 and kinds.count("restart") == 1
+
+    def test_async_rides_through_permanent_loss(self, dataset, nofault_trace):
+        trace = AsyncNewtonADMM(
+            lam=1e-3, max_epochs=24, quorum=3, record_accuracy=False
+        ).fit(
+            SimulatedCluster(
+                dataset, 4,
+                faults=FailureModel(crash_at_time={1: _crash_time(nofault_trace)}),
+                random_state=0,
+            )
+        )
+        # Completes on the survivors and keeps optimizing their objective.
+        assert np.isfinite(trace.final.objective)
+        assert trace.final.objective < trace.records[0].objective
+        assert trace.final.extras["alive_workers"] == 3.0
+
+    def test_async_all_lost_raises(self, dataset, nofault_trace):
+        crash = _crash_time(nofault_trace)
+        with pytest.raises(WorkerLostError, match="no surviving workers"):
+            AsyncNewtonADMM(lam=1e-3, max_epochs=24, record_accuracy=False).fit(
+                SimulatedCluster(
+                    dataset, 4,
+                    faults=FailureModel(
+                        crash_at_time={0: crash, 1: crash, 2: crash, 3: crash}
+                    ),
+                    random_state=0,
+                )
+            )
+
+    def test_async_sgd_rides_through_crash_and_restart(self, dataset):
+        probe = AsynchronousSGD(lam=1e-3, max_epochs=2, random_state=0).fit(
+            SimulatedCluster(dataset, 4, random_state=0)
+        )
+        total = probe.final.modelled_time
+        trace = AsynchronousSGD(lam=1e-3, max_epochs=2, random_state=0).fit(
+            SimulatedCluster(
+                dataset, 4,
+                faults=FailureModel(
+                    crash_at_time={0: 0.5 * total}, restart_after=0.2 * total
+                ),
+                random_state=0,
+            )
+        )
+        assert np.isfinite(trace.final.objective)
+        kinds = [e["kind"] for e in trace.info["faults"]["events"]]
+        assert kinds == ["crash", "restart"]
+        assert trace.final.extras["alive_workers"] == 4.0
+
+
+# ---------------------------------------------------------------------------
+# Gantt rendering with failure markers
+# ---------------------------------------------------------------------------
+class TestGanttFaultMarkers:
+    @pytest.fixture(scope="class")
+    def stalled_trace(self, dataset):
+        probe = NewtonADMM(lam=1e-3, max_epochs=6, record_accuracy=False).fit(
+            SimulatedCluster(dataset, 4, random_state=0)
+        )
+        crash = 0.35 * probe.final.modelled_time
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_time={1: crash},
+                                restart_after=probe.final.modelled_time),
+            engine="event", random_state=0,
+        )
+        return NewtonADMM(
+            lam=1e-3, max_epochs=6, record_accuracy=False, on_failure="stall"
+        ).fit(cluster)
+
+    def test_markers_and_downtime_fill(self, stalled_trace):
+        art = plot_gantt(stalled_trace, width=60)
+        assert "X" in art      # crash marker
+        assert "^" in art      # restart marker
+        assert "x" in art      # downtime fill
+        assert "x down" in art  # legend mentions the new glyph
+
+    def test_markers_on_the_crashed_workers_row(self, stalled_trace):
+        art = plot_gantt(stalled_trace, width=60)
+        rows = {
+            line.split("|")[0].strip(): line
+            for line in art.splitlines()
+            if line.startswith("w")
+        }
+        assert "X" in rows["w1"] and "^" in rows["w1"]
+        assert all("X" not in rows[f"w{i}"] for i in (0, 2, 3))
+
+    def test_epoch_slices_skip_markers(self, stalled_trace):
+        art = plot_gantt(stalled_trace, epoch=1, width=60)
+        worker_rows = [l for l in art.splitlines() if l.startswith("w")]
+        assert worker_rows and all("X" not in row for row in worker_rows)
+
+    def test_permanently_lost_worker_rendered_down_to_the_end(self, dataset):
+        probe = AsyncNewtonADMM(lam=1e-3, max_epochs=6, record_accuracy=False).fit(
+            SimulatedCluster(dataset, 4, random_state=0)
+        )
+        trace = AsyncNewtonADMM(
+            lam=1e-3, max_epochs=12, quorum=3, record_accuracy=False
+        ).fit(
+            SimulatedCluster(
+                dataset, 4,
+                faults=FailureModel(
+                    crash_at_time={2: 0.3 * probe.final.modelled_time}
+                ),
+                random_state=0,
+            )
+        )
+        art = plot_gantt(trace, width=60)
+        row = next(line for line in art.splitlines() if line.startswith("w2"))
+        # Downtime extends to the end of the run.
+        assert row.rstrip("|").endswith("x")
+
+
+# ---------------------------------------------------------------------------
+# Harness plumbing
+# ---------------------------------------------------------------------------
+class TestHarnessFaults:
+    def test_cluster_config_faults_spec_builds_model(self, dataset):
+        from repro.harness.config import ClusterConfig
+        from repro.harness.runner import build_cluster
+
+        config = ClusterConfig(
+            dataset="mnist_like", n_workers=2, n_train=300, n_test=60,
+            faults="0@1.5,restart=1.0",
+        )
+        cluster, _ = build_cluster(config)
+        assert cluster.faults is not None
+        assert cluster.faults.crash_at_time == {0: 1.5}
+
+    def test_session_default_faults(self):
+        from repro.harness.config import default_faults, set_default_faults
+
+        assert default_faults() is None
+        try:
+            set_default_faults("0@1.0")
+            assert default_faults() == "0@1.0"
+            with pytest.raises(ValueError):
+                set_default_faults("garbage")
+        finally:
+            set_default_faults(None)
+
+    def test_cli_rejects_bad_spec(self):
+        from repro.harness.cli import main
+
+        lines = []
+        code = main(
+            ["run", "table1", "--faults", "nonsense"], print_fn=lines.append
+        )
+        assert code == 2
+        assert any("error" in line for line in lines)
+
+    def test_cluster_describe_serializes_faults(self, dataset):
+        import json
+
+        cluster = SimulatedCluster(
+            dataset, 2, faults=FailureModel(crash_at_time={0: 1.0}),
+            random_state=0,
+        )
+        json.dumps(cluster.describe())
+
+    def test_reset_accounting_resets_fault_schedule(self, dataset, nofault_trace):
+        crash = _crash_time(nofault_trace)
+        cluster = SimulatedCluster(
+            dataset, 4,
+            faults=FailureModel(crash_at_time={1: crash}, restart_after=crash),
+            random_state=0,
+        )
+        solver = NewtonADMM(
+            lam=1e-3, max_epochs=6, record_accuracy=False, on_failure="stall"
+        )
+        first = solver.fit(cluster)
+        second = solver.fit(cluster)  # fit() resets accounting + fault state
+        assert np.array_equal(first.final_w, second.final_w)
+        assert first.final.modelled_time == second.final.modelled_time
+        assert (
+            [e["kind"] for e in first.info["faults"]["events"]]
+            == [e["kind"] for e in second.info["faults"]["events"]]
+        )
