@@ -51,7 +51,13 @@ from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.engine import EventEngine
 from repro.distributed.collectives import TunedNetworkModel, tuned_network
 from repro.distributed.device import DeviceModel, tesla_p100
-from repro.distributed.faults import FailureModel, WorkerLostError
+from repro.distributed.faults import (
+    CheckpointModel,
+    FailureModel,
+    PartitionError,
+    PartitionModel,
+    WorkerLostError,
+)
 from repro.distributed.network import NetworkModel, ethernet_10g, infiniband_100g
 from repro.distributed.stragglers import StragglerModel
 from repro.metrics.traces import RunTrace, speedup_ratio
@@ -85,6 +91,9 @@ __all__ = [
     "tuned_network",
     "StragglerModel",
     "FailureModel",
+    "PartitionModel",
+    "PartitionError",
+    "CheckpointModel",
     "WorkerLostError",
     "EventEngine",
     "SimulatedCluster",

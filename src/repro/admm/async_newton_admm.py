@@ -32,6 +32,16 @@ shrink to the live membership, and a restarted worker rejoins with a fresh
 x-update from its last checkpointed state.  Strict-sync Newton-ADMM, by
 contrast, raises :class:`~repro.distributed.faults.WorkerLostError` or stalls
 — the difference the ``ablation-faults`` experiment measures.
+
+Network partitions (:class:`~repro.distributed.faults.PartitionModel`) are
+weaker than crashes and the schedule rides through them too: a cut worker
+keeps *computing* against its stale consensus variable — its timeline fills
+with ``unreachable`` segments instead of freezing — and its push is simply
+delayed to the heal, at which point the late arrival is folded into exactly
+one z-update (the master replaces the held payload, so nothing is counted
+twice) and the bounded-staleness gate resumes covering it.  The
+``ablation-partitions`` experiment measures this against a synchronous run
+that must stall for the whole window.
 """
 
 from __future__ import annotations
@@ -45,7 +55,12 @@ from repro.admm.penalty import PenaltyObservation, PolicyFactory, make_penalty_p
 from repro.backend import copy_array
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.comm import _nbytes
-from repro.distributed.faults import crash_guard, crashed_at_start, pop_next_arrival
+from repro.distributed.faults import (
+    crash_guard,
+    crashed_at_start,
+    partition_transfer_guard,
+    pop_next_arrival,
+)
 from repro.distributed.solver_base import DistributedSolver
 from repro.distributed.worker import Worker
 from repro.objectives.base import ProximallyAugmentedObjective
@@ -129,6 +144,11 @@ class AsyncNewtonADMM(NewtonADMM):
         self._payload_bytes = 0.0
         #: crashed workers -> scheduled restart time (inf = never)
         self._dead: Dict[int, float] = {}
+        #: arrivals delivered to the master, per worker (run state)
+        self._arrivals: Dict[int, int] = {}
+        #: arrivals never folded: their worker was lost (never-healing cut,
+        #: or a crash during the delayed pull) between arriving and the fire
+        self._dropped_arrivals = 0
 
     def _resolve_quorum(self, n_workers: int) -> int:
         if self.quorum is None:
@@ -200,7 +220,23 @@ class AsyncNewtonADMM(NewtonADMM):
                 self._dead[worker.worker_id] = restart
                 return
         engine.compute(worker.worker_id, seconds, label="x-update")
-        engine.communicate(worker.worker_id, self._p2p_seconds, label="push")
+        if fs is not None and fs.has_partitions:
+            # Behind a cut the worker keeps its computed state but the push
+            # cannot cross the link: its timeline fills with "unreachable"
+            # until the heal and the arrival below is delayed accordingly.
+            # A worker lost during the delayed transfer (never-healing cut,
+            # or a crash before the push lands) drops the payload entirely.
+            restart = partition_transfer_guard(
+                fs, engine, worker.worker_id, self._p2p_seconds,
+                comm_label="push",
+            )
+            if restart is not None:
+                self._dead[worker.worker_id] = restart
+                return
+        else:
+            engine.communicate(
+                worker.worker_id, self._p2p_seconds, label="push"
+            )
         engine.post(
             worker.worker_id,
             0.0,
@@ -234,6 +270,8 @@ class AsyncNewtonADMM(NewtonADMM):
         self._contrib_version = {}
         self._z_version = 0
         self._dead = {}
+        self._arrivals = {}
+        self._dropped_arrivals = 0
         self._payload_bytes = float(_nbytes(w0))
         self._p2p_seconds = cluster.network.point_to_point(self._payload_bytes)
 
@@ -310,6 +348,7 @@ class AsyncNewtonADMM(NewtonADMM):
             event = self._next_event(cluster)
             data = event.payload
             worker_id = event.worker_id
+            self._arrivals[worker_id] = self._arrivals.get(worker_id, 0) + 1
             self._contrib[worker_id] = data["payload"]
             self._rho[worker_id] = data["rho"]
             self._contrib_version[worker_id] = data["version"]
@@ -364,12 +403,29 @@ class AsyncNewtonADMM(NewtonADMM):
         # ---- fold the quorum back in: dual updates + next cycles -----------
         primal_sq = 0.0
         dual_sq = 0.0
+        fs = cluster.fault_state
+        folded: List[int] = []
         for worker_id in self._pending:
             worker = cluster.workers[worker_id]
             engine.wait_until(worker.worker_id, fired_at, label="quorum")
-            engine.communicate(
-                worker.worker_id, self._p2p_seconds, label="pull-z"
-            )
+            if fs is not None and fs.has_partitions:
+                # A worker cut between its arrival and the fire cannot pull
+                # the fresh z until the partition heals — and may be lost
+                # while it waits (never-healing cut, or a crash before the
+                # pull lands), in which case its dual update never happens.
+                restart = partition_transfer_guard(
+                    fs, engine, worker.worker_id, self._p2p_seconds,
+                    comm_label="pull-z",
+                )
+                if restart is not None:
+                    self._dead[worker.worker_id] = restart
+                    self._dropped_arrivals += 1
+                    continue
+            else:
+                engine.communicate(
+                    worker.worker_id, self._p2p_seconds, label="pull-z"
+                )
+            folded.append(worker_id)
             z_old_local = worker.get_vector("z_local")
             x_relaxed = worker.get_vector("x_relaxed")
             y = worker.get_vector("y")
@@ -399,7 +455,7 @@ class AsyncNewtonADMM(NewtonADMM):
             primal_sq += primal_res**2
             dual_sq += dual_res**2
             self._start_x_update(cluster, worker)
-        n_folded = len(self._pending)
+        n_folded = len(folded)
         self._pending = []
 
         # Restarts that fell due before this z-update rejoin now even if the
@@ -416,9 +472,15 @@ class AsyncNewtonADMM(NewtonADMM):
         self._staleness_log.append(
             {
                 "z_version": float(self._z_version),
+                "time": float(fired_at),
                 "mean_staleness": float(np.mean(ages)),
                 "max_staleness": float(np.max(ages)),
                 "quorum_size": float(n_folded),
+                # The arrivals folded into this fire, in fold order.  Each
+                # arrival passes the staleness gate exactly once: a rejoined
+                # (healed / restarted) worker's held payload is *replaced* on
+                # arrival, never summed twice.
+                "folded_workers": [int(w) for w in folded],
             }
         )
         self._z = z_new
@@ -444,6 +506,28 @@ class AsyncNewtonADMM(NewtonADMM):
         embeds a previous run's log in provenance.
         """
         return self._staleness_log
+
+    @property
+    def arrival_counts(self) -> Dict[int, int]:
+        """Arrivals the master received, per worker (run state, read-only).
+
+        Every arrival is folded into exactly one z-update — except an
+        arrival whose worker was *lost* between arriving and the fire (a
+        never-healing cut, or a crash before its delayed pull landed), which
+        is dropped instead (counted in :attr:`dropped_arrivals`).  So
+        ``sum(len(s["folded_workers"]) for s in staleness_log)`` equals
+        ``sum(arrival_counts.values()) - dropped_arrivals`` — the invariant
+        the partition ablation asserts to show a healed worker's stale
+        contribution is never double-counted.
+        """
+        return dict(self._arrivals)
+
+    @property
+    def dropped_arrivals(self) -> int:
+        """Arrivals never folded: their worker was lost between arriving and
+        the fire — behind a never-healing partition, or crashed before its
+        delayed pull could land (run state)."""
+        return self._dropped_arrivals
 
     def hyperparameters(self) -> dict:
         out = DistributedSolver.hyperparameters(self)

@@ -44,7 +44,12 @@ import numpy as np
 from repro.backend import copy_array
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.comm import _nbytes
-from repro.distributed.faults import crash_guard, crashed_at_start, pop_next_arrival
+from repro.distributed.faults import (
+    crash_guard,
+    crashed_at_start,
+    partition_transfer_guard,
+    pop_next_arrival,
+)
 from repro.distributed.solver_base import DistributedSolver
 from repro.objectives.softmax import SoftmaxCrossEntropy
 from repro.utils.rng import check_random_state
@@ -155,7 +160,21 @@ class AsynchronousSGD(DistributedSolver):
                 self._dead[wid] = restart
                 return
         engine.compute(wid, seconds, label="minibatch-grad")
-        engine.communicate(worker.worker_id, self._push_seconds, label="push")
+        if fs is not None and fs.has_partitions:
+            # The gradient is computed but cannot cross an open cut: the
+            # push (and therefore the server's receipt) is delayed to the
+            # heal; a worker lost during the delayed transfer (never-healing
+            # cut, or a crash before the push lands) drops the gradient.
+            restart = partition_transfer_guard(
+                fs, engine, wid, self._push_seconds, comm_label="push"
+            )
+            if restart is not None:
+                self._dead[wid] = restart
+                return
+        else:
+            engine.communicate(
+                worker.worker_id, self._push_seconds, label="push"
+            )
         engine.post(worker.worker_id, 0.0)
 
     def _revive(self, cluster: SimulatedCluster, worker_id: int, restart: float) -> None:
@@ -275,7 +294,22 @@ class AsynchronousSGD(DistributedSolver):
                 applied_at + self._push_seconds,
                 label="server-queue",
             )
-            engine.communicate(worker.worker_id, self._push_seconds, label="pull")
+            fs = cluster.fault_state
+            if fs is not None and fs.has_partitions:
+                # A worker cut while its gradient sat in the server queue
+                # cannot receive the fresh weights until the link heals (and
+                # may be lost waiting, in which case its pull never happens).
+                restart = partition_transfer_guard(
+                    fs, cluster.engine, worker.worker_id,
+                    self._push_seconds, comm_label="pull",
+                )
+                if restart is not None:
+                    self._dead[worker.worker_id] = restart
+                    continue
+            else:
+                engine.communicate(
+                    worker.worker_id, self._push_seconds, label="pull"
+                )
             self._start_cycle(cluster, worker)
             epoch_end = max(epoch_end, self._server_free)
 

@@ -29,6 +29,14 @@ from repro.distributed.collectives import (
     tuned_network,
 )
 from repro.distributed.stragglers import StragglerModel
+from repro.distributed.faults import (
+    CheckpointModel,
+    FailureModel,
+    FaultInjector,
+    PartitionError,
+    PartitionModel,
+    WorkerLostError,
+)
 from repro.distributed.engine import Event, EventEngine
 from repro.distributed.schedule import (
     Barrier,
@@ -63,6 +71,12 @@ __all__ = [
     "ring_allgather_time",
     "bruck_allgather_time",
     "StragglerModel",
+    "FailureModel",
+    "FaultInjector",
+    "PartitionModel",
+    "PartitionError",
+    "CheckpointModel",
+    "WorkerLostError",
     "Event",
     "EventEngine",
     "Barrier",

@@ -25,6 +25,7 @@ from repro.distributed.engine import EventEngine
 from repro.distributed.faults import (
     FAULT_POLICIES,
     FailureModel,
+    PartitionError,
     WorkerLostError,
 )
 from repro.distributed.network import NetworkModel, infiniband_100g
@@ -111,11 +112,13 @@ class SimulatedCluster:
         every synchronization round.
     faults:
         Optional :class:`~repro.distributed.faults.FailureModel` injecting
-        worker crashes (and restarts) into both execution paths.  How a
-        synchronous round reacts to a lost worker is the executing plan's
-        ``on_failure`` policy (``"raise"``/``"stall"``/``"degrade"``);
-        asynchronous solvers always ride through with the survivors.  A model
-        whose specs never fire leaves runs bit-identical.
+        worker crashes (and restarts), correlated group failures, network
+        partitions and checkpointed-recovery costs into both execution
+        paths.  How a synchronous round reacts to a lost or unreachable
+        worker is the executing plan's ``on_failure`` policy
+        (``"raise"``/``"stall"``/``"degrade"``); asynchronous solvers always
+        ride through with the survivors/reachable workers.  A model whose
+        specs never fire leaves runs bit-identical.
     backend:
         Array backend name or instance every worker's objective and state
         vectors live on (``None`` -> the session default, normally NumPy).
@@ -198,6 +201,7 @@ class SimulatedCluster:
             self.network,
             self.clock,
             engine=self.engine if engine == "event" else None,
+            fault_state=self.fault_state,
         )
 
         if isinstance(loss, str):
@@ -319,18 +323,33 @@ class SimulatedCluster:
             self._fault_policy = previous
 
     def stall_for_restart(self, down_ids: Sequence[int], *, label: str = "stall") -> float:
-        """Idle the whole cluster until the earliest restart among ``down_ids``.
+        """Idle the whole cluster until the earliest recovery among ``down_ids``.
 
         Raises :class:`WorkerLostError` when none of them ever restarts (the
-        ``"stall"`` policy cannot make progress).  Modelled time is charged to
-        the ``"stall"`` clock category on both engines identically.
+        ``"stall"`` policy cannot make progress).  With a
+        :class:`~repro.distributed.faults.CheckpointModel` attached the wait
+        extends past the raw restart by the worker's restore + replay charge.
+        Modelled time is charged to the ``"stall"`` clock category on both
+        engines identically.
         """
         fs = self.fault_state
         now = self.clock.time
-        restarts = {int(w): fs.restart_time(int(w), now) for w in down_ids}
-        finite = [r for r in restarts.values() if math.isfinite(r)]
+        restarts: Dict[int, float] = {}
+        crashes: Dict[int, float] = {}
+        ready: Dict[int, float] = {}
+        for w in down_ids:
+            wid = int(w)
+            r = fs.restart_time(wid, now)
+            restarts[wid] = r
+            crashes[wid] = fs.crash_time_of(wid, now)
+            ready[wid] = (
+                r + fs.recovery_seconds(wid, crashes[wid])
+                if math.isfinite(r)
+                else r
+            )
+        finite = [r for r in ready.values() if math.isfinite(r)]
         if not finite:
-            wid = min(restarts)
+            wid = min(ready)
             raise WorkerLostError(
                 wid,
                 now,
@@ -342,17 +361,64 @@ class SimulatedCluster:
             for wid in range(self.n_workers):
                 # Crashed workers' timelines stay frozen; their downtime is
                 # drawn when they rejoin (catch_up_timeline).
-                if wid not in restarts and not fs.is_down(wid, now):
+                if wid not in ready and not fs.is_down(wid, now):
                     self.engine.wait_until(wid, target, label)
         if target > now:
             self.clock.advance(target - now, category="stall")
-        for wid, r in restarts.items():
-            if r <= target:
-                fs.note_restart(wid, r)
+        for wid, rdy in ready.items():
+            if rdy <= target:
+                fs.note_restart(wid, restarts[wid])
+                fs.note_restore(
+                    wid, crashes[wid], rdy, rdy - restarts[wid]
+                )
                 if self.engine_mode == "event":
                     # Draw the downtime before anything barriers the frozen
                     # timeline forward (which would render it as a wait).
                     fs.catch_up_timeline(self.engine, wid, target)
+        return self.clock.time
+
+    def stall_for_heal(
+        self, cut_ids: Sequence[int], *, label: str = "partition-stall"
+    ) -> float:
+        """Idle the reachable cluster until the earliest heal among ``cut_ids``.
+
+        The cut workers are alive — their timelines fill with ``unreachable``
+        segments rather than freezing — but the synchronization point cannot
+        form until the partition closes.  Raises :class:`PartitionError` when
+        none of the windows ever heals.  Modelled time is charged to the
+        ``"stall"`` clock category on both engines identically.
+        """
+        fs = self.fault_state
+        now = self.clock.time
+        heals: Dict[int, float] = {}
+        for w in cut_ids:
+            wid = int(w)
+            fs.note_partition(wid, fs.cut_start(wid, now))
+            heals[wid] = fs.heal_time(wid, now)
+        finite = [h for h in heals.values() if math.isfinite(h)]
+        if not finite:
+            wid = min(heals)
+            raise PartitionError(
+                wid,
+                now,
+                heals_at=heals[wid],
+                round=fs.round,
+                reason="partitioned with no scheduled heal; 'stall' cannot complete",
+            )
+        target = min(finite)
+        if self.engine_mode == "event":
+            for wid in range(self.n_workers):
+                if fs.is_down(wid, now):
+                    continue  # crashed timelines stay frozen
+                if wid in heals:
+                    self.engine.mark_unreachable(wid, target, label)
+                else:
+                    self.engine.wait_until(wid, target, label)
+        if target > now:
+            self.clock.advance(target - now, category="stall")
+        for wid, h in heals.items():
+            if h <= target:
+                fs.note_heal(wid, h)
         return self.clock.time
 
     def _apply_round_faults(
@@ -427,8 +493,9 @@ class SimulatedCluster:
             )
 
         # Effective completion offsets: survivors finish on time; under
-        # "stall" a crashed worker redoes its full compute after restarting,
-        # under "degrade" its contribution is simply dropped.
+        # "stall" a crashed worker restores from its last checkpoint (free
+        # without a CheckpointModel) and redoes its full compute after
+        # restarting, under "degrade" its contribution is simply dropped.
         effective: Dict[int, float] = {}
         redo: Dict[int, tuple] = {}
         survivor_idx: List[int] = []
@@ -445,9 +512,11 @@ class SimulatedCluster:
                         wid, c, round=fs.round,
                         reason="crashed with no scheduled restart; 'stall' cannot complete",
                     )
+                recovery = fs.recovery_seconds(wid, c)
                 fs.note_restart(wid, r)
-                effective[wid] = (r - now) + times[i]
-                redo[wid] = (c, r)
+                fs.note_restore(wid, c, r + recovery, recovery)
+                effective[wid] = (r - now) + recovery + times[i]
+                redo[wid] = (c, r, recovery)
             else:
                 effective[wid] = times[i]
             survivor_idx.append(i)
@@ -465,9 +534,11 @@ class SimulatedCluster:
             for i in keep:
                 wid = ids[i]
                 if wid in redo:
-                    c, r = redo[wid]
+                    c, r, recovery = redo[wid]
                     self.engine.compute(wid, c - now, label)
                     self.engine.mark_down(wid, r)
+                    if recovery > 0:
+                        self.engine.compute(wid, recovery, "restore")
                     self.engine.compute(wid, times[i], label + "-redo")
                 elif wid in crashes:  # degrade: partial work, then frozen
                     self.engine.compute(wid, crashes[wid] - now, label)
@@ -489,6 +560,22 @@ class SimulatedCluster:
         return [
             wid for wid in range(self.n_workers)
             if not self.fault_state.is_down(wid, now)
+        ]
+
+    def reachable_worker_ids(self) -> List[int]:
+        """Worker ids neither crashed nor behind a network partition.
+
+        This is the membership a degraded round can actually use: a cut
+        worker is alive and computing, but nothing it produces can reach the
+        master until the partition heals.
+        """
+        if self.fault_state is None:
+            return list(range(self.n_workers))
+        now = self.clock.time
+        fs = self.fault_state
+        return [
+            wid for wid in range(self.n_workers)
+            if not fs.is_down(wid, now) and not fs.is_cut(wid, now)
         ]
 
     def straggler_factor(self, worker_id: int) -> float:

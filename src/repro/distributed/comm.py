@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.backend.ops import copy_array as _copy
 from repro.backend.ops import ensure_float_array
+from repro.distributed.faults import PartitionError
 from repro.distributed.network import NetworkModel
 from repro.utils.timer import SimulatedClock
 
@@ -92,6 +93,7 @@ class Communicator:
         clock: SimulatedClock,
         *,
         engine=None,
+        fault_state=None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -99,9 +101,37 @@ class Communicator:
         self.network = network
         self.clock = clock
         self.engine = engine
+        #: optional :class:`~repro.distributed.faults.FaultInjector`; when its
+        #: model declares network partitions, every collective asserts that
+        #: all participants are reachable at the collective instant and raises
+        #: a structured PartitionError otherwise.  The schedule executor's
+        #: fault guard normally stalls or degrades the membership *before*
+        #: the collective runs, so this is the backstop that keeps imperative
+        #: callers from silently communicating across a cut link.
+        self.fault_state = fault_state
         self.log = CommunicationLog()
 
     # -- internals -------------------------------------------------------
+    def _check_reachable(self, participants: Optional[Sequence[int]]) -> None:
+        """Raise PartitionError when a participant sits behind an open cut."""
+        fs = self.fault_state
+        if fs is None or not fs.has_partitions:
+            return
+        now = self.clock.time
+        members = (
+            range(self.n_workers) if participants is None else participants
+        )
+        for wid in members:
+            if fs.is_cut(wid, now):
+                fs.note_partition(wid, fs.cut_start(wid, now))
+                raise PartitionError(
+                    int(wid),
+                    now,
+                    heals_at=fs.heal_time(wid, now),
+                    round=fs.round,
+                    reason="collective participant unreachable (network partition)",
+                )
+
     def _account(
         self,
         operation: str,
@@ -112,6 +142,7 @@ class Communicator:
         overlap: bool = False,
         participants: Optional[Sequence[int]] = None,
     ) -> None:
+        self._check_reachable(participants)
         if self.engine is not None:
             if overlap:
                 self.engine.background_collective(seconds, label=operation)

@@ -142,6 +142,21 @@ class EventEngine:
             tl.advance(until - tl.t, "down", label)
         return tl.t
 
+    def mark_unreachable(
+        self, worker_id: int, until: float, label: str = "partition"
+    ) -> float:
+        """Record a partition window: the worker is ``unreachable`` until
+        ``until``.
+
+        Unlike :meth:`mark_down` the worker is alive (its state keeps
+        advancing) — it just cannot exchange messages across the cut; a
+        target in the past is a no-op.
+        """
+        tl = self.timeline(worker_id)
+        if until > tl.t:
+            tl.advance(until - tl.t, "unreachable", label)
+        return tl.t
+
     # -- synchronization -----------------------------------------------------
     def barrier(
         self, worker_ids: Optional[Iterable[int]] = None, label: str = "barrier"

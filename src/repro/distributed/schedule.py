@@ -58,7 +58,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.distributed.faults import FAULT_POLICIES, WorkerLostError
+from repro.distributed.faults import (
+    FAULT_POLICIES,
+    PartitionError,
+    WorkerLostError,
+)
 
 #: collective operations a :class:`Collective` step may name
 COLLECTIVE_OPS = (
@@ -504,42 +508,80 @@ def _guard_collective(cluster, policy: str, members: Optional[List[int]]):
     the membership the payload's buffers were built for (the survivors of the
     most recent local round when one ran, every worker otherwise) — the
     executor uses ``base`` to slice per-worker buffers down to the
-    participants.  ``"raise"`` aborts if any worker is down, ``"stall"``
-    idles the cluster until every down worker restarts, ``"degrade"``
-    proceeds over the members still alive at the collective instant (a
-    worker that crashed after computing but before the barrier is dropped:
-    its contribution is in flight when it dies).
+    participants.  ``"raise"`` aborts if any worker is down (or any member is
+    behind a network partition: :class:`PartitionError`), ``"stall"`` idles
+    the cluster until every down worker restarts and every cut link heals,
+    ``"degrade"`` proceeds over the members still alive *and reachable* at
+    the collective instant (a worker that crashed after computing but before
+    the barrier is dropped: its contribution is in flight when it dies; a
+    partitioned worker keeps computing but its buffer cannot cross the cut).
     """
     fs = getattr(cluster, "fault_state", None)
     base = members if members is not None else list(range(cluster.n_workers))
     if fs is None:
         return None, base
     now = cluster.clock.time
+    # Cut workers whose window closed since the last synchronization point
+    # rejoin here: the heal event is recorded and (event engine) their
+    # unreachable window is drawn before a barrier would render it as wait.
+    fs.rejoin_healed(
+        now, engine=cluster.engine if cluster.engine_mode == "event" else None
+    )
     down = [
         wid for wid in range(cluster.n_workers) if fs.is_down(wid, now)
     ]
     for wid in down:
         fs.note_crash(wid, fs.crash_time_of(wid, now))
+    # Like ``down``, the cut set spans *all* workers, not just the current
+    # membership: the Communicator backstop scans the full cluster when it
+    # receives participants=None, so a cut worker outside ``base`` must be
+    # stalled for (or raised on) here rather than aborting there.
+    cut = [
+        wid for wid in range(cluster.n_workers)
+        if wid not in down and fs.is_cut(wid, now)
+    ]
     if down and policy == "raise":
         raise WorkerLostError(
             down[0], now, round=fs.round,
             reason="down at collective (policy 'raise')",
         )
-    if down and policy == "stall":
-        while down:
-            cluster.stall_for_restart(down, label="collective-stall")
+    if cut and policy == "raise":
+        wid = cut[0]
+        fs.note_partition(wid, fs.cut_start(wid, now))
+        raise PartitionError(
+            wid, now, heals_at=fs.heal_time(wid, now), round=fs.round,
+            reason="unreachable at collective (policy 'raise')",
+        )
+    if (down or cut) and policy == "stall":
+        while down or cut:
+            if down:
+                cluster.stall_for_restart(down, label="collective-stall")
+            else:
+                cluster.stall_for_heal(cut, label="collective-stall")
             now = cluster.clock.time
             down = [
                 wid for wid in range(cluster.n_workers)
                 if fs.is_down(wid, now)
             ]
-        return None, base
+            cut = [
+                wid for wid in range(cluster.n_workers)
+                if wid not in down and fs.is_cut(wid, now)
+            ]
+        # After the stall everyone needed is back, but the payload buffers
+        # were built for ``base`` — a membership an earlier degraded local
+        # round may have shrunk — so the collective must run over it.
+        if len(base) == cluster.n_workers:
+            return None, base
+        return list(base), base
     if policy != "degrade":
         return None, base
-    alive = [wid for wid in base if wid not in down]
+    for wid in cut:
+        fs.note_partition(wid, fs.cut_start(wid, now))
+    alive = [wid for wid in base if wid not in down and wid not in cut]
     if not alive:
+        lost = down[0] if down else (cut[0] if cut else base[0])
         raise WorkerLostError(
-            down[0] if down else base[0], now, round=fs.round,
+            lost, now, round=fs.round,
             reason="no surviving workers",
         )
     if len(alive) == cluster.n_workers:
@@ -572,7 +614,10 @@ def _execute_steps(
             if step.workers is not None:
                 targets = [cluster.workers[int(i)] for i in step.workers]
             elif degraded:
-                alive = cluster.alive_worker_ids()
+                # A degraded round runs on the workers that are both alive
+                # and reachable: a partitioned worker could compute, but the
+                # master cannot dispatch to it or hear back across the cut.
+                alive = cluster.reachable_worker_ids()
                 if not alive:
                     raise WorkerLostError(
                         0, cluster.clock.time, reason="no surviving workers"
@@ -670,7 +715,7 @@ def execute_plan(cluster, plan: RoundPlan, *, check: bool = True) -> PlanExecuti
     ctx = _PlanContext(plan.context)
     fault_state = getattr(cluster, "fault_state", None)
     if fault_state is not None and plan.on_failure == "degrade":
-        ctx["alive_workers"] = cluster.alive_worker_ids()
+        ctx["alive_workers"] = cluster.reachable_worker_ids()
     with cluster.fault_policy(plan.on_failure):
         overlapped = _execute_steps(
             cluster, plan.steps, ctx, policy=plan.on_failure

@@ -65,6 +65,7 @@ class StragglerModel:
         # reproducibly (see repro.distributed.injection).
         self._rng = injection_rng(self.random_state)
         self._round = 0
+        self._draws = 0
         self._history: list = []
 
     # -- sampling ------------------------------------------------------------
@@ -87,11 +88,12 @@ class StragglerModel:
         """Slowdown factors (one per worker) for the next synchronization round."""
         factors = self._draw(n_workers)
         self._round += 1
+        self._draws += 1
         self._history.append(factors.copy())
         return factors
 
     def factors_for(self, worker_ids: Sequence[int], n_workers: int) -> np.ndarray:
-        """Slowdown factors for one round, keyed by ``worker_id``.
+        """Slowdown factors for one query, keyed by ``worker_id``.
 
         One full round of ``n_workers`` factors is drawn and the entries for
         ``worker_ids`` are returned, so ``persistent_stragglers`` hit the
@@ -100,10 +102,16 @@ class StragglerModel:
         on subsets).  A full-cluster call consumes the RNG exactly like
         :meth:`sample_factors` always did, keeping existing runs reproducible.
 
+        Accounting: every call counts one *draw*; only full-membership
+        queries (``len(worker_ids) == n_workers`` — an actual synchronization
+        round) count one *round*.  Asynchronous solvers query one worker per
+        local cycle, which previously inflated ``summary()["rounds"]`` far
+        beyond the number of synchronization rounds that actually happened.
+
         Only the factors actually *applied* (the selected entries) enter the
-        round history, so :meth:`summary` reflects delivered slowdowns and
-        per-worker asynchronous schedules (one query per cycle) do not flood
-        the history with full phantom rounds.
+        history, so :meth:`summary` reflects delivered slowdowns and
+        per-worker asynchronous schedules do not flood it with full phantom
+        rounds.
         """
         ids = np.asarray([int(i) for i in worker_ids], dtype=np.int64)
         if ids.size and (ids.min() < 0 or ids.max() >= n_workers):
@@ -112,24 +120,40 @@ class StragglerModel:
                 f"{n_workers} workers"
             )
         selected = self._draw(n_workers)[ids]
-        self._round += 1
+        self._draws += 1
+        if ids.size == n_workers:
+            self._round += 1
         self._history.append(selected.copy())
         return selected
 
     # -- reporting -------------------------------------------------------
     @property
     def n_rounds(self) -> int:
+        """Full-membership synchronization rounds sampled so far."""
         return self._round
 
+    @property
+    def n_draws(self) -> int:
+        """Total sampling queries (rounds plus subset/per-cycle draws)."""
+        return self._draws
+
     def summary(self) -> Dict[str, float]:
-        """Mean/max slowdown factors observed so far (for run provenance)."""
+        """Mean/max slowdown factors observed so far (for run provenance).
+
+        ``rounds`` counts full-membership synchronization rounds; ``draws``
+        counts every sampling query (asynchronous schedules issue one per
+        worker cycle, so for them ``draws`` ≫ ``rounds``).
+        """
         if not self._history:
-            return {"rounds": 0, "mean_factor": 1.0, "max_factor": 1.0}
-        # Rounds may record different worker counts (subset rounds, async
+            return {
+                "rounds": 0, "draws": 0, "mean_factor": 1.0, "max_factor": 1.0
+            }
+        # Draws may record different worker counts (subset rounds, async
         # per-cycle queries), so flatten rather than stack.
         applied = np.concatenate([np.ravel(h) for h in self._history])
         return {
             "rounds": float(self._round),
+            "draws": float(self._draws),
             "mean_factor": float(applied.mean()),
             "max_factor": float(applied.max()),
         }
@@ -138,4 +162,5 @@ class StragglerModel:
         """Restart the draw sequence (used by ``SimulatedCluster.reset_accounting``)."""
         self._rng = injection_rng(self.random_state)
         self._round = 0
+        self._draws = 0
         self._history = []

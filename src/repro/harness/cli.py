@@ -102,6 +102,11 @@ EXPERIMENT_REGISTRY: Dict[str, tuple] = {
         "Ablation — worker crash/restart: quorum async rides through, sync stalls or fails",
         None,
     ),
+    "ablation-partitions": (
+        experiments.ablation_partitions,
+        "Ablation — a master↔worker link dies and heals: quorum async rides through the cut",
+        None,
+    ),
 }
 
 
@@ -160,9 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help=(
-            "inject worker crashes into every cluster the experiment builds: "
+            "inject faults into every cluster the experiment builds: "
             "comma-separated 'W@TIME' / 'W@rROUND' crash specs plus optional "
-            "'mtbf=S', 'restart=S', 'seed=N' (e.g. '0@2.5,restart=1.0'); "
+            "'mtbf=S', 'restart=S', 'seed=N', network partitions "
+            "'part=W[+W2]@START-END', correlated failure groups "
+            "'group=W+W2' with 'corr=P', and checkpoint costs "
+            "'ckpt=INTERVAL[/WRITE[/RESTORE]]' "
+            "(e.g. '0@2.5,restart=1.0,ckpt=5/0.1/0.5' or 'part=0@2.0-6.0'); "
             "see repro.distributed.faults.FailureModel.from_spec"
         ),
     )

@@ -99,8 +99,12 @@ class ClusterConfig:
     faults:
         Fault-injection spec string understood by
         :meth:`repro.distributed.faults.FailureModel.from_spec` (e.g.
-        ``"0@2.5,restart=1.0"``), or ``None`` for the session default set via
-        :func:`set_default_faults` (the CLI's ``--faults``).
+        ``"0@2.5,restart=1.0"`` for a crash/restart,
+        ``"part=0@2.0-6.0"`` for a network partition,
+        ``"group=0+1,corr=0.8,mtbf=30"`` for correlated failures,
+        ``"ckpt=5/0.1/0.5"`` for checkpointed recovery costs), or ``None``
+        for the session default set via :func:`set_default_faults` (the
+        CLI's ``--faults``).
     """
 
     dataset: str

@@ -896,6 +896,166 @@ def ablation_async_admm(
     return {"rows": rows, "traces": traces, "target": target, "report": report}
 
 
+def _fault_policy_sweep(
+    scale,
+    *,
+    dataset: str,
+    n_workers: int,
+    lam: float,
+    seed: int,
+    plan_fn,
+    expected_error,
+    nofault_policy: str,
+    raise_outcome,
+    stall_outcome: str,
+    survived_message: str,
+) -> dict:
+    """Shared scaffolding of the fault-recovery ablations.
+
+    Calibrates a no-fault synchronous Newton-ADMM run, asks ``plan_fn`` to
+    turn its total modelled time into a fault schedule (``{"fault_model":
+    () -> FailureModel, "title": str, ...}``), then replays the identical
+    schedule through strict-sync ``raise`` (must abort with
+    ``expected_error``), sync ``stall`` and quorum async Newton-ADMM on the
+    event engine.  Returns the row table plus the raw pieces
+    (``baseline``/``stalled``/``asyn`` traces, the async ``solver`` for fold
+    accounting, ``base_time``, ``plan``) for driver-specific post-processing.
+    """
+    from repro.admm.async_newton_admm import AsyncNewtonADMM
+    from repro.datasets.registry import load_dataset as _load
+    from repro.distributed.cluster import SimulatedCluster
+
+    scale = _scale(scale)
+    sync_epochs = _epoch_budget(scale, 10, 25, 60)
+    # One async "epoch" is one z-update fed by ~quorum workers; budget like
+    # the async ablation so the comparison is on modelled time, not epochs.
+    async_epochs = 4 * sync_epochs
+    train, test = _load(
+        dataset,
+        n_train=train_size_for(dataset, scale),
+        n_test=test_size_for(dataset, scale),
+        random_state=seed,
+    )
+
+    def make_cluster(faults=None) -> "SimulatedCluster":
+        return SimulatedCluster(
+            train, n_workers, faults=faults, engine="event", random_state=seed
+        )
+
+    cluster_config = _cluster_config(dataset, n_workers, scale, seed=seed)
+    shared = dict(lam=lam, cg_max_iter=10, cg_tol=1e-4, record_accuracy=False)
+
+    # ---- calibration: the no-fault synchronous run -------------------------
+    baseline = run_method(
+        SolverConfig("newton_admm", {**shared, "max_epochs": sync_epochs}),
+        cluster_config,
+        cluster=make_cluster(),
+        test=test,
+    )
+    base_time = baseline.total_time()
+    target = baseline.final.objective
+    base_t2t = time_to_objective(baseline, target)
+    plan = plan_fn(base_time)
+    fault_model = plan["fault_model"]
+
+    traces: Dict[str, RunTrace] = {"newton_admm_nofault": baseline}
+    rows: List[dict] = [
+        {
+            "method": "newton_admm",
+            "policy": nofault_policy,
+            "outcome": "completed",
+            "final_objective": target,
+            "total_modelled_time_s": base_time,
+            "time_to_target_s": base_t2t,
+            "modelled_delta_s": 0.0,
+        }
+    ]
+
+    # ---- strict sync, policy 'raise': the run aborts -----------------------
+    try:
+        run_method(
+            SolverConfig("newton_admm", {**shared, "max_epochs": sync_epochs}),
+            cluster_config,
+            cluster=make_cluster(fault_model()),
+            test=test,
+        )
+        raise RuntimeError(survived_message)
+    except expected_error as exc:
+        rows.append(
+            {
+                "method": "newton_admm",
+                "policy": "raise",
+                "outcome": raise_outcome(exc),
+                "final_objective": float("nan"),
+                "total_modelled_time_s": float("nan"),
+                "time_to_target_s": float("nan"),
+                "modelled_delta_s": float("nan"),
+            }
+        )
+
+    # ---- strict sync, policy 'stall': completes, paying the wait ------------
+    stalled = run_method(
+        SolverConfig(
+            "newton_admm",
+            {**shared, "max_epochs": sync_epochs, "on_failure": "stall"},
+        ),
+        cluster_config,
+        cluster=make_cluster(fault_model()),
+        test=test,
+    )
+    traces["newton_admm_stall"] = stalled
+    stall_t2t = time_to_objective(stalled, target)
+    rows.append(
+        {
+            "method": "newton_admm",
+            "policy": "stall",
+            "outcome": stall_outcome,
+            "final_objective": stalled.final.objective,
+            "total_modelled_time_s": stalled.total_time(),
+            "time_to_target_s": stall_t2t,
+            "modelled_delta_s": stall_t2t - base_t2t,
+        }
+    )
+
+    # ---- quorum async: rides through ----------------------------------------
+    async_kwargs = {
+        **shared,
+        "max_epochs": async_epochs,
+        "quorum": max(n_workers - 1, 1),
+        "max_staleness": 10,
+    }
+    solver = AsyncNewtonADMM(**async_kwargs)
+    asyn = solver.fit(make_cluster(fault_model()), test=test)
+    # The solver is instantiated directly (its fold/arrival accounting is
+    # part of the result); stamp the provenance run_method would have.
+    asyn.info["solver_config"] = {"name": "async_newton_admm", **async_kwargs}
+    asyn.info["cluster_config"] = vars(cluster_config).copy()
+    traces["async_newton_admm"] = asyn
+    async_t2t = time_to_objective(asyn, target)
+    rows.append(
+        {
+            "method": "async_newton_admm",
+            "policy": "quorum (rides through)",
+            "outcome": "completed",
+            "final_objective": asyn.final.objective,
+            "total_modelled_time_s": asyn.total_time(),
+            "time_to_target_s": async_t2t,
+            "modelled_delta_s": async_t2t - base_t2t,
+        }
+    )
+
+    return {
+        "rows": rows,
+        "traces": traces,
+        "target": target,
+        "report": format_table(rows, title=plan["title"]),
+        "base_time": base_time,
+        "plan": plan,
+        "solver": solver,
+        "asyn": asyn,
+    }
+
+
 def ablation_faults(
     scale=ExperimentScale.QUICK,
     *,
@@ -923,149 +1083,161 @@ def ablation_faults(
     """
     from repro.distributed.faults import FailureModel, WorkerLostError
 
-    scale = _scale(scale)
-    sync_epochs = _epoch_budget(scale, 10, 25, 60)
-    # One async "epoch" is one z-update fed by ~quorum workers; budget like
-    # the async ablation so the comparison is on modelled time, not epochs.
-    async_epochs = 4 * sync_epochs
-    n_train = train_size_for(dataset, scale)
-    n_test = test_size_for(dataset, scale)
-
-    from repro.datasets.registry import load_dataset as _load
-    from repro.distributed.cluster import SimulatedCluster
-
-    train, test = _load(dataset, n_train=n_train, n_test=n_test, random_state=seed)
-
-    def make_cluster(faults: Optional[FailureModel] = None) -> SimulatedCluster:
-        return SimulatedCluster(
-            train, n_workers, faults=faults, engine="event", random_state=seed
-        )
-
-    cluster_config = _cluster_config(dataset, n_workers, scale, seed=seed)
-    shared = dict(lam=lam, cg_max_iter=10, cg_tol=1e-4, record_accuracy=False)
-
-    # ---- calibration: the no-fault synchronous run -------------------------
-    baseline = run_method(
-        SolverConfig("newton_admm", {**shared, "max_epochs": sync_epochs}),
-        cluster_config,
-        cluster=make_cluster(),
-        test=test,
-    )
-    base_time = baseline.total_time()
-    target = baseline.final.objective
-    crash_time = crash_fraction * base_time
-    restart_after = downtime_fraction * base_time
-
-    def fault_model() -> FailureModel:
-        return FailureModel(
-            crash_at_time={0: crash_time}, restart_after=restart_after
-        )
-
-    traces: Dict[str, RunTrace] = {"newton_admm_nofault": baseline}
-    rows: List[dict] = [
-        {
-            "method": "newton_admm",
-            "policy": "(no fault)",
-            "outcome": "completed",
-            "final_objective": target,
-            "total_modelled_time_s": base_time,
-            "time_to_target_s": time_to_objective(baseline, target),
-            "modelled_delta_s": 0.0,
+    def plan_fn(base_time: float) -> dict:
+        crash_time = crash_fraction * base_time
+        restart_after = downtime_fraction * base_time
+        return {
+            "fault_model": lambda: FailureModel(
+                crash_at_time={0: crash_time}, restart_after=restart_after
+            ),
+            "title": (
+                f"Ablation — worker 0 crashes at t={crash_time:.3g}s, restarts "
+                f"after {restart_after:.3g}s ({n_workers} workers, event engine)"
+            ),
+            "crash_time": crash_time,
+            "restart_after": restart_after,
         }
-    ]
 
-    # ---- strict sync, policy 'raise': the run aborts -----------------------
-    try:
-        run_method(
-            SolverConfig("newton_admm", {**shared, "max_epochs": sync_epochs}),
-            cluster_config,
-            cluster=make_cluster(fault_model()),
-            test=test,
-        )
-        raise RuntimeError(
+    sweep = _fault_policy_sweep(
+        scale,
+        dataset=dataset,
+        n_workers=n_workers,
+        lam=lam,
+        seed=seed,
+        plan_fn=plan_fn,
+        expected_error=WorkerLostError,
+        nofault_policy="(no fault)",
+        raise_outcome=lambda exc: (
+            f"WorkerLostError: worker {exc.worker_id} at t={exc.time:.3g}s"
+        ),
+        stall_outcome="completed (stalled for restart)",
+        survived_message=(
             "ablation-faults: strict-sync run survived an injected crash"
-        )
-    except WorkerLostError as exc:
-        rows.append(
-            {
-                "method": "newton_admm",
-                "policy": "raise",
-                "outcome": (
-                    f"WorkerLostError: worker {exc.worker_id} "
-                    f"at t={exc.time:.3g}s"
-                ),
-                "final_objective": float("nan"),
-                "total_modelled_time_s": float("nan"),
-                "time_to_target_s": float("nan"),
-                "modelled_delta_s": float("nan"),
-            }
-        )
-
-    # ---- strict sync, policy 'stall': completes, paying the downtime --------
-    stalled = run_method(
-        SolverConfig(
-            "newton_admm",
-            {**shared, "max_epochs": sync_epochs, "on_failure": "stall"},
-        ),
-        cluster_config,
-        cluster=make_cluster(fault_model()),
-        test=test,
-    )
-    traces["newton_admm_stall"] = stalled
-    stall_t2t = time_to_objective(stalled, target)
-    rows.append(
-        {
-            "method": "newton_admm",
-            "policy": "stall",
-            "outcome": "completed (stalled for restart)",
-            "final_objective": stalled.final.objective,
-            "total_modelled_time_s": stalled.total_time(),
-            "time_to_target_s": stall_t2t,
-            "modelled_delta_s": stall_t2t - time_to_objective(baseline, target),
-        }
-    )
-
-    # ---- quorum async: rides through the crash ------------------------------
-    asyn = run_method(
-        SolverConfig(
-            "async_newton_admm",
-            {
-                **shared,
-                "max_epochs": async_epochs,
-                "quorum": max(n_workers - 1, 1),
-                "max_staleness": 10,
-            },
-        ),
-        cluster_config,
-        cluster=make_cluster(fault_model()),
-        test=test,
-    )
-    traces["async_newton_admm"] = asyn
-    async_t2t = time_to_objective(asyn, target)
-    rows.append(
-        {
-            "method": "async_newton_admm",
-            "policy": "quorum (rides through)",
-            "outcome": "completed",
-            "final_objective": asyn.final.objective,
-            "total_modelled_time_s": asyn.total_time(),
-            "time_to_target_s": async_t2t,
-            "modelled_delta_s": async_t2t - time_to_objective(baseline, target),
-        }
-    )
-
-    report = format_table(
-        rows,
-        title=(
-            f"Ablation — worker 0 crashes at t={crash_time:.3g}s, restarts "
-            f"after {restart_after:.3g}s ({n_workers} workers, event engine)"
         ),
     )
     return {
-        "rows": rows,
-        "traces": traces,
-        "target": target,
-        "crash_time": crash_time,
-        "restart_after": restart_after,
-        "report": report,
+        "rows": sweep["rows"],
+        "traces": sweep["traces"],
+        "target": sweep["target"],
+        "crash_time": sweep["plan"]["crash_time"],
+        "restart_after": sweep["plan"]["restart_after"],
+        "report": sweep["report"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablation: network partitions (fault model v2)
+# ---------------------------------------------------------------------------
+def ablation_partitions(
+    scale=ExperimentScale.QUICK,
+    *,
+    dataset: str = "mnist_like",
+    n_workers: int = 8,
+    lam: float = 1e-5,
+    cut_fraction: float = 0.3,
+    window_fraction: float = 0.5,
+    seed: int = 0,
+) -> dict:
+    """Ablation: a master<->worker link dies and heals — quorum async rides it.
+
+    A no-fault synchronous Newton-ADMM run calibrates the schedule: worker 0
+    becomes *unreachable* (a :class:`~repro.distributed.faults.PartitionModel`
+    cut — the node keeps computing, only its link is gone)
+    ``cut_fraction`` of the way through the run, for ``window_fraction`` of
+    it.  Under that identical partition the sweep runs strict-sync
+    Newton-ADMM with ``on_failure="raise"`` (the barrier cannot form across
+    the cut: structured :class:`~repro.distributed.faults.PartitionError`)
+    and ``on_failure="stall"`` (the cluster idles until the heal, iterates
+    bit-identical, only time lost), then quorum async Newton-ADMM (quorum
+    ``N - 1``), which keeps firing z-updates off the reachable workers and
+    folds the cut worker's delayed push back in — exactly once — when the
+    partition heals.  Everything runs on the event engine so the cut
+    worker's ``unreachable`` timeline segments are recorded.
+
+    The returned ``rejoin`` block carries the fold accounting the benchmark
+    asserts: per-fire fold lists are duplicate-free, every arrival is folded
+    exactly once (``total_folds == total_arrivals``), and the cut worker is
+    folded again at/after the heal.
+    """
+    from repro.distributed.faults import (
+        FailureModel,
+        PartitionError,
+        PartitionModel,
+    )
+
+    def plan_fn(base_time: float) -> dict:
+        cut_start = cut_fraction * base_time
+        cut_end = cut_start + window_fraction * base_time
+        return {
+            "fault_model": lambda: FailureModel(
+                partitions=PartitionModel(cuts=[((0,), cut_start, cut_end)])
+            ),
+            "title": (
+                f"Ablation — worker 0 unreachable during "
+                f"[{cut_start:.3g}s, {cut_end:.3g}s) ({n_workers} workers, "
+                "event engine)"
+            ),
+            "cut_start": cut_start,
+            "cut_end": cut_end,
+        }
+
+    sweep = _fault_policy_sweep(
+        scale,
+        dataset=dataset,
+        n_workers=n_workers,
+        lam=lam,
+        seed=seed,
+        plan_fn=plan_fn,
+        expected_error=PartitionError,
+        nofault_policy="(no partition)",
+        raise_outcome=lambda exc: (
+            f"PartitionError: worker {exc.worker_id} cut at t={exc.time:.3g}s"
+        ),
+        stall_outcome="completed (stalled until the heal)",
+        survived_message=(
+            "ablation-partitions: strict-sync run survived an open partition"
+        ),
+    )
+    solver, asyn = sweep["solver"], sweep["asyn"]
+    cut_start = sweep["plan"]["cut_start"]
+    cut_end = sweep["plan"]["cut_end"]
+
+    # ---- rejoin accounting: the healed worker folds exactly once ------------
+    log = solver.staleness_log
+    arrivals = solver.arrival_counts
+    folds: Dict[int, int] = {}
+    max_folds_per_fire = 0
+    for entry in log:
+        fired = entry["folded_workers"]
+        max_folds_per_fire = max(
+            max_folds_per_fire,
+            max((fired.count(w) for w in set(fired)), default=0),
+        )
+        for w in fired:
+            folds[w] = folds.get(w, 0) + 1
+    post_heal_folds_of_cut_worker = sum(
+        1 for entry in log if entry["time"] >= cut_end and 0 in entry["folded_workers"]
+    )
+    rejoin = {
+        "cut_worker": 0,
+        "cut_start": cut_start,
+        "cut_end": cut_end,
+        "total_arrivals": int(sum(arrivals.values())),
+        "dropped_arrivals": int(solver.dropped_arrivals),
+        "total_folds": int(sum(folds.values())),
+        "max_folds_per_fire": int(max_folds_per_fire),
+        "post_heal_folds_of_cut_worker": int(post_heal_folds_of_cut_worker),
+        "partition_events": [
+            dict(e) for e in asyn.info.get("faults", {}).get("events", [])
+        ],
+    }
+
+    return {
+        "rows": sweep["rows"],
+        "traces": sweep["traces"],
+        "target": sweep["target"],
+        "cut_start": cut_start,
+        "cut_end": cut_end,
+        "rejoin": rejoin,
+        "report": sweep["report"],
     }

@@ -133,8 +133,24 @@ def plot_traces(
 
 
 #: Gantt glyphs per segment kind (busy compute, barrier/idle wait, transfer,
-#: crashed-awaiting-restart downtime)
-_GANTT_GLYPHS = {"busy": "#", "wait": ".", "comm": "~", "down": "x"}
+#: crashed-awaiting-restart downtime, alive-but-partitioned unreachability)
+_GANTT_GLYPHS = {
+    "busy": "#",
+    "wait": ".",
+    "comm": "~",
+    "down": "x",
+    "unreachable": "=",
+}
+
+#: row markers per recorded fault-event kind (see ``trace.info["faults"]``)
+_EVENT_MARKERS = {
+    "crash": "X",
+    "co-crash": "X",
+    "restart": "^",
+    "restore": "+",
+    "partition": "(",
+    "heal": ")",
+}
 
 
 def plot_gantt(
@@ -159,18 +175,21 @@ def plot_gantt(
     on synchronous runs, and as staggered ``#`` blocks on quorum schedules.
 
     When the trace carries injected fault events (``info["faults"]``,
-    recorded by :mod:`repro.distributed.faults`), the cumulative view marks
-    each crash with ``X`` and each restart with ``^`` on the affected
-    worker's row, on top of the ``x`` downtime fill.
+    recorded by :mod:`repro.distributed.faults`), each crash/co-crash marks
+    ``X``, each restart ``^``, each checkpoint restore ``+``, each partition
+    cut ``(`` and each heal ``)`` on the affected worker's row, on top of the
+    ``x`` downtime / ``=`` unreachable fills.
 
     ``epoch`` (1-based, requires a trace) renders a single epoch instead of
     the cumulative fit: the trace's per-epoch boundary snapshots
-    (``info["timeline_epochs"]``) locate the window on every worker's clock
-    (fault markers are omitted in the sliced view — the events are stamped on
-    the global clock).
+    (``info["timeline_epochs"]``) locate the window on every worker's clock.
+    Fault events are stamped on the global clock; the ones falling inside a
+    worker's epoch window are remapped onto the sliced rows, so per-epoch
+    Gantts keep their crash/restart/partition markers.
     """
     from repro.metrics.timeline import (
         WorkerTimeline,
+        epoch_window,
         slice_epoch,
         timelines_from_dicts,
     )
@@ -178,8 +197,7 @@ def plot_gantt(
     fault_events = ()
     if isinstance(timelines, RunTrace):
         trace = timelines
-        if epoch is None:
-            fault_events = trace.info.get("faults", {}).get("events", ())
+        fault_events = trace.info.get("faults", {}).get("events", ())
         rows = trace.info.get("timelines")
         if not rows:
             raise ValueError(
@@ -194,6 +212,22 @@ def plot_gantt(
                     "trace has no per-epoch timeline boundaries "
                     "(info['timeline_epochs'])"
                 )
+            # Events are stamped on the global clock; remap the ones landing
+            # inside each worker's epoch window into the sliced frame (the
+            # same window + shift slice_epoch applies to the segments).
+            # Windows are half-open so a boundary event renders in exactly
+            # one epoch; the final epoch keeps its right edge.
+            starts, ends, t0 = epoch_window(boundaries, epoch, len(timelines))
+            last = epoch == len(boundaries)
+            remapped = []
+            for event in fault_events:
+                wid = int(event.get("worker_id", -1))
+                t = float(event.get("time", -1.0))
+                if not 0 <= wid < len(starts):
+                    continue
+                if starts[wid] <= t < ends[wid] or (last and t == ends[wid]):
+                    remapped.append({**event, "time": t - t0})
+            fault_events = remapped
             timelines = slice_epoch(timelines, boundaries, epoch)
             if title is None:
                 title = f"{trace.method} — epoch {epoch}"
@@ -243,7 +277,8 @@ def plot_gantt(
     lines = [title] if title else []
     lines.append(
         f"gantt 0 .. {span:.3g}s   legend: # busy   . wait   ~ comm   "
-        f"x down   - overlap   X crash   ^ restart"
+        f"x down   = unreachable   - overlap   X crash   ^ restart   "
+        f"+ restore   ( cut   ) heal"
     )
     row_of = {}
     for tl in timelines:
@@ -259,7 +294,7 @@ def plot_gantt(
         if row is None or not 0.0 <= t <= span:
             continue
         col = int(np.clip(t / span * width, 0, width - 1))
-        marker = "X" if event.get("kind") == "crash" else "^"
+        marker = _EVENT_MARKERS.get(event.get("kind"), "?")
         chars = list(lines[row])
         chars[5 + col] = marker
         lines[row] = "".join(chars)

@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-#: segment kinds in display order (``down`` = crashed, waiting for restart)
-SEGMENT_KINDS = ("busy", "wait", "comm", "down")
+#: segment kinds in display order (``down`` = crashed, waiting for restart;
+#: ``unreachable`` = up and computing, but behind a network partition)
+SEGMENT_KINDS = ("busy", "wait", "comm", "down", "unreachable")
 
 
 @dataclass(frozen=True)
@@ -154,6 +155,35 @@ def max_time(timelines: Sequence[WorkerTimeline]) -> float:
     return max((tl.t for tl in timelines), default=0.0)
 
 
+def epoch_window(
+    boundaries: Sequence[Sequence[float]], epoch: int, n_workers: int
+):
+    """Per-worker window of one epoch: ``(starts, ends, t0)``.
+
+    ``boundaries[e][i]`` is worker ``i``'s local clock at the end of epoch
+    ``e + 1``; epoch ``epoch`` (1-based) runs, on worker ``i``, from
+    ``boundaries[epoch - 2][i]`` (or 0 for the first epoch) to
+    ``boundaries[epoch - 1][i]``.  ``t0`` is the earliest window start
+    across workers — the shift that places the sliced epoch at 0.  This is
+    the single definition of the window both :func:`slice_epoch` (segments)
+    and the Gantt export's fault-marker remap consume, so they cannot drift
+    apart.
+    """
+    if not 1 <= epoch <= len(boundaries):
+        raise ValueError(
+            f"epoch must lie in [1, {len(boundaries)}], got {epoch}"
+        )
+    starts = (
+        [0.0] * n_workers if epoch == 1 else list(boundaries[epoch - 2])
+    )
+    ends = list(boundaries[epoch - 1])
+    if len(starts) != n_workers or len(ends) != n_workers:
+        raise ValueError(
+            f"boundaries describe {len(ends)} workers, got {n_workers} timelines"
+        )
+    return starts, ends, min(starts)
+
+
 def slice_epoch(
     timelines: Sequence[WorkerTimeline],
     boundaries: Sequence[Sequence[float]],
@@ -161,28 +191,12 @@ def slice_epoch(
 ) -> List[WorkerTimeline]:
     """Cut one epoch's window out of cumulative per-worker timelines.
 
-    ``boundaries[e][i]`` is worker ``i``'s local clock at the end of epoch
-    ``e + 1`` (what ``RunTrace.info["timeline_epochs"]["boundaries"]``
-    records).  Epoch ``epoch`` (1-based) runs, on worker ``i``, from
-    ``boundaries[epoch - 2][i]`` (or 0 for the first epoch) to
-    ``boundaries[epoch - 1][i]``.  Segments are clipped to that window and
-    shifted so the earliest window start across workers lands at 0 — workers
-    keep their relative offsets, which is what makes asynchronous epochs
-    render honestly.
+    The window per worker comes from :func:`epoch_window`.  Segments are
+    clipped to it and shifted so the earliest window start across workers
+    lands at 0 — workers keep their relative offsets, which is what makes
+    asynchronous epochs render honestly.
     """
-    if not 1 <= epoch <= len(boundaries):
-        raise ValueError(
-            f"epoch must lie in [1, {len(boundaries)}], got {epoch}"
-        )
-    starts = (
-        [0.0] * len(timelines) if epoch == 1 else list(boundaries[epoch - 2])
-    )
-    ends = list(boundaries[epoch - 1])
-    if len(starts) != len(timelines) or len(ends) != len(timelines):
-        raise ValueError(
-            f"boundaries describe {len(ends)} workers, got {len(timelines)} timelines"
-        )
-    t0 = min(starts)
+    starts, ends, t0 = epoch_window(boundaries, epoch, len(timelines))
 
     def clipped(segments, start: float, end: float) -> List[TimelineSegment]:
         out = []

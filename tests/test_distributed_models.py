@@ -114,3 +114,62 @@ class TestNetworkModel:
         assert net.gather(n, nbytes) >= 0.0
         assert net.broadcast(n, nbytes) >= 0.0
         assert net.allreduce(n, nbytes) >= 0.0
+
+
+class TestCollectiveCostInvariants:
+    """Structural invariants of the collective cost model.
+
+    These costs now underpin the partition/degraded-membership accounting
+    (a degraded collective bills the reachable membership only), so the
+    claims the docstrings make — tree symmetry, reduce+broadcast
+    composition, monotonicity, free single-worker degenerate case — are
+    pinned here directly rather than assumed.
+    """
+
+    _NETS = (infiniband_100g, ethernet_10g, wan_slow)
+    _COLLECTIVES = ("gather", "scatter", "broadcast", "reduce", "allreduce",
+                    "allgather")
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 128), extra=st.integers(1, 64),
+           nbytes=st.floats(1.0, 1e9))
+    def test_monotone_in_worker_count(self, n, extra, nbytes):
+        net = ethernet_10g()
+        for op in self._COLLECTIVES:
+            fn = getattr(net, op)
+            assert fn(n + extra, nbytes) >= fn(n, nbytes), op
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(2, 128), nbytes=st.floats(0.0, 1e9),
+           extra=st.floats(1.0, 1e9))
+    def test_monotone_in_bytes(self, n, nbytes, extra):
+        net = wan_slow()
+        for op in self._COLLECTIVES:
+            fn = getattr(net, op)
+            assert fn(n, nbytes + extra) >= fn(n, nbytes), op
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 256), nbytes=st.floats(0.0, 1e9))
+    def test_scatter_equals_gather_symmetry(self, n, nbytes):
+        # The documented claim: under the binomial-tree schedule the scatter
+        # is the time-reversed gather, so their modelled costs coincide.
+        for make in self._NETS:
+            net = make()
+            assert net.scatter(n, nbytes) == net.gather(n, nbytes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 256), nbytes=st.floats(0.0, 1e9))
+    def test_allreduce_is_reduce_plus_broadcast(self, n, nbytes):
+        for make in self._NETS:
+            net = make()
+            assert net.allreduce(n, nbytes) == pytest.approx(
+                net.reduce(n, nbytes) + net.broadcast(n, nbytes)
+            )
+
+    def test_single_worker_degenerate_costs_are_zero(self):
+        # A one-worker "cluster" never touches the wire: every collective is
+        # free, whatever the interconnect.
+        for make in self._NETS:
+            net = make()
+            for op in self._COLLECTIVES:
+                assert getattr(net, op)(1, 1e8) == 0.0, op

@@ -313,16 +313,42 @@ class TestStragglerKeying:
 
     def test_factors_for_records_only_applied_factors(self):
         # Async schedules query one worker per cycle; the history must hold
-        # the delivered factors, not a full phantom round per query.
+        # the delivered factors, not a full phantom round per query — and a
+        # subset query counts as a *draw*, not a synchronization round.
         model = StragglerModel(slowdown=4.0, persistent_stragglers=[0])
         for _ in range(5):
             model.factors_for([1], 4)
         summary = model.summary()
-        assert summary["rounds"] == 5
+        assert summary["rounds"] == 0
+        assert summary["draws"] == 5
         assert summary["max_factor"] == pytest.approx(1.0)  # worker 1 never slowed
         # Mixed-size history (subset + full rounds) still summarizes.
         model.sample_factors(4)
         assert model.summary()["max_factor"] == pytest.approx(4.0)
+        assert model.summary()["rounds"] == 1
+        assert model.summary()["draws"] == 6
+
+    def test_round_accounting_on_async_trace(self):
+        # The bug this pins: async runs (one factors_for query per worker
+        # cycle) used to report wildly inflated summary()["rounds"] relative
+        # to the synchronization rounds that actually happened.  Rounds now
+        # count only full-membership queries; per-cycle draws land in
+        # "draws".
+        from repro.admm.async_newton_admm import AsyncNewtonADMM
+        from repro.datasets.synthetic import make_multiclass_gaussian
+
+        ds = make_multiclass_gaussian(
+            240, 10, 3, class_separation=3.0, random_state=0
+        )
+        model = StragglerModel(jitter=0.2, random_state=5)
+        cluster = SimulatedCluster(ds, 4, straggler=model, random_state=0)
+        AsyncNewtonADMM(
+            lam=1e-3, max_epochs=6, quorum=3, record_accuracy=False
+        ).fit(cluster)
+        summary = model.summary()
+        assert summary["rounds"] == 0           # no full barrier ever formed
+        assert summary["draws"] > 6             # one per worker cycle
+        assert model.n_draws == summary["draws"]
 
 
 class TestGanttExport:

@@ -142,6 +142,7 @@ class TestTable1:
         assert rows["E18"]["features_repro"] < rows["E18"]["features_paper"]
 
 
+@pytest.mark.slow
 class TestFigureExperiments:
     """Each figure driver is run on a deliberately tiny configuration."""
 

@@ -214,6 +214,7 @@ class TestCLI:
         assert (tmp_path / "table1_quick_report.txt").exists()
         assert any("Table 1" in line for line in lines)
 
+    @pytest.mark.slow
     def test_run_ablation_penalty_plots_traces(self, tmp_path):
         lines = []
         code = main(
@@ -225,6 +226,7 @@ class TestCLI:
         assert "legend" in text  # the ASCII plot was rendered
         assert any("trace" in p.name for p in tmp_path.iterdir())
 
+    @pytest.mark.slow
     def test_run_no_plot_flag(self):
         lines = []
         code = main(["run", "ablation-penalty", "--no-plot"], print_fn=lines.append)

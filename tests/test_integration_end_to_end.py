@@ -42,6 +42,7 @@ def mnist_small():
     return load_dataset("mnist_like", n_train=1200, n_test=300, random_state=0)
 
 
+@pytest.mark.slow
 class TestCommunicationStructure:
     """Remark 1 and the GIANT comparison: rounds per iteration."""
 
@@ -82,6 +83,7 @@ class TestCommunicationStructure:
         assert (giant_wan - admm_wan) > (giant_eth - admm_eth)
 
 
+@pytest.mark.slow
 class TestScalingShape:
     """Figure 2's shape: strong scaling reduces epoch time, weak keeps it flat."""
 
@@ -113,6 +115,7 @@ class TestScalingShape:
         assert 0.5 < ratio < 2.0
 
 
+@pytest.mark.slow
 class TestHeadlineComparisons:
     def test_admm_beats_sgd_in_time_to_objective(self, mnist_small):
         """Figure 4's shape: Newton-ADMM reaches SGD's final objective sooner."""
@@ -162,6 +165,7 @@ class TestDeterminismAcrossExecutors:
         np.testing.assert_allclose(a.final_w, b.final_w, rtol=1e-10)
 
 
+@pytest.mark.slow
 class TestSparseHighDimensionalPath:
     def test_e18_like_hessian_free_run(self):
         train, test = load_dataset("e18_like", n_train=400, n_test=100, random_state=0)

@@ -233,6 +233,7 @@ class TestDeclaredRoundChecking:
 # ---------------------------------------------------------------------------
 # Golden-trace equivalence: the refactor changed no float
 # ---------------------------------------------------------------------------
+@pytest.mark.slow
 class TestGoldenEquivalence:
     """Every ported solver replays the pre-refactor imperative path exactly:
     bit-identical iterates, identical modelled times and communication totals,
