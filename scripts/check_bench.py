@@ -1,0 +1,84 @@
+"""Performance-regression gate over ``BENCH_kernels.json`` (stdlib only).
+
+The kernel benchmark suite (``benchmarks/test_bench_kernels.py``) measures
+each optimized hot path against its pre-optimization baseline and records the
+speedup ratios in ``BENCH_kernels.json``.  This script fails CI when a gated
+kernel's optimized path has regressed below its baseline — i.e. when a
+recorded speedup drops under 1.0x on the NumPy backend, which can only happen
+through a structural regression (an extra GEMM, a lost cache hit, a per-call
+host copy), not through benchmark noise: the ratios sit at 1.5x-2.4x with
+best-of-N timing on both sides.
+
+The ``fused_path_op_budget`` entry is gated too, but it is a deterministic
+backend-operation *count* ratio (TracingBackend), so it is completely immune
+to runner noise.
+
+Usage (what the CI benchmarks job runs)::
+
+    python scripts/check_bench.py [BENCH_kernels.json]
+
+Exit code 0 when every gated speedup is >= the threshold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+#: kernels whose recorded speedup must stay at or above 1.0x
+GATED_KERNELS = (
+    "fused_value_and_gradient",
+    "cached_hvp",
+    "block_cg",
+    "batched_hvp",
+    "fused_path_op_budget",
+)
+
+THRESHOLD = 1.0
+
+
+def main(argv: List[str]) -> int:
+    path = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    if not path.exists():
+        print(f"check_bench: {path} not found — run "
+              "'PYTHONPATH=src python -m pytest benchmarks/test_bench_kernels.py' "
+              "to generate it", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        kernels = payload["kernels"]
+    except (ValueError, KeyError) as exc:
+        print(f"check_bench: {path} is not a valid benchmark file ({exc})",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    for name in GATED_KERNELS:
+        entry = kernels.get(name)
+        if entry is None:
+            print(f"check_bench: gated kernel {name!r} missing from {path}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        speedup = float(entry["speedup"])
+        status = "OK" if speedup >= THRESHOLD else "REGRESSED"
+        print(f"check_bench: {name}: {speedup:.3f}x [{status}]")
+        if speedup < THRESHOLD:
+            print(
+                f"check_bench: {name} regressed below {THRESHOLD:.1f}x — the "
+                f"optimized path ({entry.get('optimized', '?')}) is now slower "
+                f"than its baseline ({entry.get('baseline', '?')})",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        print(f"check_bench: {failures} gated kernel(s) failed", file=sys.stderr)
+        return 1
+    print(f"check_bench: OK ({len(GATED_KERNELS)} gated kernel(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -73,6 +73,12 @@ class NewtonADMM(DistributedSolver):
         Boyd-style absolute/relative tolerances on the primal and dual
         residuals; when both are positive the solver stops as soon as both
         residuals fall below their thresholds (before ``max_epochs``).
+    cg_block:
+        Route the local Newton-CG solves through the block-CG entry point
+        (no effect on iterates — each subproblem has one right-hand side).
+    precision:
+        ``"mixed"`` accumulates the local CG reduction scalars in float64;
+        ``None`` follows the session default (:mod:`repro.backend.precision`).
     on_failure:
         Reaction of the strict-sync schedule to an injected worker crash:
         ``"raise"`` (default, a :class:`~repro.distributed.faults.WorkerLostError`)
@@ -98,6 +104,8 @@ class NewtonADMM(DistributedSolver):
         over_relaxation: float = 1.0,
         stop_abs_tol: float = 0.0,
         stop_rel_tol: float = 0.0,
+        cg_block: bool = False,
+        precision: Optional[str] = None,
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
@@ -134,6 +142,8 @@ class NewtonADMM(DistributedSolver):
         self.over_relaxation = float(over_relaxation)
         self.stop_abs_tol = float(stop_abs_tol)
         self.stop_rel_tol = float(stop_rel_tol)
+        self.cg_block = bool(cg_block)
+        self.precision = precision
         if callable(penalty):
             self._custom_policy_factory: Optional[PolicyFactory] = penalty
             self.penalty = getattr(penalty, "__name__", "custom")
@@ -173,6 +183,8 @@ class NewtonADMM(DistributedSolver):
             cg_max_iter=self.cg_max_iter,
             cg_tol=cg_tol,
             line_search_max_iter=self.line_search_max_iter,
+            cg_block=self.cg_block,
+            precision=self.precision,
         )
 
     def _plan_epoch(self, cluster: SimulatedCluster, epoch: int) -> RoundPlan:

@@ -25,6 +25,15 @@ from repro.backend.registry import (
     registered_backends,
     set_default_backend,
 )
+from repro.backend.precision import (
+    PRECISION_MODES,
+    apply_storage_precision,
+    default_precision,
+    reduction_dtype,
+    resolve_precision,
+    set_default_precision,
+    storage_dtype,
+)
 from repro.backend.ops import (
     copy_array,
     ensure_float_array,
@@ -49,6 +58,13 @@ __all__ = [
     "register_backend",
     "registered_backends",
     "set_default_backend",
+    "PRECISION_MODES",
+    "apply_storage_precision",
+    "default_precision",
+    "reduction_dtype",
+    "resolve_precision",
+    "set_default_precision",
+    "storage_dtype",
     "copy_array",
     "ensure_float_array",
     "host_matrix",

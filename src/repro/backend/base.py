@@ -77,8 +77,18 @@ class ArrayBackend(ABC):
 
         Integer inputs are promoted to the backend's default float; float32 /
         float64 inputs keep their dtype (no silent up- or down-casting).
+
+        An input that is already a native 1-D float vector is returned *as
+        the same object* (``ravel`` is only applied to non-1-D inputs).  The
+        iterate-identity caches in :mod:`repro.objectives` rely on this: the
+        same iterate flowing through a wrapper chain
+        (``Regularized -> Counting -> Softmax``) must keep its identity, so
+        ``value_and_gradient`` followed by ``hvp`` on one iterate reuses the
+        cached logits instead of recomputing them.
         """
-        v = self.asarray(v).ravel()
+        v = self.asarray(v)
+        if getattr(v, "ndim", None) != 1:
+            v = v.ravel()
         if dim is not None and v.shape[0] != dim:
             raise ValueError(f"{name} has length {v.shape[0]}, expected {dim}")
         return v
@@ -100,6 +110,81 @@ class ArrayBackend(ABC):
     def any_nonzero(self, v) -> bool:
         """Whether any entry of ``v`` is non-zero."""
         return bool((v != 0).any())
+
+    # -- high-precision reductions (``precision="mixed"``) ------------------
+    def dot_hp(self, a, b) -> float:
+        """Inner product accumulated in float64 regardless of input dtype.
+
+        The ``precision="mixed"`` pipeline stores vectors in float32 but runs
+        the CG recurrence scalars through this method, so the coefficients
+        keep ~15 significant digits while the GEMMs stay single-precision.
+        """
+        return float((a * b).sum(dtype=np.float64))
+
+    def norm_hp(self, v) -> float:
+        """Euclidean norm with float64 accumulation (see :meth:`dot_hp`)."""
+        return float(np.sqrt((v * v).sum(dtype=np.float64)))
+
+    def colwise_dot(self, A, B, *, high_precision: bool = False):
+        """Per-column inner products ``sum(A * B, axis=0)`` of two 2-D arrays.
+
+        The block-CG recurrences need one scalar per right-hand side; this is
+        that reduction, kept on the backend (one kernel, no host round-trip
+        per column).  ``high_precision`` accumulates in float64 for the
+        mixed-precision mode.
+        """
+        if high_precision:
+            return (A * B).sum(axis=0, dtype=np.float64)
+        return (A * B).sum(axis=0)
+
+    def promote_fp64(self, x):
+        """``x`` as a float64 array (no copy when already float64).
+
+        Used by the mixed-precision softmax to run the log-sum-exp reduction
+        in double precision over single-precision logits.
+        """
+        if getattr(x, "dtype", None) == np.float64:
+            return x
+        return x.astype(np.float64)
+
+    def demote_fp32(self, x):
+        """``x`` as a float32 array (no copy when already float32).
+
+        Inverse of :meth:`promote_fp64`: the mixed-precision softmax computes
+        probabilities from float64-promoted logits, then demotes them so the
+        backward GEMMs stay single-precision.
+        """
+        if getattr(x, "dtype", None) == np.float32:
+            return x
+        return x.astype(np.float32)
+
+    # -- fused kernels ------------------------------------------------------
+    def fused_lse_probs(self, logits):
+        """Row-wise ``(log_sum_exp, softmax_probabilities)`` in one pass.
+
+        The softmax hot path calls this once per distinct iterate; value,
+        gradient and every HVP of that iterate then reuse the outputs.  The
+        default implementation is the composed NumPy-reference kernel
+        (:func:`repro.objectives.numerics.lse_and_probabilities`), which
+        runs on any ``xp`` namespace; accelerator backends may override it
+        with a single fused kernel (``torch.compile`` / ``cupy.fuse``) whose
+        outputs match the reference up to floating-point reassociation.
+
+        Always computed with the implicit zero reference logit
+        (``include_zero=True``) — that is the only variant on the hot path.
+        """
+        from repro.objectives.numerics import lse_and_probabilities
+
+        return lse_and_probabilities(logits, include_zero=True, xp=self.xp)
+
+    def fusion_info(self) -> dict:
+        """How each fusable kernel is implemented on this backend.
+
+        Maps kernel name to ``"fused"`` (single compiled kernel) or
+        ``"composed"`` (reference implementation from separate ufuncs).
+        ``docs/performance.md`` renders this as the availability matrix.
+        """
+        return {"lse_probs": "composed"}
 
     # -- classification ----------------------------------------------------
     @abstractmethod

@@ -34,6 +34,11 @@ class CupyBackend(ArrayBackend):
             ) from exc
         self._cupy = cupy
         self._sparse = cupy_sparse
+        # ``cupy.fuse`` only supports a single reduction per kernel, so the
+        # full lse+softmax cannot be one kernel; the elementwise shift+exp
+        # stage can be, and is compiled lazily with a composed fallback.
+        self._fused_shift_exp = None
+        self._fusion_mode = "composed"
 
     @property
     def xp(self):
@@ -77,3 +82,39 @@ class CupyBackend(ArrayBackend):
 
     def is_accelerator(self) -> bool:
         return True  # constructing this backend requires a CUDA runtime
+
+    def fused_lse_probs(self, logits):
+        cupy = self._cupy
+        if self._fused_shift_exp is None:
+            self._build_fused_shift_exp()
+        if self._fusion_mode != "partial":
+            return super().fused_lse_probs(logits)
+        try:
+            logits = cupy.atleast_2d(logits)
+            m = cupy.maximum(cupy.max(logits, axis=1), 0.0)
+            shifted = self._fused_shift_exp(logits, m[:, None])
+            denom = cupy.exp(-m) + cupy.sum(shifted, axis=1)
+            return m + cupy.log(denom), shifted / denom[:, None]
+        except Exception:  # pragma: no cover - device-specific JIT failure
+            self._fusion_mode = "composed"
+            return super().fused_lse_probs(logits)
+
+    def _build_fused_shift_exp(self):
+        cupy = self._cupy
+        try:
+            @cupy.fuse()
+            def shift_exp(logits, m):
+                return cupy.exp(logits - m)
+
+            # Compile eagerly so a broken JIT toolchain falls back once, here.
+            shift_exp(cupy.zeros((2, 2)), cupy.zeros((2, 1)))
+            self._fused_shift_exp = shift_exp
+            self._fusion_mode = "partial"
+        except Exception:  # pragma: no cover - requires CUDA machine
+            self._fused_shift_exp = False
+            self._fusion_mode = "composed"
+
+    def fusion_info(self) -> dict:
+        if self._fused_shift_exp is None:
+            self._build_fused_shift_exp()
+        return {"lse_probs": self._fusion_mode}

@@ -46,7 +46,11 @@ class TracingBackend(NumpyBackend):
     calls:
         ``Counter`` of ``xp.<op>`` invocations plus the conversion helpers
         (``asarray``, ``as_vector``, ``asarray_data``, ``zeros``, ``norm``,
-        ``dot``).
+        ``dot``, ``to_numpy`` — the device-to-host transfer — and the fused /
+        high-precision kernels ``fused_lse_probs``, ``dot_hp``, ``norm_hp``,
+        ``colwise_dot``).  The fused kernel's *internal* ufunc calls are also
+        traced (its reference implementation runs on this namespace), so op
+        budgets of fused vs. composed paths are directly comparable.
     """
 
     name = "tracing"
@@ -84,3 +88,23 @@ class TracingBackend(NumpyBackend):
     def dot(self, a, b) -> float:
         self.calls["dot"] += 1
         return super().dot(a, b)
+
+    def to_numpy(self, x):
+        self.calls["to_numpy"] += 1
+        return super().to_numpy(x)
+
+    def dot_hp(self, a, b) -> float:
+        self.calls["dot_hp"] += 1
+        return super().dot_hp(a, b)
+
+    def norm_hp(self, v) -> float:
+        self.calls["norm_hp"] += 1
+        return super().norm_hp(v)
+
+    def colwise_dot(self, A, B, *, high_precision: bool = False):
+        self.calls["colwise_dot"] += 1
+        return super().colwise_dot(A, B, high_precision=high_precision)
+
+    def fused_lse_probs(self, logits):
+        self.calls["fused_lse_probs"] += 1
+        return super().fused_lse_probs(logits)

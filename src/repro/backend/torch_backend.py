@@ -135,6 +135,12 @@ class TorchBackend(ArrayBackend):
             device = "cuda" if torch.cuda.is_available() else "cpu"
         self.device = torch.device(device)
         self._xp = _TorchNamespace(torch, self.device)
+        # Fused log-sum-exp + softmax, JIT-compiled on first use.  Compilation
+        # is attempted lazily so environments without a working inductor
+        # toolchain (missing compiler, unsupported device) silently keep the
+        # composed reference kernel.
+        self._fused_lse_probs = None
+        self._fusion_mode = "composed"
 
     @property
     def xp(self):
@@ -193,6 +199,65 @@ class TorchBackend(ArrayBackend):
 
     def dot(self, a, b) -> float:
         return float((a * b).sum())
+
+    def dot_hp(self, a, b) -> float:
+        # ``Tensor.sum`` takes a torch dtype, not a NumPy one.
+        return float((a * b).sum(dtype=self._torch.float64))
+
+    def norm_hp(self, v) -> float:
+        return float((v * v).sum(dtype=self._torch.float64).sqrt())
+
+    def colwise_dot(self, A, B, *, high_precision: bool = False):
+        if high_precision:
+            return (A * B).sum(dim=0, dtype=self._torch.float64)
+        return (A * B).sum(dim=0)
+
+    def promote_fp64(self, x):
+        return x if x.dtype == self._torch.float64 else x.double()
+
+    def demote_fp32(self, x):
+        return x if x.dtype == self._torch.float32 else x.float()
+
+    def fused_lse_probs(self, logits):
+        if self._fused_lse_probs is None:
+            self._fused_lse_probs = self._build_fused_lse_probs()
+        try:
+            return self._fused_lse_probs(logits)
+        except Exception:
+            # A compiled kernel can fail at run time on shapes/devices the
+            # trace did not cover; drop to the composed path permanently.
+            self._fused_lse_probs = self._composed_lse_probs
+            self._fusion_mode = "composed"
+            return self._composed_lse_probs(logits)
+
+    def _composed_lse_probs(self, logits):
+        return super().fused_lse_probs(logits)
+
+    def _build_fused_lse_probs(self):
+        torch = self._torch
+
+        def lse_probs(logits):
+            m = torch.clamp(torch.amax(logits, dim=1), min=0.0)
+            shifted = torch.exp(logits - m[:, None])
+            denom = torch.exp(-m) + shifted.sum(dim=1)
+            return m + torch.log(denom), shifted / denom[:, None]
+
+        try:
+            compiled = torch.compile(lse_probs)
+            # Trigger compilation now so failures fall back immediately
+            # instead of on the first hot-path call.
+            probe = torch.zeros((2, 2), device=self.device)
+            compiled(probe)
+            self._fusion_mode = "fused"
+            return compiled
+        except Exception:
+            self._fusion_mode = "composed"
+            return self._composed_lse_probs
+
+    def fusion_info(self) -> dict:
+        if self._fused_lse_probs is None:
+            self._fused_lse_probs = self._build_fused_lse_probs()
+        return {"lse_probs": self._fusion_mode}
 
     def any_nonzero(self, v) -> bool:
         return bool((v != 0).any())

@@ -37,6 +37,12 @@ class DiSCO(DistributedSolver):
     damped:
         Use the self-concordant damping ``1 / (1 + newton_decrement)`` for the
         step size (the reference method); otherwise take unit steps.
+    cg_block:
+        Route the distributed CG through the block entry point (no effect on
+        iterates for the single right-hand side solved here).
+    precision:
+        ``"mixed"`` accumulates CG reduction scalars in float64; ``None``
+        follows the session default (:mod:`repro.backend.precision`).
     """
 
     name = "disco"
@@ -49,6 +55,8 @@ class DiSCO(DistributedSolver):
         cg_max_iter: int = 20,
         cg_tol: float = 1e-4,
         damped: bool = True,
+        cg_block: bool = False,
+        precision: Optional[str] = None,
         evaluate_every: int = 1,
         record_accuracy: bool = True,
         tol_grad: float = 0.0,
@@ -65,6 +73,8 @@ class DiSCO(DistributedSolver):
         self.cg_max_iter = int(cg_max_iter)
         self.cg_tol = float(cg_tol)
         self.damped = bool(damped)
+        self.cg_block = bool(cg_block)
+        self.precision = precision
         self._w: Optional[np.ndarray] = None
         self._last_extras: Dict[str, float] = {}
 
@@ -95,7 +105,12 @@ class DiSCO(DistributedSolver):
                 return out
 
             cg_result = conjugate_gradient(
-                distributed_hvp, grad, tol=self.cg_tol, max_iter=self.cg_max_iter
+                distributed_hvp,
+                grad,
+                tol=self.cg_tol,
+                max_iter=self.cg_max_iter,
+                precision=self.precision,
+                block=self.cg_block,
             )
             direction = cg_result.x
 

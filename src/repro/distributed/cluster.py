@@ -16,7 +16,7 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.backend import ArrayBackend, BackendLike, get_backend
+from repro.backend import ArrayBackend, BackendLike, get_backend, resolve_precision
 from repro.datasets.base import ClassificationDataset
 from repro.datasets.sharding import shard_dataset
 from repro.distributed.comm import Communicator
@@ -42,17 +42,26 @@ LossFactory = Callable[[ClassificationDataset, int], Objective]
 
 
 def _softmax_factory(
-    shard: ClassificationDataset, n_total: int, backend: BackendLike = None
+    shard: ClassificationDataset,
+    n_total: int,
+    backend: BackendLike = None,
+    precision: Optional[str] = None,
 ) -> Objective:
     return SoftmaxCrossEntropy(
-        shard.X, shard.y, shard.n_classes, scale=1.0 / n_total, backend=backend
+        shard.X, shard.y, shard.n_classes, scale=1.0 / n_total, backend=backend,
+        precision=precision,
     )
 
 
 def _logistic_factory(
-    shard: ClassificationDataset, n_total: int, backend: BackendLike = None
+    shard: ClassificationDataset,
+    n_total: int,
+    backend: BackendLike = None,
+    precision: Optional[str] = None,
 ) -> Objective:
-    return BinaryLogistic(shard.X, shard.y, scale=1.0 / n_total, backend=backend)
+    return BinaryLogistic(
+        shard.X, shard.y, scale=1.0 / n_total, backend=backend, precision=precision
+    )
 
 
 LOSS_FACTORIES = {
@@ -62,23 +71,37 @@ LOSS_FACTORIES = {
 
 
 def _call_loss_factory(
-    factory: LossFactory, shard: ClassificationDataset, n_total: int, backend
+    factory: LossFactory,
+    shard: ClassificationDataset,
+    n_total: int,
+    backend,
+    precision: Optional[str] = None,
 ) -> Objective:
-    """Invoke a loss factory, forwarding ``backend=`` when it accepts one.
+    """Invoke a loss factory, forwarding ``backend=`` / ``precision=`` when
+    the factory accepts them.
 
     Custom two-argument callables (the documented ``(shard, n_total)``
-    signature) keep working; factories that take a ``backend`` keyword get the
-    cluster's backend so their data loads onto the right device.
+    signature) keep working; factories that take ``backend`` or ``precision``
+    keywords get the cluster's values so their data loads onto the right
+    device at the right storage dtype.
     """
     try:
         params = inspect.signature(factory).parameters
-        accepts_backend = "backend" in params or any(
+        has_var_kw = any(
             p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
         )
+        accepts_backend = "backend" in params or has_var_kw
+        accepts_precision = "precision" in params or has_var_kw
     except (TypeError, ValueError):  # builtins / C callables
         accepts_backend = False
+        accepts_precision = False
+    kwargs = {}
     if accepts_backend:
-        return factory(shard, n_total, backend=backend)
+        kwargs["backend"] = backend
+    if accepts_precision:
+        kwargs["precision"] = precision
+    if kwargs:
+        return factory(shard, n_total, **kwargs)
     return factory(shard, n_total)
 
 
@@ -124,6 +147,11 @@ class SimulatedCluster:
         vectors live on (``None`` -> the session default, normally NumPy).
         When ``device`` is omitted the cost model keys off this backend via
         :meth:`~repro.backend.base.ArrayBackend.default_device_model`.
+    precision:
+        Storage/compute precision mode forwarded to every worker's loss
+        factory (``"fp64"``, ``"fp32"``, ``"mixed"``, or ``None`` to resolve
+        the session default set by the CLI's ``--precision``); see
+        :mod:`repro.backend.precision`.
     engine:
         ``"lockstep"`` (default) keeps the historical single-global-clock
         accounting; ``"event"`` routes rounds and collectives through the
@@ -148,6 +176,7 @@ class SimulatedCluster:
         straggler: Optional[StragglerModel] = None,
         faults: Optional[FailureModel] = None,
         backend: BackendLike = None,
+        precision: Optional[str] = None,
         engine: str = "lockstep",
         random_state=None,
     ):
@@ -164,6 +193,7 @@ class SimulatedCluster:
         self.train = train
         self.n_workers = int(n_workers)
         self.backend: ArrayBackend = get_backend(backend)
+        self.precision = resolve_precision(precision)
         self.network = network or infiniband_100g()
         if device is None:
             # Cost accounting keys off where the arrays actually live.
@@ -222,7 +252,7 @@ class SimulatedCluster:
         self.workers: List[Worker] = []
         for i, shard in enumerate(shards):
             local = _call_loss_factory(
-                loss_factory, shard, train.n_samples, self.backend
+                loss_factory, shard, train.n_samples, self.backend, self.precision
             )
             self.workers.append(
                 Worker(
@@ -593,7 +623,11 @@ class SimulatedCluster:
     def global_loss(self) -> Objective:
         """The global mean loss over the full (unsharded) training set."""
         return _call_loss_factory(
-            self._loss_factory, self.train, self.train.n_samples, self.backend
+            self._loss_factory,
+            self.train,
+            self.train.n_samples,
+            self.backend,
+            self.precision,
         )
 
     def global_objective(self, lam: float) -> RegularizedObjective:
@@ -635,6 +669,7 @@ class SimulatedCluster:
             "network": self.network.name,
             "device": self.device.name,
             "backend": self.backend.name,
+            "precision": self.precision,
             "engine": self.engine_mode,
             "worker_sizes": self.worker_sizes(),
             "faults": self.faults.describe() if self.faults is not None else None,

@@ -161,6 +161,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--precision",
+        choices=["fp64", "fp32", "mixed"],
+        default=None,
+        help=(
+            "storage/compute precision for every objective the experiment "
+            "builds (default: follow the data's dtype, i.e. fp64; 'mixed' "
+            "stores fp32 and keeps log-sum-exp and CG reductions in fp64 — "
+            "see docs/performance.md for the convergence-tolerance contract)"
+        ),
+    )
+    run.add_argument(
         "--faults",
         default=None,
         metavar="SPEC",
@@ -232,13 +243,23 @@ def _collect_traces(result: dict) -> Dict[str, RunTrace]:
 
 
 def _cmd_backends(print_fn: Callable[[str], None]) -> int:
-    from repro.backend import available_backends, default_backend
+    from repro.backend import available_backends, default_backend, get_backend
 
     current = default_backend().name
+
+    def fusion(name: str, ok: bool) -> str:
+        if not ok:
+            return "-"
+        try:
+            return get_backend(name).fusion_info().get("lse_probs", "composed")
+        except Exception:
+            return "-"
+
     rows = [
         {
             "name": name,
             "available": "yes" if ok else "no",
+            "fused lse+probs": fusion(name, ok),
             "default": "*" if name == current else "",
         }
         for name, ok in sorted(available_backends().items())
@@ -262,6 +283,15 @@ def _cmd_run(args, print_fn: Callable[[str], None]) -> int:
         from repro.harness.config import set_default_engine
 
         print_fn(f"using execution engine: {set_default_engine(args.engine)}")
+    if getattr(args, "precision", None):
+        from repro.backend import set_default_precision
+
+        try:
+            set_default_precision(args.precision)
+        except ValueError as exc:
+            print_fn(f"error: {exc}")
+            return 2
+        print_fn(f"using precision mode: {args.precision}")
     if getattr(args, "faults", None):
         from repro.harness.config import set_default_faults
 

@@ -105,6 +105,11 @@ class ClusterConfig:
         ``"ckpt=5/0.1/0.5"`` for checkpointed recovery costs), or ``None``
         for the session default set via :func:`set_default_faults` (the
         CLI's ``--faults``).
+    precision:
+        Precision mode for every worker objective (``"fp64"``, ``"fp32"``,
+        ``"mixed"``) or ``None`` for the session default set via
+        :func:`repro.backend.set_default_precision` (the CLI's
+        ``--precision``); see :mod:`repro.backend.precision`.
     """
 
     dataset: str
@@ -118,6 +123,7 @@ class ClusterConfig:
     backend: Optional[str] = None
     engine: Optional[str] = None
     faults: Optional[str] = None
+    precision: Optional[str] = None
     seed: int = 0
     dataset_kwargs: Dict[str, object] = field(default_factory=dict)
 

@@ -117,6 +117,7 @@ def build_cluster(
         sharding=config.sharding,
         executor=config.executor,
         backend=config.backend,
+        precision=config.precision,
         engine=config.engine if config.engine is not None else default_engine(),
         faults=FailureModel.from_spec(fault_spec) if fault_spec else None,
         random_state=config.seed,

@@ -122,20 +122,56 @@ class Objective(ABC):
         """Value and gradient together (overridden where sharing work helps)."""
         return self.value(w), self.gradient(w)
 
-    def hessian(self, w: np.ndarray) -> np.ndarray:
-        """Dense Hessian at ``w`` built column-by-column from :meth:`hvp`.
+    def value_and_gradient_and_hvp_operator(self, w: np.ndarray):
+        """Value, gradient, and a Hessian operator sharing one iterate's work.
+
+        Returns ``(value, gradient, operator)`` where ``operator`` is a
+        :class:`~repro.linalg.operators.LinearOperator` computing
+        ``H(w) @ v``.  This is the fused entry point for Newton-type solvers:
+        objectives with per-iterate caches (the softmax computes
+        logits/log-sum-exp/softmax once per distinct ``w``) serve the value,
+        the gradient *and* every HVP of the subsequent CG solve from that one
+        forward pass.  The operator also exposes ``matmat`` (block-CG batched
+        right-hand sides) via :meth:`hvp_mat`.
+
+        The operator is bound to this exact iterate object; it must not be
+        applied after ``w`` is mutated in place (solvers here never do).
+        """
+        from repro.linalg.operators import BatchedHessianOperator
+
+        value, grad = self.value_and_gradient(w)
+        return value, grad, BatchedHessianOperator(self, w)
+
+    def hvp_mat(self, w: np.ndarray, V: np.ndarray) -> np.ndarray:
+        """Hessian-matrix product ``H(w) @ V`` for a ``(dim, s)`` block ``V``.
+
+        The generic implementation loops :meth:`hvp` over columns; data-bound
+        objectives override it to batch all ``s`` products into single GEMMs
+        (one ``(n, p) @ (p, c*s)`` product instead of ``s`` smaller ones),
+        which is what makes block CG one-GEMM-per-iteration.
+        """
+        xp = self.backend.xp
+        cols = [self.hvp(w, V[:, j]).reshape(-1, 1) for j in range(V.shape[1])]
+        return xp.hstack(cols)
+
+    def hessian(self, w: np.ndarray, *, block_size: int = 32) -> np.ndarray:
+        """Dense Hessian at ``w`` built from batched Hessian-matrix products.
 
         Intended for small problems (tests, condition-number studies); cost is
-        ``dim`` Hessian-vector products.
+        ``dim`` Hessian-vector products, issued in blocks of ``block_size``
+        basis vectors so objectives with a batched :meth:`hvp_mat` (the
+        softmax) pay two GEMMs per block instead of per column.
         """
         d = self.dim
         backend = self.backend
         H = np.empty((d, d))
-        e = np.zeros(d)
-        for j in range(d):
-            e[j] = 1.0
-            H[:, j] = backend.to_numpy(self.hvp(w, e))
-            e[j] = 0.0
+        for start in range(0, d, block_size):
+            stop = min(start + block_size, d)
+            E = np.zeros((d, stop - start))
+            E[start:stop] = np.eye(stop - start)
+            H[:, start:stop] = backend.to_numpy(
+                self.hvp_mat(w, backend.asarray(E))
+            )
         return 0.5 * (H + H.T)
 
     def initial_point(self) -> np.ndarray:
@@ -200,6 +236,16 @@ class Objective(ABC):
     def flops_hvp(self) -> float:
         return 0.0
 
+    def flops_value_and_gradient(self) -> float:
+        """FLOPs of one fused ``value_and_gradient`` call.
+
+        Defaults to the sum of the separate calls; objectives whose fused
+        path shares work (the softmax computes the logits GEMM and the
+        softmax normalization once) override this so modelled engine times
+        track what the kernels actually execute.
+        """
+        return self.flops_value() + self.flops_gradient()
+
     @property
     def n_samples(self) -> int:
         """Number of samples behind this objective (0 for pure penalties)."""
@@ -248,8 +294,18 @@ class RegularizedObjective(Objective):
         w = self.check_weights(w)
         return self.loss.hvp(w, v) + self.regularizer.hvp(w, v)
 
+    def hvp_mat(self, w: np.ndarray, V: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        return self.loss.hvp_mat(w, V) + self.regularizer.hvp_mat(w, V)
+
     def flops_value(self) -> float:
         return self.loss.flops_value() + self.regularizer.flops_value()
+
+    def flops_value_and_gradient(self) -> float:
+        return (
+            self.loss.flops_value_and_gradient()
+            + self.regularizer.flops_value_and_gradient()
+        )
 
     def flops_gradient(self) -> float:
         return self.loss.flops_gradient() + self.regularizer.flops_gradient()
@@ -303,8 +359,14 @@ class ScaledObjective(Objective):
     def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
         return self.factor * self.base.hvp(w, v)
 
+    def hvp_mat(self, w: np.ndarray, V: np.ndarray) -> np.ndarray:
+        return self.factor * self.base.hvp_mat(w, V)
+
     def flops_value(self) -> float:
         return self.base.flops_value()
+
+    def flops_value_and_gradient(self) -> float:
+        return self.base.flops_value_and_gradient()
 
     def flops_gradient(self) -> float:
         return self.base.flops_gradient()
@@ -353,8 +415,16 @@ class ProximallyAugmentedObjective(Objective):
         w = self.check_weights(w)
         return self.base.hvp(w, v) + self.rho * v
 
+    def hvp_mat(self, w: np.ndarray, V: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        return self.base.hvp_mat(w, V) + self.rho * V
+
     def flops_value(self) -> float:
         return self.base.flops_value() + 3.0 * self.dim
+
+    def flops_value_and_gradient(self) -> float:
+        # The fused override computes diff / value term / gradient term once.
+        return self.base.flops_value_and_gradient() + 4.0 * self.dim
 
     def flops_gradient(self) -> float:
         return self.base.flops_gradient() + 3.0 * self.dim
@@ -412,6 +482,17 @@ class LinearlyPerturbedObjective(Objective):
             g = g + self.mu * (w - self.center)
         return g
 
+    def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        w = self.check_weights(w)
+        v, g = self.base.value_and_gradient(w)
+        out_v = v - float(self.linear @ w)
+        out_g = g - self.linear
+        if self.mu > 0:
+            diff = w - self.center
+            out_v += 0.5 * self.mu * float(diff @ diff)
+            out_g = out_g + self.mu * diff
+        return out_v, out_g
+
     def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
         w = self.check_weights(w)
         out = self.base.hvp(w, v)
@@ -419,8 +500,20 @@ class LinearlyPerturbedObjective(Objective):
             out = out + self.mu * v
         return out
 
+    def hvp_mat(self, w: np.ndarray, V: np.ndarray) -> np.ndarray:
+        w = self.check_weights(w)
+        out = self.base.hvp_mat(w, V)
+        if self.mu > 0:
+            out = out + self.mu * V
+        return out
+
     def flops_value(self) -> float:
         return self.base.flops_value() + 4.0 * self.dim
+
+    def flops_value_and_gradient(self) -> float:
+        # value+gradient on the same iterate share the base's forward work
+        # through its per-iterate cache; the perturbation terms are cheap.
+        return self.base.flops_value_and_gradient() + 8.0 * self.dim
 
     def flops_gradient(self) -> float:
         return self.base.flops_gradient() + 4.0 * self.dim

@@ -9,11 +9,17 @@ targets.  Like the softmax objective it computes on a configurable
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.backend import BackendLike, get_backend, host_matrix
+from repro.backend import (
+    BackendLike,
+    apply_storage_precision,
+    get_backend,
+    host_matrix,
+    resolve_precision,
+)
 from repro.objectives.base import (
     Objective,
     ScaleLike,
@@ -32,8 +38,18 @@ class BinaryLogistic(Objective):
     Labels are ``{0, 1}``; the decision rule is ``sigmoid(x @ w) > 0.5``.
     """
 
-    def __init__(self, X, y, *, scale: ScaleLike = "mean", backend: BackendLike = None):
+    def __init__(
+        self,
+        X,
+        y,
+        *,
+        scale: ScaleLike = "mean",
+        backend: BackendLike = None,
+        precision: Optional[str] = None,
+    ):
         self._backend = get_backend(backend)
+        self.precision = resolve_precision(precision)
+        X = apply_storage_precision(X, self.precision)
         X = validate_design_matrix(X, self._backend)
         self.y, n_classes = check_labels(y, n_samples=X.shape[0], n_classes=2)
         if n_classes != 2:
@@ -108,7 +124,8 @@ class BinaryLogistic(Objective):
         indices = np.asarray(indices, dtype=np.int64)
         rows = self._rows(indices)
         return BinaryLogistic(
-            rows, self.y[indices], scale="mean", backend=self._backend
+            rows, self.y[indices], scale="mean", backend=self._backend,
+            precision=self.precision,
         )
 
     def predict_proba(self, w, X=None) -> np.ndarray:

@@ -69,6 +69,34 @@ def softmax_probabilities(logits, *, include_zero: bool = True, xp=np):
     return shifted / denom[:, None]
 
 
+def lse_and_probabilities(logits, *, include_zero: bool = True, xp=np):
+    """Fused row-wise log-sum-exp *and* softmax probabilities.
+
+    Computes the shared intermediates (per-row shift ``m``, shifted
+    exponentials, normalizer) exactly once and returns
+    ``(log_sum_exp(logits), softmax_probabilities(logits))``.  The operations
+    are issued in the same order as the two separate functions, so both
+    outputs are bit-identical to calling :func:`log_sum_exp` and
+    :func:`softmax_probabilities` individually — this is the NumPy reference
+    semantics the backend-fused kernels (``torch.compile`` / ``cupy.fuse``)
+    must reproduce up to floating-point reassociation.
+
+    Returns
+    -------
+    ``(lse, probs)`` of shapes ``(n,)`` and ``(n, c)`` on the same backend.
+    """
+    logits = xp.atleast_2d(logits)
+    if include_zero:
+        m = xp.maximum(xp.max(logits, axis=1), 0.0)
+        shifted = xp.exp(logits - m[:, None])
+        denom = xp.exp(-m) + xp.sum(shifted, axis=1)
+    else:
+        m = xp.max(logits, axis=1)
+        shifted = xp.exp(logits - m[:, None])
+        denom = xp.sum(shifted, axis=1)
+    return m + xp.log(denom), shifted / denom[:, None]
+
+
 def full_class_probabilities(logits, *, xp=np):
     """Probabilities over all ``C`` classes given ``C-1`` non-reference logits.
 

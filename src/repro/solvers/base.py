@@ -118,13 +118,22 @@ class CountingObjective(Objective):
     def value_and_gradient(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
         self.n_value += 1
         self.n_gradient += 1
-        self.flops += self.base.flops_value() + self.base.flops_gradient()
+        # Charged as the *fused* cost: value and gradient share the forward
+        # pass (logits + log-sum-exp), so this is less than
+        # flops_value() + flops_gradient() for objectives that fuse.
+        self.flops += self.base.flops_value_and_gradient()
         return self.base.value_and_gradient(w)
 
     def hvp(self, w: np.ndarray, v: np.ndarray) -> np.ndarray:
         self.n_hvp += 1
         self.flops += self.base.flops_hvp()
         return self.base.hvp(w, v)
+
+    def hvp_mat(self, w: np.ndarray, V) -> np.ndarray:
+        n_rhs = int(V.shape[1])
+        self.n_hvp += n_rhs
+        self.flops += n_rhs * self.base.flops_hvp()
+        return self.base.hvp_mat(w, V)
 
     def add_flops(self, flops: float) -> None:
         """Charge work performed outside the wrapper (e.g. mini-batch
@@ -154,6 +163,9 @@ class CountingObjective(Objective):
 
     def flops_gradient(self) -> float:
         return self.base.flops_gradient()
+
+    def flops_value_and_gradient(self) -> float:
+        return self.base.flops_value_and_gradient()
 
     def flops_hvp(self) -> float:
         return self.base.flops_hvp()

@@ -43,6 +43,17 @@ class NewtonCG(Solver):
         Armijo parameters (paper defaults: beta small, halving, 10 iters).
     rel_obj_tol:
         Optional early stop on relative objective change.
+    cg_block:
+        Route the inner solve through the block-CG entry point
+        (``conjugate_gradient(..., block=True)``).  The Newton system has a
+        single right-hand side, which always takes the exact scalar
+        recurrence, so this flag never changes iterates — it exists so
+        callers solving stacked systems through the same configuration get
+        the batched path.
+    precision:
+        ``"mixed"`` accumulates the CG reduction scalars in float64 (see
+        :mod:`repro.backend.precision`); ``None`` follows the session
+        default.
     """
 
     def __init__(
@@ -56,6 +67,8 @@ class NewtonCG(Solver):
         line_search_rho: float = 0.5,
         line_search_max_iter: int = 10,
         rel_obj_tol: float = 0.0,
+        cg_block: bool = False,
+        precision: Optional[str] = None,
     ):
         self.criteria = TerminationCriteria(
             max_iterations=max_iterations, grad_tol=grad_tol, rel_obj_tol=rel_obj_tol
@@ -67,6 +80,8 @@ class NewtonCG(Solver):
         self.line_search_beta = float(line_search_beta)
         self.line_search_rho = float(line_search_rho)
         self.line_search_max_iter = int(line_search_max_iter)
+        self.cg_block = bool(cg_block)
+        self.precision = precision
 
     def minimize(
         self,
@@ -82,18 +97,23 @@ class NewtonCG(Solver):
         total_cg_iters = 0
         total_ls_evals = 0
 
-        f_val, grad = objective.value_and_gradient(w)
+        # The fused entry point computes the forward pass (logits,
+        # log-sum-exp, probabilities) once; the returned Hessian operator is
+        # bound to this exact iterate so every CG matvec reuses it.
+        f_val, grad, hvp_op = objective.value_and_gradient_and_hvp_operator(w)
         grad_norm = backend.norm(grad)
         converged = self.criteria.gradient_converged(grad_norm)
         n_iter = 0
 
         while not converged and n_iter < self.criteria.max_iterations:
             cg_result = conjugate_gradient(
-                lambda v: objective.hvp(w, v),
+                hvp_op,
                 -grad,
                 tol=self.cg_tol,
                 max_iter=self.cg_max_iter,
                 backend=backend,
+                precision=self.precision,
+                block=self.cg_block,
             )
             direction = cg_result.x
             if not backend.any_nonzero(direction):
@@ -121,7 +141,7 @@ class NewtonCG(Solver):
 
             w = w + ls.step_size * direction
             prev_val = f_val
-            f_val, grad = objective.value_and_gradient(w)
+            f_val, grad, hvp_op = objective.value_and_gradient_and_hvp_operator(w)
             grad_norm = backend.norm(grad)
             n_iter += 1
 

@@ -186,14 +186,18 @@ class TrustRegionNewton(Solver):
         total_cg_iters = 0
         n_rejected = 0
 
-        f_val, grad = objective.value_and_gradient(w)
+        # Fused forward pass; the returned operator stays bound to ``w`` so
+        # every Steihaug matvec — including those of *rejected* steps, which
+        # re-solve at the same iterate with a smaller radius — reuses the
+        # cached logits and probabilities.
+        f_val, grad, hvp_op = objective.value_and_gradient_and_hvp_operator(w)
         grad_norm = float(np.linalg.norm(grad))
         converged = self.criteria.gradient_converged(grad_norm)
         n_iter = 0
 
         while not converged and n_iter < self.criteria.max_iterations:
             sub = steihaug_cg(
-                lambda v: objective.hvp(w, v),
+                hvp_op.matvec,
                 grad,
                 radius,
                 tol=self.cg_tol,
@@ -222,7 +226,7 @@ class TrustRegionNewton(Solver):
             if accepted:
                 w = candidate
                 prev_val = f_val
-                f_val, grad = objective.value_and_gradient(w)
+                f_val, grad, hvp_op = objective.value_and_gradient_and_hvp_operator(w)
                 grad_norm = float(np.linalg.norm(grad))
             else:
                 n_rejected += 1

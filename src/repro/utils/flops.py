@@ -56,6 +56,23 @@ def softmax_gradient_flops(n_samples: int, n_features: int, n_classes: int) -> f
     return forward + backward + 3.0 * n_samples * c
 
 
+def softmax_value_and_gradient_flops(
+    n_samples: int, n_features: int, n_classes: int
+) -> float:
+    """FLOPs for one *fused* value+gradient of the cross-entropy objective.
+
+    The forward pass (logits GEMM + log-sum-exp) is shared between the value
+    and the gradient — the per-iterate cache computes it once — so the fused
+    cost is the gradient's cost plus only the value's private reduction
+    ``sum(lse - logits * Y)`` (three elementwise passes over ``n x (C-1)``),
+    not a second forward pass.
+    """
+    c = max(n_classes - 1, 1)
+    gradient = softmax_gradient_flops(n_samples, n_features, n_classes)
+    value_private = 3.0 * n_samples * c
+    return gradient + value_private
+
+
 def softmax_hvp_flops(n_samples: int, n_features: int, n_classes: int) -> float:
     """FLOPs for one Hessian-vector product of the cross-entropy objective.
 

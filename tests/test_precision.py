@@ -1,0 +1,263 @@
+"""Precision modes: mixed/fp32 parity, session defaults, and flops honesty.
+
+The documented contract (``docs/performance.md``, ``repro.backend.precision``)
+is that a ``"mixed"`` or ``"fp32"`` solve reaches the same final objective as
+the fp64 run within ``5e-4`` relative and the same final iterate within
+``2e-3`` relative L2 — while the default ``None`` mode stays bit-reproducible.
+This module asserts that contract for Newton-ADMM and GIANT on the synthetic
+and mnist-like workloads, over every installed backend, plus the plumbing
+around it (session default, cluster/CLI threading, dtype-misuse errors) and
+the S6 requirement that the flops model agrees with what the backend actually
+executed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.admm.newton_admm import NewtonADMM
+from repro.backend import (
+    PRECISION_MODES,
+    backend_available,
+    resolve_precision,
+    set_default_precision,
+    storage_dtype,
+)
+from repro.backend.testing import TracingBackend
+from repro.baselines.giant import GIANT
+from repro.datasets.registry import mnist_like
+from repro.distributed.cluster import SimulatedCluster
+from repro.linalg.cg import conjugate_gradient
+from repro.objectives.logistic import BinaryLogistic
+from repro.objectives.softmax import SoftmaxCrossEntropy
+from repro.solvers.base import CountingObjective
+from repro.utils.flops import (
+    softmax_gradient_flops,
+    softmax_objective_flops,
+    softmax_value_and_gradient_flops,
+)
+
+#: documented parity bounds for reduced-precision solves vs. the fp64 run
+OBJECTIVE_RTOL = 5e-4
+ITERATE_RTOL = 2e-3
+
+BACKENDS = ["numpy"] + [
+    pytest.param(
+        name,
+        marks=pytest.mark.skipif(
+            not backend_available(name), reason=f"{name} not installed"
+        ),
+    )
+    for name in ("cupy", "torch")
+]
+
+SOLVERS = {
+    "newton_admm": lambda **kw: NewtonADMM(lam=1e-4, max_epochs=5, **kw),
+    "giant": lambda **kw: GIANT(lam=1e-3, max_epochs=5, **kw),
+}
+
+
+def _mnist_train():
+    train, _ = mnist_like(n_train=600, n_test=100, random_state=0)
+    return train
+
+
+@pytest.fixture()
+def clean_default_precision():
+    yield
+    set_default_precision(None)
+
+
+def _relative(a, b):
+    return np.linalg.norm(np.asarray(a, dtype=np.float64) - b) / np.linalg.norm(b)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("mode", ["mixed", "fp32"])
+@pytest.mark.parametrize("solver_name", sorted(SOLVERS))
+class TestSolverParity:
+    def _run(self, train, solver_name, precision, backend_name):
+        cluster = SimulatedCluster(
+            train, 4, random_state=0, backend=backend_name, precision=precision
+        )
+        kwargs = {"precision": precision} if precision == "mixed" else {}
+        return SOLVERS[solver_name](**kwargs).fit(cluster)
+
+    def _assert_parity(self, train, solver_name, mode, backend_name):
+        ref = self._run(train, solver_name, None, backend_name)
+        low = self._run(train, solver_name, mode, backend_name)
+        assert abs(low.final.objective - ref.final.objective) <= (
+            OBJECTIVE_RTOL * abs(ref.final.objective)
+        )
+        assert _relative(low.final_w, ref.final_w) <= ITERATE_RTOL
+
+    def test_synthetic(
+        self, solver_name, mode, backend_name, small_multiclass_split
+    ):
+        train, _ = small_multiclass_split
+        self._assert_parity(train, solver_name, mode, backend_name)
+
+    def test_mnist_like(self, solver_name, mode, backend_name):
+        self._assert_parity(_mnist_train(), solver_name, mode, backend_name)
+
+
+class TestPrecisionPlumbing:
+    def test_resolve_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="precision"):
+            resolve_precision("bf16")
+        with pytest.raises(ValueError, match="precision"):
+            set_default_precision("half")
+
+    def test_storage_dtype_mapping(self):
+        assert storage_dtype("fp32") == np.float32
+        assert storage_dtype("mixed") == np.float32
+        assert storage_dtype("fp64") == np.float64
+        assert storage_dtype(None) is None
+        assert set(PRECISION_MODES) == {"fp64", "fp32", "mixed"}
+
+    def test_session_default_reaches_objectives(self, clean_default_precision):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((50, 4))
+        y = rng.integers(0, 3, size=50)
+        y[:3] = np.arange(3)
+        set_default_precision("mixed")
+        soft = SoftmaxCrossEntropy(X, y, 3)
+        logi = BinaryLogistic(X, (y > 0).astype(np.int64))
+        assert soft.precision == "mixed" and soft.X.dtype == np.float32
+        assert logi.precision == "mixed" and logi.X.dtype == np.float32
+        set_default_precision(None)
+        assert SoftmaxCrossEntropy(X, y, 3).X.dtype == np.float64
+
+    def test_cluster_threads_precision_to_workers(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 3, random_state=0, precision="fp32")
+        assert cluster.describe()["precision"] == "fp32"
+        for worker in cluster.workers:
+            assert worker.objective.base.X.dtype == np.float32
+
+    def test_cluster_default_precision_unchanged(self, small_multiclass_split):
+        train, _ = small_multiclass_split
+        cluster = SimulatedCluster(train, 3, random_state=0)
+        assert cluster.describe()["precision"] is None
+        for worker in cluster.workers:
+            assert worker.objective.base.X.dtype == np.float64
+
+    def test_minibatch_inherits_precision(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((60, 5))
+        y = rng.integers(0, 3, size=60)
+        y[:3] = np.arange(3)
+        obj = SoftmaxCrossEntropy(X, y, 3, precision="mixed")
+        batch = obj.minibatch(np.arange(20))
+        assert batch.precision == "mixed"
+        assert batch.X.dtype == np.float32
+
+    def test_mixed_mode_gradient_close_to_fp64(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((80, 6))
+        y = rng.integers(0, 4, size=80)
+        y[:4] = np.arange(4)
+        ref = SoftmaxCrossEntropy(X, y, 4)
+        mix = SoftmaxCrossEntropy(X, y, 4, precision="mixed")
+        w64 = rng.standard_normal(ref.dim) * 0.1
+        w32 = w64.astype(np.float32)
+        assert mix.value(w32) == pytest.approx(ref.value(w64), rel=1e-5)
+        assert _relative(mix.gradient(w32), ref.gradient(w64)) < 1e-5
+        assert mix.gradient(w32).dtype == np.float32
+
+    def test_mixed_dtype_misuse_still_raises(self):
+        """precision='mixed' manages reductions, not sloppy dtype mixing —
+        an fp32 operator applied to an fp64 vector is still an error."""
+        from repro.linalg.operators import MatrixOperator
+
+        op = MatrixOperator(np.eye(6, dtype=np.float32) * 2.0)
+        with pytest.raises(TypeError, match="mixed dtypes"):
+            op.matvec(np.zeros(6, dtype=np.float64))
+        with pytest.raises(TypeError, match="mixed dtypes"):
+            conjugate_gradient(
+                op,
+                np.ones(6, dtype=np.float64),
+                tol=1e-4,
+                max_iter=5,
+                precision="mixed",
+            )
+
+    def test_default_precision_cg_bit_identical(self):
+        """precision=None must not change CG reductions: same bits as a
+        pre-precision-mode solve."""
+        rng = np.random.default_rng(4)
+        M = rng.standard_normal((10, 10))
+        A = M @ M.T + 10 * np.eye(10)
+        b = rng.standard_normal(10)
+        from repro.linalg.operators import MatrixOperator
+
+        op = MatrixOperator(A)
+        plain = conjugate_gradient(op, b, tol=1e-12, max_iter=50)
+        modeless = conjugate_gradient(op, b, tol=1e-12, max_iter=50, precision=None)
+        np.testing.assert_array_equal(plain.x, modeless.x)
+
+
+class TestFlopsAccounting:
+    """S6: modelled flops follow the fused/cached execution, tied to what the
+    TracingBackend actually counted."""
+
+    def _problem(self):
+        rng = np.random.default_rng(5)
+        X = rng.standard_normal((70, 6))
+        y = rng.integers(0, 4, size=70)
+        y[:4] = np.arange(4)
+        return X, y
+
+    def test_fused_flops_less_than_composed_sum(self):
+        n, p, c = 70, 6, 4
+        fused = softmax_value_and_gradient_flops(n, p, c)
+        composed = softmax_objective_flops(n, p, c) + softmax_gradient_flops(n, p, c)
+        assert fused < composed
+        assert fused > softmax_gradient_flops(n, p, c)
+
+    def test_counting_objective_charges_fused_cost(self):
+        X, y = self._problem()
+        obj = SoftmaxCrossEntropy(X, y, 4)
+        counted = CountingObjective(obj)
+        counted.value_and_gradient(np.zeros(obj.dim))
+        assert counted.flops == obj.flops_value_and_gradient()
+        assert counted.flops < obj.flops_value() + obj.flops_gradient()
+
+    def test_counting_objective_hvp_mat_charges_per_column(self):
+        X, y = self._problem()
+        obj = SoftmaxCrossEntropy(X, y, 4)
+        counted = CountingObjective(obj)
+        V = np.random.default_rng(6).standard_normal((obj.dim, 5))
+        counted.hvp_mat(np.zeros(obj.dim), V)
+        assert counted.n_hvp == 5
+        assert counted.flops == 5 * obj.flops_hvp()
+
+    def test_flops_ordering_matches_traced_op_ordering(self):
+        """The flops model claims fused < composed; the backend op counts
+        must agree, so modelled time and real work move together."""
+        X, y = self._problem()
+
+        bk_f = TracingBackend()
+        fused_obj = SoftmaxCrossEntropy(X, y, 4, backend=bk_f)
+        w = fused_obj.check_weights(bk_f.asarray(np.zeros(fused_obj.dim)))
+        bk_f.reset()
+        fused_obj.value_and_gradient(w)
+        fused_ops = bk_f.total_calls()
+
+        bk_c = TracingBackend()
+        composed_obj = SoftmaxCrossEntropy(X, y, 4, backend=bk_c)
+        wc = composed_obj.check_weights(bk_c.asarray(np.zeros(composed_obj.dim)))
+        bk_c.reset()
+        composed_obj.value(wc)
+        composed_obj._iterate_cache = None
+        composed_obj.gradient(wc)
+        composed_ops = bk_c.total_calls()
+
+        flops_say_fused_cheaper = (
+            fused_obj.flops_value_and_gradient()
+            < fused_obj.flops_value() + fused_obj.flops_gradient()
+        )
+        ops_say_fused_cheaper = fused_ops < composed_ops
+        assert flops_say_fused_cheaper and ops_say_fused_cheaper

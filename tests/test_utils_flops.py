@@ -38,8 +38,18 @@ class TestSoftmaxCounts:
     def test_binary_class_edge_case(self):
         assert flops.softmax_objective_flops(10, 5, 2) > 0
 
+    def test_fused_between_gradient_and_composed_sum(self):
+        """Fused value+gradient shares the forward pass: costlier than the
+        gradient alone, strictly cheaper than value + gradient."""
+        n, p, c = 1000, 50, 10
+        v = flops.softmax_objective_flops(n, p, c)
+        g = flops.softmax_gradient_flops(n, p, c)
+        vg = flops.softmax_value_and_gradient_flops(n, p, c)
+        assert g < vg < v + g
+
     @pytest.mark.parametrize("n,p,c", [(1, 1, 2), (10, 3, 3), (500, 100, 20)])
     def test_all_positive(self, n, p, c):
         assert flops.softmax_objective_flops(n, p, c) > 0
         assert flops.softmax_gradient_flops(n, p, c) > 0
+        assert flops.softmax_value_and_gradient_flops(n, p, c) > 0
         assert flops.softmax_hvp_flops(n, p, c) > 0
