@@ -1,0 +1,161 @@
+"""Measured wall-clock speedup of the real-process engine.
+
+The simulated engines *model* parallel time; this benchmark *measures* it:
+NewtonADMM and GIANT run the same data-parallel fit on 1/2/4/8 real worker
+processes (``engine="process"``) and the measured fit wall-clock at each
+width is persisted to ``BENCH_process_engine.json``.  The file is committed,
+so its git history is the measured-scaling trajectory of the repo, the
+counterpart of ``BENCH_kernels.json`` for single-kernel speed.
+
+Pool startup (spawn + imports + shared-memory handoff) is excluded from the
+timing — the paper's timings likewise exclude cluster bring-up — by starting
+the worker pool before the clock.  Speedup is ``t(1 worker) / t(n workers)``
+on the fixed global problem.
+
+Honesty over theatre: real speedup needs real cores.  Each entry records the
+host's usable CPU count and is only ``gated`` (enforced >= 1.0x by
+``scripts/check_bench.py``) when the host has at least as many cores as
+workers; on a single-core runner the measured ratios are recorded but marked
+ungated, with the reason in the entry.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.admm.newton_admm import NewtonADMM
+from repro.baselines.giant import GIANT
+from repro.datasets.registry import mnist_like
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.process_engine import process_engine_info
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_process_engine.json"
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+SOLVERS = {
+    "newton_admm": lambda: NewtonADMM(
+        lam=1e-5, max_epochs=2, evaluate_every=2, record_accuracy=False
+    ),
+    "giant": lambda: GIANT(
+        lam=1e-5, max_epochs=2, evaluate_every=2, record_accuracy=False
+    ),
+}
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def train():
+    data, _ = mnist_like(n_train=2400, n_test=100, random_state=0)
+    return data
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    """Accumulates speedup entries; writes BENCH_process_engine.json last."""
+    if _BENCH_PATH.exists():
+        try:
+            _RESULTS.update(json.loads(_BENCH_PATH.read_text())["entries"])
+        except (ValueError, KeyError):
+            pass
+    yield _RESULTS
+    if _RESULTS:
+        info = process_engine_info()
+        payload = {
+            "schema": 1,
+            "kind": "process_engine",
+            "host": {
+                "cpu_count": info["cpu_count"],
+                "start_method": info["start_method"],
+            },
+            "note": (
+                "measured fit wall-clock (pool startup excluded) of real "
+                "worker processes on a fixed global problem; speedup is "
+                "t(1 worker)/t(n). Entries are gated by "
+                "scripts/check_bench.py only when gated=true, i.e. when the "
+                "recording host had >= n_workers usable cores. See "
+                "docs/performance.md."
+            ),
+            "entries": _RESULTS,
+        }
+        _BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _timed_process_fit(train, solver_factory, n_workers):
+    """Measured seconds of one process-engine fit, pool startup excluded."""
+    cluster = SimulatedCluster(
+        train, n_workers, loss="softmax", engine="process", random_state=0
+    )
+    try:
+        runtime = cluster.process_runtime
+        runtime.ensure_started()
+        start = time.perf_counter()
+        trace = solver_factory().fit(cluster)
+        elapsed = time.perf_counter() - start
+    finally:
+        cluster.close()
+    return elapsed, trace
+
+
+@pytest.mark.process_engine
+@pytest.mark.parametrize("solver_name", sorted(SOLVERS))
+def test_measured_speedup_curve(solver_name, train, bench_record):
+    factory = SOLVERS[solver_name]
+    cpu_count = process_engine_info()["cpu_count"]
+    times = {}
+    final_ws = {}
+    for n in WORKER_COUNTS:
+        times[n], trace = _timed_process_fit(train, factory, n)
+        final_ws[n] = trace.final_w
+        assert np.isfinite(trace.records[-1].objective)
+
+    t1 = times[1]
+    for n in WORKER_COUNTS[1:]:
+        speedup = t1 / times[n]
+        sufficient_cores = cpu_count >= n
+        entry = {
+            "solver": solver_name,
+            "n_workers": n,
+            "baseline_seconds": t1,
+            "measured_seconds": times[n],
+            "speedup": speedup,
+            "cpu_count": cpu_count,
+            "gated": sufficient_cores,
+        }
+        if not sufficient_cores:
+            entry["ungated_reason"] = (
+                f"host has {cpu_count} usable core(s) for {n} workers — "
+                "real parallel speedup is not physically available; "
+                "recorded for the trajectory, not enforced"
+            )
+        bench_record[f"{solver_name}_x{n}"] = entry
+        print(
+            f"{solver_name}: {n} workers {times[n]:.3f}s vs 1 worker "
+            f"{t1:.3f}s -> {speedup:.2f}x "
+            f"({'gated' if sufficient_cores else 'ungated: too few cores'})"
+        )
+
+    # Scaling must not change the mathematics: every width converges to a
+    # finite iterate of the same shape on the same global problem.
+    dims = {w.shape for w in final_ws.values()}
+    assert len(dims) == 1
+
+
+@pytest.mark.process_engine
+def test_acceptance_floor_when_cores_available(train, bench_record):
+    """The ISSUE's >=1.5x floor at 4 workers, enforced only where 4 real
+    cores exist; elsewhere the measured ratio is recorded by the curve test
+    and this check documents why it cannot be asserted."""
+    cpu_count = process_engine_info()["cpu_count"]
+    if cpu_count < 4:
+        pytest.skip(
+            f"host has {cpu_count} usable core(s); the >=1.5x@4-workers "
+            "acceptance floor needs 4 — entries are recorded ungated"
+        )
+    t1, _ = _timed_process_fit(train, SOLVERS["newton_admm"], 1)
+    t4, _ = _timed_process_fit(train, SOLVERS["newton_admm"], 4)
+    assert t1 / t4 >= 1.5

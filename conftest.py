@@ -1,12 +1,46 @@
 """Repository-level pytest configuration.
 
 Ensures ``src/`` is importable even when the package has not been installed
-(e.g. offline environments where editable installs cannot build wheels).
+(e.g. offline environments where editable installs cannot build wheels), and
+arms a hung-worker watchdog around every test marked ``process_engine``: a
+deadlocked or orphaned worker process would otherwise hang the whole suite at
+a pipe ``recv``, and CI kills the job with no useful traceback.
 """
 
+import os
+import signal
 import sys
 from pathlib import Path
+
+import pytest
 
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+#: hard per-test ceiling for process-engine tests (seconds); generous next to
+#: the transport's own REPRO_PROCESS_TIMEOUT watchdog, which should fire first
+_PROCESS_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if item.get_closest_marker("process_engine") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"process-engine test exceeded {_PROCESS_TEST_TIMEOUT:.0f}s "
+            "(REPRO_TEST_TIMEOUT) — worker processes are likely hung"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, _PROCESS_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -87,6 +87,11 @@ class AsyncNewtonADMM(NewtonADMM):
 
     name = "async_newton_admm"
 
+    #: event-queue schedule has no SPMD replica form; on
+    #: ``engine="process"`` this solver runs on the in-process
+    #: simulated event engine instead of real worker processes.
+    supports_process_engine = False
+
     def __init__(
         self,
         *,

@@ -159,7 +159,19 @@ class SimulatedCluster:
         additionally records per-worker busy/wait/comm timelines.  Both modes
         produce bit-identical iterates and identical modelled times for
         synchronous solvers; asynchronous solvers always use the engine's
-        event queue regardless of this mode.
+        event queue regardless of this mode.  ``"process"`` additionally runs
+        every worker as a real OS process (SPMD over a spawn pool — see
+        :mod:`repro.distributed.process_engine`): iterates and modelled
+        times stay bit-identical to ``"event"``, and measured wall-clock
+        timelines are attached to ``trace.info["wall_clock"]``.  The process
+        engine requires the NumPy backend, the serial executor, and no
+        modelled straggler/fault models (real processes fail for real —
+        kill one and the run raises a structured
+        :class:`~repro.distributed.faults.WorkerLostError`).
+    shards:
+        Internal (process engine): pre-computed shards for a rank-local
+        replica, skipping :func:`~repro.datasets.sharding.shard_dataset` so
+        children reuse the parent's shared-memory shards zero-copy.
     """
 
     def __init__(
@@ -179,6 +191,7 @@ class SimulatedCluster:
         precision: Optional[str] = None,
         engine: str = "lockstep",
         random_state=None,
+        shards: Optional[Sequence[ClassificationDataset]] = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -186,14 +199,40 @@ class SimulatedCluster:
             raise ValueError(
                 f"executor must be 'serial' or 'threads', got {executor!r}"
             )
-        if engine not in ("lockstep", "event"):
+        if engine not in ("lockstep", "event", "process"):
             raise ValueError(
-                f"engine must be 'lockstep' or 'event', got {engine!r}"
+                f"engine must be 'lockstep', 'event' or 'process', got {engine!r}"
             )
         self.train = train
         self.n_workers = int(n_workers)
         self.backend: ArrayBackend = get_backend(backend)
         self.precision = resolve_precision(precision)
+        if engine == "process":
+            # Real parallelism composes with neither the modelled perturbation
+            # models (stragglers/faults live in simulated time) nor the thread
+            # executor, and the shared-memory shard handoff is NumPy-only.
+            if self.backend.name != "numpy":
+                raise ValueError(
+                    "engine='process' requires the numpy backend (shared-"
+                    f"memory shard handoff), got backend {self.backend.name!r}"
+                )
+            if executor != "serial":
+                raise ValueError(
+                    "engine='process' already parallelizes across OS "
+                    "processes; executor must be 'serial'"
+                )
+            if straggler is not None:
+                raise ValueError(
+                    "engine='process' measures real time; modelled straggler "
+                    "injection needs engine='lockstep' or 'event'"
+                )
+            if faults is not None:
+                raise ValueError(
+                    "engine='process' surfaces real process failures; "
+                    "modelled FailureModel injection needs engine='lockstep' "
+                    "or 'event' (kill a worker process to exercise the "
+                    "chaos path)"
+                )
         self.network = network or infiniband_100g()
         if device is None:
             # Cost accounting keys off where the arrays actually live.
@@ -230,9 +269,16 @@ class SimulatedCluster:
             self.n_workers,
             self.network,
             self.clock,
-            engine=self.engine if engine == "event" else None,
+            engine=self.engine if self.event_accounting else None,
             fault_state=self.fault_state,
         )
+        #: process-engine plumbing (see repro.distributed.process_engine):
+        #: the rank role attached while an SPMD fit is live, the lazily
+        #: created parent runtime, and per-worker FLOP totals allgathered
+        #: from the ranks (each rank only runs its own worker's compute).
+        self._process_role = None
+        self._process_runtime = None
+        self._process_flops = None
 
         if isinstance(loss, str):
             if loss not in LOSS_FACTORIES:
@@ -246,9 +292,14 @@ class SimulatedCluster:
         self._loss_factory = loss_factory
         self._loss_name = loss if isinstance(loss, str) else getattr(loss, "__name__", "custom")
 
-        shards = shard_dataset(
-            train, self.n_workers, strategy=sharding, random_state=random_state
-        )
+        if shards is None:
+            shards = shard_dataset(
+                train, self.n_workers, strategy=sharding, random_state=random_state
+            )
+        elif len(shards) != self.n_workers:
+            raise ValueError(
+                f"got {len(shards)} pre-computed shards for {self.n_workers} workers"
+            )
         self.workers: List[Worker] = []
         for i, shard in enumerate(shards):
             local = _call_loss_factory(
@@ -269,6 +320,49 @@ class SimulatedCluster:
         self.dim = dims.pop()
 
     # -- basic properties ---------------------------------------------------
+    @property
+    def event_accounting(self) -> bool:
+        """Whether synchronous rounds route through the event engine.
+
+        True for ``"event"`` and ``"process"``: the process engine keeps the
+        event engine's modelled accounting bit-identical on every rank while
+        real time is measured separately.
+        """
+        return self.engine_mode in ("event", "process")
+
+    @property
+    def process_runtime(self):
+        """The parent-side process-engine runtime (``None`` off the process
+        engine, and ``None`` inside spawned worker replicas)."""
+        if self.engine_mode != "process" or self._process_runtime is False:
+            return None
+        if self._process_runtime is None:
+            from repro.distributed.process_engine import (
+                ProcessRuntime,
+                in_worker_process,
+            )
+
+            if in_worker_process():
+                self._process_runtime = False
+                return None
+            self._process_runtime = ProcessRuntime(self)
+        return self._process_runtime
+
+    def close(self) -> None:
+        """Stop spawned worker processes and release shared memory (process
+        engine; a no-op on the simulated engines)."""
+        runtime = self._process_runtime
+        if runtime not in (None, False):
+            runtime.shutdown()
+
+    def _loss_factory_spec(self):
+        """What the process engine ships to children to rebuild the loss."""
+        return (
+            self._loss_name
+            if self._loss_name in LOSS_FACTORIES
+            else self._loss_factory
+        )
+
     @property
     def n_total(self) -> int:
         """Total number of training samples across all shards."""
@@ -299,6 +393,13 @@ class SimulatedCluster:
         for w in targets:
             w.mark_flops()
 
+        role = self._process_role
+        if role is not None and role.active:
+            # SPMD process mode: compute this rank's worker only, allgather
+            # (result, modelled time, flops) triples over the real transport,
+            # and drive the same event-engine accounting as every other rank.
+            return role.map_workers(self, fn, targets, advance_clock)
+
         if self.executor == "threads" and len(targets) > 1:
             with ThreadPoolExecutor(max_workers=self.max_threads or len(targets)) as pool:
                 results = list(pool.map(fn, targets))
@@ -323,7 +424,7 @@ class SimulatedCluster:
 
     def _advance_round_clock(self, targets: Sequence[Worker], times: Sequence[float]) -> None:
         """Charge one fault-free synchronous round (the historical accounting)."""
-        if self.engine_mode == "event":
+        if self.event_accounting:
             self.engine.run_round(
                 {w.worker_id: t for w, t in zip(targets, times)},
                 category="compute",
@@ -641,10 +742,15 @@ class SimulatedCluster:
 
     # -- bookkeeping -------------------------------------------------------
     def total_flops(self) -> float:
+        if self._process_flops is not None:
+            # Process mode: each rank only ran its own worker's compute;
+            # the allgathered per-round FLOP deltas are the cluster totals.
+            return float(self._process_flops.sum())
         return float(sum(w.objective.flops for w in self.workers))
 
     def reset_accounting(self) -> None:
         """Zero clocks, communication logs and per-worker counters."""
+        self._process_flops = None
         self.clock.reset()
         self.wall.reset()
         self.comm.reset_log()

@@ -110,8 +110,31 @@ class Communicator:
         #: callers from silently communicating across a cut link.
         self.fault_state = fault_state
         self.log = CommunicationLog()
+        #: optional real transport (process engine).  While active, every
+        #: collective moves its buffers between OS processes for real: each
+        #: rank contributes its own buffer and receives the full rank-ordered
+        #: list, which then flows through the *same* reduction code as the
+        #: simulated path — the fold order is what keeps fp64 iterates
+        #: bit-identical across engines.  Modelled accounting is unchanged.
+        self.transport = None
 
     # -- internals -------------------------------------------------------
+    def _transport_active(self) -> bool:
+        t = self.transport
+        return t is not None and t.active
+
+    def _exchange(self, buffers, participants, label: str):
+        """Swap locally built buffers for really-transported ones (process
+        engine); the simulated engines return them unchanged."""
+        if not self._transport_active():
+            return buffers
+        if participants is not None:
+            raise RuntimeError(
+                "the process engine does not support degraded membership; "
+                "simulate faults on engine='event'"
+            )
+        t = self.transport
+        return t.allgather(buffers[t.rank], label=label)
     def _check_reachable(self, participants: Optional[Sequence[int]]) -> None:
         """Raise PartitionError when a participant sits behind an open cut."""
         fs = self.fault_state
@@ -210,6 +233,7 @@ class Communicator:
         """Gather one buffer per (participating) worker at the master."""
         ids, n = self._membership(participants, overlap)
         buffers = self._check_buffers(buffers, n)
+        buffers = self._exchange(buffers, ids, "gather")
         per_worker = max(_nbytes(b) for b in buffers)
         seconds = self.network.gather(n, per_worker)
         self._account("gather", per_worker * n, seconds,
@@ -228,6 +252,14 @@ class Communicator:
         """Send a distinct buffer from the master to each (participating) worker."""
         ids, n = self._membership(participants, overlap)
         buffers = self._check_buffers(buffers, n)
+        if self._transport_active():
+            if ids is not None:
+                raise RuntimeError(
+                    "the process engine does not support degraded membership; "
+                    "simulate faults on engine='event'"
+                )
+            # Master-authoritative: rank 0's buffers are the ones scattered.
+            buffers = self.transport.broadcast(buffers, label="scatter")
         per_worker = max(_nbytes(b) for b in buffers)
         seconds = self.network.scatter(n, per_worker)
         self._account("scatter", per_worker * n, seconds,
@@ -246,6 +278,13 @@ class Communicator:
         """Replicate a master buffer on every (participating) worker."""
         ids, n = self._membership(participants, overlap)
         buffer = ensure_float_array(buffer)
+        if self._transport_active():
+            if ids is not None:
+                raise RuntimeError(
+                    "the process engine does not support degraded membership; "
+                    "simulate faults on engine='event'"
+                )
+            buffer = self.transport.broadcast(buffer, label="broadcast")
         seconds = self.network.broadcast(n, _nbytes(buffer))
         self._account("broadcast", _nbytes(buffer) * n, seconds,
                       joint_with_previous=joint_with_previous, overlap=overlap,
@@ -263,6 +302,7 @@ class Communicator:
         """Element-wise sum of one buffer per worker, result visible everywhere."""
         ids, n = self._membership(participants, overlap)
         buffers = self._check_buffers(buffers, n)
+        buffers = self._exchange(buffers, ids, "allreduce")
         shapes = {b.shape for b in buffers}
         if len(shapes) != 1:
             raise ValueError(f"allreduce buffers must share a shape, got {shapes}")
@@ -294,6 +334,7 @@ class Communicator:
         """Every (participating) worker receives every participant's buffer."""
         ids, n = self._membership(participants, overlap)
         buffers = self._check_buffers(buffers, n)
+        buffers = self._exchange(buffers, ids, "allgather")
         per_worker = max(_nbytes(b) for b in buffers)
         seconds = self.network.allgather(n, per_worker)
         self._account("allgather", per_worker * n, seconds,
@@ -313,6 +354,15 @@ class Communicator:
         if len(values) != n:
             raise ValueError(
                 f"expected {n} scalars, got {len(values)}"
+            )
+        if self._transport_active():
+            if ids is not None:
+                raise RuntimeError(
+                    "the process engine does not support degraded membership; "
+                    "simulate faults on engine='event'"
+                )
+            values = self.transport.allgather(
+                float(values[self.transport.rank]), label="reduce_scalar"
             )
         seconds = self.network.reduce(n, 8.0)
         self._account("reduce_scalar", 8.0 * n, seconds,

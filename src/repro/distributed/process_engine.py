@@ -1,0 +1,794 @@
+"""Real execution engine: every worker is an OS process (``engine="process"``).
+
+The two simulated engines (``lockstep``, ``event``) run all workers on one
+thread and *model* time; every speedup the repo reports through them is
+modelled, not measured.  This module executes the same solver schedules on
+real parallelism so the paper's wall-clock claims can be measured:
+
+SPMD replication
+    Round plans carry closures over solver state (the ADMM x-update closes
+    over ``z``), which cannot be shipped to another process.  Instead of
+    shipping steps, the runtime ships the *solver* (hyper-parameters only —
+    cheap and picklable) and every rank runs the identical ``fit`` loop on its
+    own replica of the cluster, computing only its own worker's
+    :class:`~repro.distributed.schedule.LocalStep` and exchanging results
+    through real collectives.  This is exactly how the paper's mpi4py
+    implementation is structured: one program, N ranks, rank 0 doubling as
+    the master.  The parent process *is* rank 0; ``n_workers - 1`` children
+    are spawned (never forked — see the fork-safety notes below).
+
+Determinism contract
+    Every collective gathers the per-rank contributions into a list ordered
+    by rank and reduces it with the *same left-fold* the simulated
+    :class:`~repro.distributed.comm.Communicator` uses, so fp64 iterates are
+    bit-identical to the ``event``/``lockstep`` engines.  Modelled clocks and
+    per-worker timelines keep running exactly as on the ``event`` engine
+    (every rank drives an identical :class:`EventEngine` replica); real time
+    is recorded separately, as per-rank wall-clock timelines.
+
+Zero-copy shards
+    The parent places the full training set plus every worker's shard into
+    ``multiprocessing.shared_memory`` once, at spawn; children attach NumPy
+    views.  Shard bytes never travel through the command pipes, and the
+    placement counter (``ProcessRuntime.shm_placements``) is asserted in
+    tests.
+
+Fork safety
+    The runtime always uses the ``spawn`` start method, so children inherit
+    *no* module state.  Session defaults mutated by the CLI
+    (:func:`repro.backend.set_default_precision`,
+    :func:`repro.harness.config.set_default_engine`, the backend registry
+    default) are re-applied in the child bootstrap from explicit bootstrap
+    values — never read from inherited globals.
+
+Failure semantics (the chaos harness)
+    A ``kill -9`` of a worker process is detected at the next
+    synchronization point (pipe EOF / liveness probe) and surfaces as the
+    same structured :class:`~repro.distributed.faults.WorkerLostError` the
+    modelled fault injector raises, with the executing plan's ``on_failure``
+    policy in the reason: a real process cannot be restarted mid-collective,
+    so ``"stall"`` and ``"degrade"`` report *why* they cannot apply rather
+    than hanging.  Modelled :class:`~repro.distributed.faults.FailureModel`
+    injection and straggler models stay with the simulated engines.
+
+A ``torch.distributed`` (gloo) transport is probed by
+:func:`process_engine_info` and reported by ``python -m repro engines``; on
+NumPy-only installs the pipe transport below is the implementation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import sys
+import time
+import traceback
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.base import ClassificationDataset
+from repro.distributed.faults import WorkerLostError
+from repro.metrics.timeline import WorkerTimeline, wall_clock_summary
+
+#: seconds a blocked rank waits for a peer before declaring it hung
+DEFAULT_SYNC_TIMEOUT = float(os.environ.get("REPRO_PROCESS_TIMEOUT", "120"))
+
+#: polling granularity of the liveness watchdog (seconds)
+_POLL_INTERVAL = 0.02
+
+#: set in children by :func:`_worker_main`; lets the cluster distinguish the
+#: driving parent (which owns a ProcessRuntime) from a rank-local replica
+_IN_WORKER_PROCESS = False
+
+
+def in_worker_process() -> bool:
+    """True inside a spawned worker process (rank >= 1)."""
+    return _IN_WORKER_PROCESS
+
+
+def process_engine_info() -> Dict[str, Any]:
+    """Introspection for ``python -m repro engines``: what real parallelism
+    is available on this host."""
+    try:
+        cpu_count = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cpu_count = os.cpu_count() or 1
+    try:
+        import torch.distributed as dist  # type: ignore
+
+        if dist.is_available():
+            gloo = getattr(dist, "is_gloo_available", lambda: False)()
+            torch_distributed = "gloo" if gloo else "available (no gloo)"
+        else:  # pragma: no cover - torch built without distributed
+            torch_distributed = "built without distributed"
+    except ImportError:
+        torch_distributed = "not installed"
+    return {
+        "start_method": "spawn",
+        "cpu_count": int(cpu_count),
+        "torch_distributed": torch_distributed,
+        "shared_memory": True,
+        "sync_timeout": DEFAULT_SYNC_TIMEOUT,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory placement (zero-copy shard handoff)
+# ---------------------------------------------------------------------------
+class ShmArena:
+    """Owns shared-memory blocks holding datasets; parent side.
+
+    ``place_dataset`` copies a dataset's arrays into fresh blocks exactly
+    once and returns a picklable *spec* children use to attach zero-copy
+    views.  ``placements`` counts blocks ever created — the transfer counter
+    the zero-copy tests assert stays constant across fits.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: List[shared_memory.SharedMemory] = []
+        self.placements = 0
+        self.bytes_placed = 0
+
+    def _place_array(self, array: np.ndarray) -> Dict[str, Any]:
+        array = np.ascontiguousarray(array)
+        block = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        self._blocks.append(block)
+        self.placements += 1
+        self.bytes_placed += int(array.nbytes)
+        return {"name": block.name, "shape": array.shape, "dtype": str(array.dtype)}
+
+    def place_dataset(self, dataset: ClassificationDataset) -> Dict[str, Any]:
+        spec: Dict[str, Any] = {
+            "n_classes": int(dataset.n_classes),
+            "name": dataset.name,
+            "metadata": dict(dataset.metadata),
+            "y": self._place_array(np.asarray(dataset.y)),
+        }
+        if dataset.is_sparse:
+            X = dataset.X.tocsr()
+            spec["kind"] = "csr"
+            spec["X"] = {
+                "data": self._place_array(X.data),
+                "indices": self._place_array(X.indices),
+                "indptr": self._place_array(X.indptr),
+                "shape": tuple(X.shape),
+            }
+        else:
+            spec["kind"] = "dense"
+            spec["X"] = self._place_array(np.asarray(dataset.X))
+        return spec
+
+    def close(self) -> None:
+        """Release and unlink every block (parent owns the lifetime)."""
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._blocks = []
+
+
+#: child-side: attached blocks must outlive the views built on their buffers
+_ATTACHED_BLOCKS: List[shared_memory.SharedMemory] = []
+
+
+def _attach_array(spec: Dict[str, Any]) -> np.ndarray:
+    # Spawned children inherit the parent's resource-tracker process, whose
+    # registry is a set: the attach-side register is a no-op and the parent's
+    # unlink() unregisters exactly once.  (Python 3.11 has no track= yet;
+    # an explicit child-side unregister here would strip the parent's entry
+    # and make its unlink() double-unregister.)
+    block = shared_memory.SharedMemory(name=spec["name"])
+    _ATTACHED_BLOCKS.append(block)
+    return np.ndarray(
+        tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]), buffer=block.buf
+    )
+
+
+def attach_dataset(spec: Dict[str, Any]) -> ClassificationDataset:
+    """Rebuild a dataset in a child as zero-copy views over shared memory."""
+    if spec["kind"] == "csr":
+        import scipy.sparse as sp
+
+        xs = spec["X"]
+        X = sp.csr_matrix(
+            (
+                _attach_array(xs["data"]),
+                _attach_array(xs["indices"]),
+                _attach_array(xs["indptr"]),
+            ),
+            shape=tuple(xs["shape"]),
+        )
+    else:
+        X = _attach_array(spec["X"])
+    return ClassificationDataset(
+        X,
+        _attach_array(spec["y"]),
+        spec["n_classes"],
+        name=spec["name"],
+        metadata=dict(spec["metadata"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pipe transport: deterministic star-topology collectives rooted at rank 0
+# ---------------------------------------------------------------------------
+class ProcessTransportError(RuntimeError):
+    """A worker process failed (exception in a child, protocol desync)."""
+
+
+class _Transport:
+    """Collective primitives every rank calls symmetrically.
+
+    The topology is a star rooted at rank 0 (the parent — the master is
+    co-located with worker 0, as in the paper): an ``allgather`` is a gather
+    of each child's contribution in rank order followed by a broadcast of
+    the assembled list.  Gathering *in rank order* is what makes the
+    left-fold reductions downstream bit-identical to the simulated engines.
+
+    ``active`` is toggled by the runtime around each fit; an inactive
+    transport makes the Communicator fall back to its simulated (local)
+    data path, which is how the same cluster object also serves async
+    solvers that cannot run SPMD.
+    """
+
+    rank: int = 0
+    n_ranks: int = 1
+
+    def __init__(self) -> None:
+        self.active = False
+        self.seq = 0
+        self.wall: Optional[WorkerTimeline] = None
+        self.bytes_exchanged = 0
+
+    # -- wall-clock recording ---------------------------------------------
+    def _record(self, t0: float, kind: str, label: str) -> None:
+        if self.wall is not None:
+            self.wall.advance(time.perf_counter() - t0, kind, label)
+
+    def reset(self, wall: Optional[WorkerTimeline]) -> None:
+        self.seq = 0
+        self.wall = wall
+        self.bytes_exchanged = 0
+
+    def allgather(self, value: Any, *, label: str = "allgather") -> List[Any]:
+        raise NotImplementedError
+
+    def broadcast(self, value: Any, *, label: str = "broadcast") -> Any:
+        raise NotImplementedError
+
+
+class MasterTransport(_Transport):
+    """Rank 0's side of the star: owned by the parent's :class:`ProcessRuntime`."""
+
+    def __init__(self, runtime: "ProcessRuntime") -> None:
+        super().__init__()
+        self._runtime = weakref.proxy(runtime)
+        self.rank = 0
+        self.n_ranks = runtime.n_ranks
+
+    def _recv_tx(self, rank: int) -> Any:
+        tag, seq, payload = self._runtime.recv_from(rank)
+        if tag == "error":
+            raise ProcessTransportError(
+                f"worker process {rank} failed:\n{payload}"
+            )
+        if tag != "tx" or seq != self.seq:
+            raise ProcessTransportError(
+                f"worker {rank} desynchronized: expected tx #{self.seq}, "
+                f"got {tag!r} #{seq}"
+            )
+        return payload
+
+    def allgather(self, value: Any, *, label: str = "allgather") -> List[Any]:
+        t0 = time.perf_counter()
+        parts: List[Any] = [value] + [None] * (self.n_ranks - 1)
+        for rank in range(1, self.n_ranks):
+            parts[rank] = self._recv_tx(rank)
+        for rank in range(1, self.n_ranks):
+            self._runtime.send_to(rank, ("tx", self.seq, parts))
+        self.seq += 1
+        self._record(t0, "comm", label)
+        return parts
+
+    def broadcast(self, value: Any, *, label: str = "broadcast") -> Any:
+        t0 = time.perf_counter()
+        for rank in range(1, self.n_ranks):
+            self._runtime.send_to(rank, ("tx", self.seq, value))
+        self.seq += 1
+        self._record(t0, "comm", label)
+        return value
+
+
+class ChildTransport(_Transport):
+    """A child rank's side of the star (one duplex pipe to the parent)."""
+
+    def __init__(self, rank: int, n_ranks: int, conn, timeout: float) -> None:
+        super().__init__()
+        self.rank = int(rank)
+        self.n_ranks = int(n_ranks)
+        self.conn = conn
+        self.timeout = float(timeout)
+
+    def _recv(self) -> Any:
+        deadline = time.monotonic() + self.timeout
+        parent = mp.parent_process()
+        while not self.conn.poll(_POLL_INTERVAL):
+            if parent is not None and not parent.is_alive():
+                sys.exit(1)  # orphaned: the driver is gone
+            if time.monotonic() > deadline:
+                raise ProcessTransportError(
+                    f"rank {self.rank}: no message from the driver within "
+                    f"{self.timeout:.0f}s"
+                )
+        try:
+            return self.conn.recv()
+        except EOFError:
+            sys.exit(1)
+
+    def _recv_tx(self) -> Any:
+        tag, seq, payload = self._recv()
+        if tag != "tx" or seq != self.seq:
+            raise ProcessTransportError(
+                f"rank {self.rank} desynchronized: expected tx #{self.seq}, "
+                f"got {tag!r} #{seq}"
+            )
+        return payload
+
+    def allgather(self, value: Any, *, label: str = "allgather") -> List[Any]:
+        t0 = time.perf_counter()
+        self.conn.send(("tx", self.seq, value))
+        parts = self._recv_tx()
+        self.seq += 1
+        self._record(t0, "comm", label)
+        return list(parts)
+
+    def broadcast(self, value: Any, *, label: str = "broadcast") -> Any:
+        t0 = time.perf_counter()
+        value = self._recv_tx()
+        self.seq += 1
+        self._record(t0, "comm", label)
+        return value
+
+
+# ---------------------------------------------------------------------------
+# The per-rank role: SPMD map_workers + wall-clock timelines
+# ---------------------------------------------------------------------------
+class ProcessRole:
+    """What one rank does during an SPMD fit.
+
+    Attached to a cluster (parent or rank-local replica); while ``active``,
+    :meth:`map_workers` computes only this rank's worker and allgathers
+    ``(result, modelled_time, flops)`` triples so every rank binds the full
+    per-worker result list — and advances the *same* modelled clocks the
+    ``event`` engine would.
+    """
+
+    def __init__(self, transport: _Transport) -> None:
+        self.transport = transport
+        self.rank = transport.rank
+        self.wall = WorkerTimeline(self.rank)
+
+    @property
+    def active(self) -> bool:
+        return self.transport.active
+
+    def activate(self) -> None:
+        self.wall = WorkerTimeline(self.rank)
+        self.transport.reset(self.wall)
+        self.transport.active = True
+
+    def deactivate(self) -> None:
+        self.transport.active = False
+
+    def map_workers(self, cluster, fn, targets, advance_clock: bool) -> List[Any]:
+        local = next(
+            (w for w in targets if w.worker_id == self.rank), None
+        )
+        payload = None
+        if local is not None:
+            t0 = time.perf_counter()
+            result = fn(local)
+            self.wall.advance(time.perf_counter() - t0, "busy", "map_workers")
+            payload = (
+                result,
+                local.modelled_compute_time(),
+                local.flops_since_mark(),
+            )
+        gathered = self.transport.allgather(payload, label="map_workers")
+        entries = []
+        for w in targets:
+            entry = gathered[w.worker_id]
+            if entry is None:  # pragma: no cover - defensive SPMD check
+                raise ProcessTransportError(
+                    f"rank {w.worker_id} produced no result for a local round "
+                    "— the replicas diverged"
+                )
+            entries.append(entry)
+        if cluster._process_flops is None:
+            cluster._process_flops = np.zeros(cluster.n_workers)
+        for w, (_, _, flops) in zip(targets, entries):
+            cluster._process_flops[w.worker_id] += flops
+        if advance_clock:
+            cluster.engine.run_round(
+                {w.worker_id: t for w, (_, t, _) in zip(targets, entries)},
+                category="compute",
+            )
+            cluster.last_round_survivors = [w.worker_id for w in targets]
+        return [result for result, _, _ in entries]
+
+
+# ---------------------------------------------------------------------------
+# Parent-side runtime: spawn, dispatch fits, chaos detection, teardown
+# ---------------------------------------------------------------------------
+class ProcessRuntime:
+    """Drives ``n_workers - 1`` spawned worker processes for one cluster.
+
+    Created lazily by ``SimulatedCluster(engine="process")`` in the parent.
+    Children are spawned on the first fit and reused across fits; a detected
+    worker loss tears the pool down (the next fit respawns it).
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.n_ranks = cluster.n_workers
+        self.timeout = DEFAULT_SYNC_TIMEOUT
+        self.in_fit = False
+        self.role = ProcessRole(MasterTransport(self))
+        self.arena: Optional[ShmArena] = None
+        self._procs: Dict[int, mp.process.BaseProcess] = {}
+        self._conns: Dict[int, Any] = {}
+        self.child_info: Dict[int, dict] = {}
+        self._finalizer = weakref.finalize(self, _finalize_runtime, self)
+        cluster._process_role = self.role
+        cluster.comm.transport = self.role.transport
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self._procs) or self.n_ranks == 1
+
+    @property
+    def shm_placements(self) -> int:
+        return self.arena.placements if self.arena is not None else 0
+
+    @property
+    def shm_bytes(self) -> int:
+        return self.arena.bytes_placed if self.arena is not None else 0
+
+    def worker_pids(self) -> Dict[int, int]:
+        """rank -> OS pid of every live *spawned* worker process.
+
+        Rank 0 is this process (the master, co-located with worker 0 as in
+        the paper's deployment) and is deliberately not listed: the chaos
+        harness targets these pids with ``kill -9``, and killing rank 0 is
+        killing the caller.
+        """
+        return {r: p.pid for r, p in self._procs.items() if p.is_alive()}
+
+    def ensure_started(self) -> None:
+        if self._procs or self.n_ranks == 1:
+            return
+        cluster = self.cluster
+        ctx = mp.get_context("spawn")
+        if self.arena is None:
+            self.arena = ShmArena()
+        arena = self.arena
+        train_spec = arena.place_dataset(cluster.train)
+        shard_specs = [arena.place_dataset(w.shard) for w in cluster.workers]
+        session = {
+            "backend": cluster.backend.name,
+            "precision": cluster.precision,
+            "engine": "process",
+        }
+        base = {
+            "n_workers": self.n_ranks,
+            "train": train_spec,
+            "shards": shard_specs,
+            "loss": cluster._loss_factory_spec(),
+            "network": cluster.network,
+            "devices": cluster.devices,
+            "session": session,
+            "timeout": self.timeout,
+        }
+        try:
+            pickle.dumps(base)
+        except Exception as exc:
+            raise ValueError(
+                "engine='process' must ship the cluster configuration to "
+                f"spawned workers, but it does not pickle: {exc!r}. Use a "
+                "named loss ('softmax'/'logistic') or a module-level factory."
+            ) from exc
+        for rank in range(1, self.n_ranks):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(rank, child_conn, base),
+                daemon=True,
+                name=f"repro-worker-{rank}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs[rank] = proc
+            self._conns[rank] = parent_conn
+        for rank in range(1, self.n_ranks):
+            tag, _, info = self.recv_from(rank)
+            if tag != "ready":
+                raise ProcessTransportError(
+                    f"worker {rank} failed to start: {info}"
+                )
+            self.child_info[rank] = info
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        """Stop children and release shared memory; safe to call twice."""
+        for rank, conn in list(self._conns.items()):
+            proc = self._procs.get(rank)
+            if not kill and proc is not None and proc.is_alive():
+                try:
+                    conn.send(("cmd", 0, ("stop", None)))
+                except (BrokenPipeError, OSError):
+                    pass
+        for rank, proc in list(self._procs.items()):
+            proc.join(timeout=None if kill else 5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._procs = {}
+        self._conns = {}
+        self.child_info = {}
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
+
+    # -- wire primitives (used by MasterTransport) --------------------------
+    def send_to(self, rank: int, message) -> None:
+        try:
+            self._conns[rank].send(message)
+        except (BrokenPipeError, OSError):
+            self._lost(rank, reason_suffix="its pipe closed mid-send")
+
+    def recv_from(self, rank: int):
+        conn = self._conns[rank]
+        proc = self._procs[rank]
+        deadline = time.monotonic() + self.timeout
+        while not conn.poll(_POLL_INTERVAL):
+            if not proc.is_alive():
+                self._lost(rank)
+            if time.monotonic() > deadline:
+                self._lost(
+                    rank,
+                    reason_suffix=(
+                        f"it sent nothing for {self.timeout:.0f}s "
+                        "(hung worker watchdog)"
+                    ),
+                )
+        try:
+            return conn.recv()
+        except (EOFError, OSError):
+            # EOFError: clean close; ConnectionResetError/OSError: the peer
+            # was SIGKILLed with bytes in flight.  Same structured loss.
+            self._lost(rank)
+
+    def _lost(self, rank: int, *, reason_suffix: Optional[str] = None) -> None:
+        """Raise the structured loss for a dead/hung worker process.
+
+        The active plan's ``on_failure`` policy shapes the message: unlike
+        the modelled fault injector, a killed OS process cannot be restarted
+        or voted out of the membership mid-collective, so every policy ends
+        the run — but each reports *its own* reason, which is what the chaos
+        tests pin down.
+        """
+        policy = getattr(self.cluster, "_fault_policy", "raise")
+        proc = self._procs.get(rank)
+        if proc is not None and proc.exitcode is None:
+            proc.join(timeout=0.5)  # reap so the exit code is readable
+        exitcode = proc.exitcode if proc is not None else None
+        died = reason_suffix or (
+            f"its process died (exit code {exitcode})"
+        )
+        if policy == "stall":
+            reason = (
+                f"{died}; a real OS process cannot restart — "
+                "policy 'stall' cannot complete"
+            )
+        elif policy == "degrade":
+            reason = (
+                f"{died}; the process engine does not support degraded "
+                "membership (policy 'degrade') — simulate crashes on "
+                "engine='event' with a FailureModel instead"
+            )
+        else:
+            reason = f"{died} at a synchronization point (policy 'raise')"
+        error = WorkerLostError(
+            rank, self.cluster.clock.time, reason=reason
+        )
+        # The surviving replicas are mid-collective and cannot make
+        # progress; tear the pool down so the next fit starts clean.
+        self.shutdown(kill=True)
+        raise error
+
+    # -- fit dispatch --------------------------------------------------------
+    def should_dispatch(self, solver) -> bool:
+        """Whether ``solver.fit`` should run SPMD on real processes.
+
+        Asynchronous solvers (event-queue schedules, not round plans) fall
+        back to the in-process simulated path on the same cluster.
+        """
+        return (not self.in_fit) and getattr(
+            solver, "supports_process_engine", True
+        )
+
+    def run_fit(self, solver, cluster, *, test=None, w0=None, reset_cluster=True):
+        self.ensure_started()
+        dead = [r for r, p in self._procs.items() if not p.is_alive()]
+        if dead:
+            with cluster.fault_policy(solver.on_failure):
+                self._lost(dead[0])
+        # Children skip accuracy evaluation (it never feeds control flow);
+        # everything that does — gradients, tolerances, stop flags — is
+        # recomputed identically by every replica.
+        child_solver = pickle.loads(pickle.dumps(solver))
+        child_solver.record_accuracy = False
+        w0_wire = None if w0 is None else np.asarray(w0, dtype=np.float64)
+        command = (
+            "fit",
+            {"solver": child_solver, "w0": w0_wire, "reset": reset_cluster},
+        )
+        for rank in range(1, self.n_ranks):
+            self.send_to(rank, ("cmd", 0, command))
+        self.in_fit = True
+        self.role.activate()
+        t0 = time.perf_counter()
+        try:
+            trace = solver.fit(
+                cluster, test=test, w0=w0, reset_cluster=reset_cluster
+            )
+        except BaseException:
+            self.shutdown(kill=True)
+            raise
+        finally:
+            self.in_fit = False
+            self.role.deactivate()
+        elapsed = time.perf_counter() - t0
+        walls: Dict[int, dict] = {0: self.role.wall.to_dict()}
+        for rank in range(1, self.n_ranks):
+            tag, _, payload = self.recv_from(rank)
+            if tag == "error":
+                self.shutdown(kill=True)
+                raise ProcessTransportError(
+                    f"worker process {rank} failed:\n{payload}"
+                )
+            if tag != "done":  # pragma: no cover - defensive
+                self.shutdown(kill=True)
+                raise ProcessTransportError(
+                    f"worker {rank}: expected fit completion, got {tag!r}"
+                )
+            walls[rank] = payload["wall"]
+        rows = [walls[r] for r in sorted(walls)]
+        trace.info["wall_clock"] = {
+            "engine": "process",
+            "n_processes": self.n_ranks,
+            "start_method": "spawn",
+            "elapsed_seconds": float(elapsed),
+            "workers": rows,
+            "summary": wall_clock_summary(rows),
+        }
+        return trace
+
+
+def _finalize_runtime(runtime: ProcessRuntime) -> None:
+    try:
+        runtime.shutdown(kill=True)
+    except Exception:  # pragma: no cover - interpreter teardown
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Child bootstrap
+# ---------------------------------------------------------------------------
+def _worker_main(rank: int, conn, bootstrap: Dict[str, Any]) -> None:
+    """Entry point of a spawned worker process (top-level: spawn-picklable).
+
+    Builds this rank's replica of the cluster over shared-memory data, then
+    serves ``fit`` commands until stopped.  Session defaults are applied
+    from explicit bootstrap values — under ``spawn`` nothing is inherited,
+    and nothing is read from the parent's module globals.
+    """
+    global _IN_WORKER_PROCESS
+    _IN_WORKER_PROCESS = True
+    try:
+        from repro.backend import set_default_backend, set_default_precision
+        from repro.distributed.cluster import SimulatedCluster
+        from repro.harness.config import set_default_engine
+
+        session = bootstrap["session"]
+        set_default_backend(session["backend"])
+        set_default_precision(session["precision"])
+        set_default_engine(session["engine"])
+
+        train = attach_dataset(bootstrap["train"])
+        shards = [attach_dataset(spec) for spec in bootstrap["shards"]]
+        cluster = SimulatedCluster(
+            train,
+            bootstrap["n_workers"],
+            loss=bootstrap["loss"],
+            network=bootstrap["network"],
+            device=bootstrap["devices"],
+            backend=session["backend"],
+            precision=session["precision"],
+            engine="process",
+            shards=shards,
+        )
+        transport = ChildTransport(
+            rank, bootstrap["n_workers"], conn, bootstrap["timeout"]
+        )
+        role = ProcessRole(transport)
+        cluster._process_role = role
+        cluster.comm.transport = transport
+        conn.send(
+            (
+                "ready",
+                0,
+                {
+                    "rank": rank,
+                    "pid": os.getpid(),
+                    "start_method": mp.get_start_method(),
+                    "session": dict(session),
+                },
+            )
+        )
+    except Exception:
+        try:
+            conn.send(("error", 0, traceback.format_exc()))
+        finally:
+            return
+
+    while True:
+        try:
+            tag, _, payload = transport._recv()
+        except ProcessTransportError:
+            return
+        if tag != "cmd":
+            conn.send(("error", 0, f"rank {rank}: unexpected message {tag!r}"))
+            continue
+        op, arg = payload
+        if op == "stop":
+            return
+        if op != "fit":
+            conn.send(("error", 0, f"rank {rank}: unknown command {op!r}"))
+            continue
+        solver = arg["solver"]
+        role.activate()
+        try:
+            solver.fit(
+                cluster,
+                test=None,
+                w0=arg["w0"],
+                reset_cluster=arg["reset"],
+            )
+        except SystemExit:
+            raise
+        except BaseException:
+            role.deactivate()
+            try:
+                conn.send(("error", 0, traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                return
+            continue
+        role.deactivate()
+        try:
+            conn.send(("done", 0, {"wall": role.wall.to_dict()}))
+        except (BrokenPipeError, OSError):
+            return

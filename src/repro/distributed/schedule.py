@@ -525,7 +525,7 @@ def _guard_collective(cluster, policy: str, members: Optional[List[int]]):
     # rejoin here: the heal event is recorded and (event engine) their
     # unreachable window is drawn before a barrier would render it as wait.
     fs.rejoin_healed(
-        now, engine=cluster.engine if cluster.engine_mode == "event" else None
+        now, engine=cluster.engine if cluster.event_accounting else None
     )
     down = [
         wid for wid in range(cluster.n_workers) if fs.is_down(wid, now)
@@ -666,7 +666,7 @@ def _execute_steps(
             if step.name is not None:
                 ctx[step.name] = value
         elif isinstance(step, Barrier):
-            if cluster.engine_mode == "event":
+            if cluster.event_accounting:
                 cluster.engine.barrier(label=step.label)
         elif isinstance(step, Join):
             comm.join()

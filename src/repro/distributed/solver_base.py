@@ -71,6 +71,14 @@ class DistributedSolver(ABC):
     #: human-readable method name used in traces and reports
     name: str = "distributed"
 
+    #: whether this solver's schedule can run replicated across real OS
+    #: processes (``engine="process"``).  True for every declarative
+    #: synchronous solver — identical replicas reach identical RoundPlans
+    #: and meet at real collectives.  Asynchronous solvers set this False:
+    #: their schedules emerge from a single shared event queue that has no
+    #: SPMD equivalent, so they fall back to the in-process event engine.
+    supports_process_engine: bool = True
+
     #: set by subclasses (from inside :meth:`_epoch`) to stop the outer loop
     #: early, e.g. when ADMM primal/dual residuals fall below tolerance
     _stop_requested: bool = False
@@ -147,6 +155,14 @@ class DistributedSolver(ABC):
         reset_cluster: bool = True,
     ) -> RunTrace:
         """Run the solver on ``cluster`` and return the per-epoch trace."""
+        runtime = getattr(cluster, "process_runtime", None)
+        if runtime is not None and runtime.should_dispatch(self):
+            # engine="process": hand the fit to the process runtime, which
+            # replicates this solver across real worker processes and re-enters
+            # fit() on every rank with the transport active.
+            return runtime.run_fit(
+                self, cluster, test=test, w0=w0, reset_cluster=reset_cluster
+            )
         if reset_cluster:
             cluster.reset_accounting()
         backend = cluster.backend

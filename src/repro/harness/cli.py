@@ -121,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="describe the registered workloads")
     sub.add_parser("solvers", help="list the registered distributed solvers")
     sub.add_parser("backends", help="list array backends and their availability")
+    sub.add_parser("engines", help="list execution engines and host parallelism")
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
@@ -152,12 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--engine",
-        choices=["lockstep", "event"],
+        choices=["lockstep", "event", "process"],
         default=None,
         help=(
             "execution engine for synchronous solvers (default: lockstep; "
             "'event' runs on the discrete-event scheduler — identical results "
-            "and modelled times, plus per-worker busy/wait/comm timelines)"
+            "and modelled times, plus per-worker busy/wait/comm timelines; "
+            "'process' runs each worker as a real OS process with measured "
+            "wall-clock timelines on top of the same modelled accounting — "
+            "see 'python -m repro engines')"
         ),
     )
     run.add_argument(
@@ -268,6 +272,40 @@ def _cmd_backends(print_fn: Callable[[str], None]) -> int:
     return 0
 
 
+def _cmd_engines(print_fn: Callable[[str], None]) -> int:
+    from repro.distributed.process_engine import process_engine_info
+    from repro.harness.config import ENGINE_MODES, default_engine
+
+    info = process_engine_info()
+    current = default_engine()
+    descriptions = {
+        "lockstep": "in-process, modelled time, synchronous rounds",
+        "event": "in-process, modelled time, per-worker timelines",
+        "process": (
+            f"real OS processes ({info['start_method']} start), measured "
+            "wall-clock + modelled time"
+        ),
+    }
+    rows = [
+        {
+            "engine": name,
+            "execution": descriptions[name],
+            "default": "*" if name == current else "",
+        }
+        for name in ENGINE_MODES
+    ]
+    print_fn(format_table(rows, title="Execution engines (select with run --engine)"))
+    print_fn(
+        f"host: {info['cpu_count']} usable CPU(s); "
+        f"start method: {info['start_method']}; "
+        f"shared-memory shard handoff: "
+        f"{'yes' if info['shared_memory'] else 'no'}; "
+        f"torch.distributed backend: {info['torch_distributed']}; "
+        f"sync timeout: {info['sync_timeout']:.0f}s (REPRO_PROCESS_TIMEOUT)"
+    )
+    return 0
+
+
 def _cmd_run(args, print_fn: Callable[[str], None]) -> int:
     if getattr(args, "backend", None):
         from repro.backend import BackendUnavailableError, set_default_backend
@@ -352,6 +390,8 @@ def main(argv: Optional[Sequence[str]] = None, *, print_fn: Callable[[str], None
         return _cmd_solvers(print_fn)
     if args.command == "backends":
         return _cmd_backends(print_fn)
+    if args.command == "engines":
+        return _cmd_engines(print_fn)
     if args.command == "run":
         return _cmd_run(args, print_fn)
     parser.error(f"unknown command {args.command!r}")

@@ -131,7 +131,10 @@ class ClusterConfig:
 #: session default for ``ClusterConfig.engine`` (see :func:`set_default_engine`)
 _DEFAULT_ENGINE = "lockstep"
 
-ENGINE_MODES = ("lockstep", "event")
+#: ``lockstep`` and ``event`` simulate time in-process; ``process`` runs each
+#: worker as a real OS process (spawn) while keeping the event engine's
+#: modelled accounting — see :mod:`repro.distributed.process_engine`.
+ENGINE_MODES = ("lockstep", "event", "process")
 
 
 def set_default_engine(mode: str) -> str:

@@ -216,6 +216,35 @@ def slice_epoch(
     return sliced
 
 
+def wall_clock_summary(rows: Sequence[dict]) -> dict:
+    """Aggregate *measured* per-rank wall-clock timelines (process engine).
+
+    ``rows`` are serialized :class:`WorkerTimeline` dicts where segments hold
+    real ``perf_counter`` durations instead of modelled seconds: ``busy`` is
+    time inside local compute, ``comm`` is time blocked in a real collective
+    (which includes waiting for slower ranks — on a pipe transport the two
+    are indistinguishable).  The summary reports the makespan (slowest rank)
+    and the parallel efficiency ``sum(busy) / (n * makespan)`` — the number
+    that says how much of the machine the run actually used, and the honest
+    counterpart of the modelled speedups the simulated engines report.
+    """
+    makespan = max((float(r.get("total", 0.0)) for r in rows), default=0.0)
+    busy = sum(float(r.get("busy", 0.0)) for r in rows)
+    comm = sum(float(r.get("comm", 0.0)) for r in rows)
+    wait = sum(float(r.get("wait", 0.0)) for r in rows)
+    n = len(rows)
+    return {
+        "n_workers": n,
+        "makespan_seconds": makespan,
+        "busy_seconds": busy,
+        "comm_seconds": comm,
+        "wait_seconds": wait,
+        "parallel_efficiency": (
+            busy / (n * makespan) if n and makespan > 0 else float("nan")
+        ),
+    }
+
+
 def timelines_from_dicts(rows: Sequence[dict]) -> List[WorkerTimeline]:
     """Rebuild :class:`WorkerTimeline` objects from serialized dictionaries.
 

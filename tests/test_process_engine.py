@@ -1,0 +1,350 @@
+"""Tests for the real-process execution engine (``engine="process"``).
+
+Three pillars:
+
+- **Equivalence**: every synchronous solver produces bit-identical fp64
+  iterates, identical modelled times, and identical communication totals on
+  real OS processes as on the simulated engines — the determinism contract of
+  ``docs/performance.md``.  The quick matrix runs at a small worker count
+  (``REPRO_PROCESS_TEST_WORKERS``, default 2 — CI pins 2); the golden-trace
+  replay at the canonical 4 workers is marked ``slow``.
+- **Chaos**: ``kill -9`` of a live worker process surfaces as a structured
+  :class:`~repro.distributed.faults.WorkerLostError` under every declared
+  ``on_failure`` policy, and the pool respawns cleanly for the next fit.
+- **Plumbing**: zero-copy shared-memory shard handoff (placement counters),
+  fork-safety of session defaults under spawn, measured wall-clock timelines
+  in ``trace.info``, and the async-solver fallback.
+"""
+
+import json
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.admm.async_newton_admm import AsyncNewtonADMM
+from repro.admm.newton_admm import NewtonADMM
+from repro.baselines.aide import AIDE
+from repro.baselines.cocoa import CoCoA
+from repro.baselines.dane import InexactDANE
+from repro.baselines.disco import DiSCO
+from repro.baselines.giant import GIANT
+from repro.baselines.sync_sgd import SynchronousSGD
+from repro.datasets.synthetic import make_multiclass_gaussian
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.collectives import star_allgather_ipc_seconds
+from repro.distributed.faults import WorkerLostError
+from repro.distributed.process_engine import process_engine_info
+from repro.harness.config import default_engine, set_default_engine
+
+pytestmark = pytest.mark.process_engine
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "schedule_equivalence.json"
+
+#: worker count of the quick equivalence matrix; CI pins this to 2 so the
+#: suite cannot oversubscribe small runners
+N_WORKERS = int(os.environ.get("REPRO_PROCESS_TEST_WORKERS", "2"))
+
+#: mirrors tests/test_schedule.py (and the golden generator) so the process
+#: engine is held to the same recorded schedules
+SOLVER_FACTORIES = {
+    "newton_admm": lambda: NewtonADMM(lam=1e-3, max_epochs=4, record_accuracy=False),
+    "giant": lambda: GIANT(lam=1e-3, max_epochs=4, record_accuracy=False),
+    "inexact_dane": lambda: InexactDANE(lam=1e-3, max_epochs=2, record_accuracy=False),
+    "aide": lambda: AIDE(lam=1e-3, max_epochs=2, tau=0.5, record_accuracy=False),
+    "disco": lambda: DiSCO(lam=1e-3, max_epochs=3, record_accuracy=False),
+    "cocoa": lambda: CoCoA(lam=1e-3, max_epochs=3, record_accuracy=False),
+    "sync_sgd": lambda: SynchronousSGD(
+        lam=1e-3, max_epochs=2, step_size=0.2, record_accuracy=False
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_multiclass_gaussian(240, 10, 3, class_separation=3.0, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def binary_dataset():
+    return make_multiclass_gaussian(200, 8, 2, class_separation=3.0, random_state=1)
+
+
+def _dataset_for(name, dataset, binary_dataset):
+    return binary_dataset if name == "cocoa" else dataset
+
+
+def _fit(data, name, engine, n_workers=N_WORKERS, **solver_kwargs):
+    cluster = SimulatedCluster(
+        data, n_workers, loss="softmax", engine=engine, random_state=0
+    )
+    solver = SOLVER_FACTORIES[name]()
+    for key, value in solver_kwargs.items():
+        setattr(solver, key, value)
+    try:
+        trace = solver.fit(cluster)
+    finally:
+        cluster.close()
+    return trace, cluster
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: real processes change no float
+# ---------------------------------------------------------------------------
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", sorted(SOLVER_FACTORIES))
+    def test_process_matches_simulated_engines(self, name, dataset, binary_dataset):
+        data = _dataset_for(name, dataset, binary_dataset)
+        traces = {}
+        clusters = {}
+        for engine in ("lockstep", "event", "process"):
+            traces[engine], clusters[engine] = _fit(data, name, engine)
+        reference = traces["event"]
+        for engine in ("lockstep", "process"):
+            trace = traces[engine]
+            assert trace.final_w.dtype == np.float64
+            assert np.array_equal(trace.final_w, reference.final_w), engine
+            assert [r.objective for r in trace.records] == [
+                r.objective for r in reference.records
+            ], engine
+        # The process engine replicates the event engine's modelled
+        # accounting exactly: clocks, rounds, collectives, and bytes.
+        process = traces["process"]
+        assert [r.modelled_time for r in process.records] == [
+            r.modelled_time for r in reference.records
+        ]
+        assert [r.comm_time for r in process.records] == [
+            r.comm_time for r in reference.records
+        ]
+        for field in ("rounds", "collectives", "bytes"):
+            assert (
+                process.info["communication"][field]
+                == reference.info["communication"][field]
+            )
+        assert process.info["total_flops"] == reference.info["total_flops"]
+
+    def test_process_run_is_self_deterministic(self, dataset):
+        one, _ = _fit(dataset, "newton_admm", "process")
+        two, _ = _fit(dataset, "newton_admm", "process")
+        assert np.array_equal(one.final_w, two.final_w)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", sorted(SOLVER_FACTORIES))
+    def test_matches_pre_refactor_golden_at_four_workers(
+        self, name, dataset, binary_dataset
+    ):
+        with GOLDEN_PATH.open() as fh:
+            golden = json.load(fh)
+        data = _dataset_for(name, dataset, binary_dataset)
+        trace, cluster = _fit(data, name, "process", n_workers=4)
+        expected = golden[name]
+        assert trace.final_w.tolist() == expected["final_w"]
+        assert [r.objective for r in trace.records] == expected["objectives"]
+        assert [r.modelled_time for r in trace.records] == expected["modelled_times"]
+        assert cluster.comm.log.n_rounds == expected["comm_rounds"]
+        assert cluster.comm.log.n_collectives == expected["n_collectives"]
+        assert cluster.comm.log.bytes_transferred == expected["bytes_transferred"]
+
+
+# ---------------------------------------------------------------------------
+# Measured wall-clock alongside modelled time
+# ---------------------------------------------------------------------------
+class TestWallClock:
+    def test_trace_records_measured_timelines(self, dataset):
+        trace, _ = _fit(dataset, "newton_admm", "process")
+        wall = trace.info["wall_clock"]
+        assert wall["engine"] == "process"
+        assert wall["n_processes"] == N_WORKERS
+        assert wall["start_method"] == "spawn"
+        assert wall["elapsed_seconds"] > 0
+        assert len(wall["workers"]) == N_WORKERS
+        for row in wall["workers"]:
+            assert row["total"] > 0
+            assert row["busy"] > 0
+        summary = wall["summary"]
+        assert summary["n_workers"] == N_WORKERS
+        assert summary["makespan_seconds"] > 0
+        assert 0.0 < summary["parallel_efficiency"] <= 1.0
+        json.dumps(wall)  # artifact-serializable like every other info block
+
+    def test_modelled_timelines_still_attached(self, dataset):
+        """Real execution does not displace the modelled event timelines."""
+        trace, _ = _fit(dataset, "newton_admm", "process")
+        assert "timelines" in trace.info
+        assert len(trace.info["timelines"]) == N_WORKERS
+
+
+# ---------------------------------------------------------------------------
+# Chaos: kill -9 a live worker
+# ---------------------------------------------------------------------------
+class TestChaos:
+    @pytest.mark.parametrize("policy", ["raise", "stall", "degrade"])
+    def test_sigkill_raises_structured_loss(self, policy, dataset):
+        cluster = SimulatedCluster(
+            dataset, N_WORKERS, loss="softmax", engine="process", random_state=0
+        )
+        try:
+            runtime = cluster.process_runtime
+            runtime.ensure_started()
+            victim = N_WORKERS - 1
+            os.kill(runtime.worker_pids()[victim], signal.SIGKILL)
+            solver = NewtonADMM(
+                lam=1e-3, max_epochs=2, record_accuracy=False, on_failure=policy
+            )
+            with pytest.raises(WorkerLostError) as excinfo:
+                solver.fit(cluster)
+            error = excinfo.value
+            assert error.worker_id == victim
+            assert f"policy '{policy}'" in str(error)
+            if policy == "stall":
+                assert "cannot restart" in str(error)
+            if policy == "degrade":
+                assert "degraded membership" in str(error)
+        finally:
+            cluster.close()
+
+    def test_pool_respawns_after_a_loss(self, dataset):
+        cluster = SimulatedCluster(
+            dataset, N_WORKERS, loss="softmax", engine="process", random_state=0
+        )
+        try:
+            runtime = cluster.process_runtime
+            runtime.ensure_started()
+            first_pids = runtime.worker_pids()
+            os.kill(first_pids[1], signal.SIGKILL)
+            with pytest.raises(WorkerLostError):
+                NewtonADMM(lam=1e-3, max_epochs=2, record_accuracy=False).fit(cluster)
+            # The next fit starts a fresh pool and completes normally...
+            trace = NewtonADMM(lam=1e-3, max_epochs=2, record_accuracy=False).fit(
+                cluster
+            )
+            assert np.isfinite(trace.records[-1].objective)
+            # ...with new worker processes, not zombies of the old pool.
+            assert set(runtime.worker_pids().values()).isdisjoint(
+                first_pids.values()
+            )
+        finally:
+            cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy shard handoff
+# ---------------------------------------------------------------------------
+class TestSharedMemoryHandoff:
+    def test_datasets_cross_once_via_shared_memory(self, dataset):
+        cluster = SimulatedCluster(
+            dataset, N_WORKERS, loss="softmax", engine="process", random_state=0
+        )
+        try:
+            runtime = cluster.process_runtime
+            NewtonADMM(lam=1e-3, max_epochs=2, record_accuracy=False).fit(cluster)
+            # Global training set + one shard per worker, placed exactly
+            # once; a dense dataset is two blocks (X and y).
+            placements = runtime.shm_placements
+            assert placements == 2 * (1 + N_WORKERS)
+            assert runtime.shm_bytes >= dataset.X.nbytes
+            # A second fit on the same cluster reuses the pool and the arena:
+            # no dataset bytes cross the process boundary again.
+            NewtonADMM(lam=1e-3, max_epochs=2, record_accuracy=False).fit(cluster)
+            assert runtime.shm_placements == placements
+        finally:
+            cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Fork safety: spawned replicas see explicit session state, runs stay
+# independent
+# ---------------------------------------------------------------------------
+class TestForkSafety:
+    def test_children_apply_bootstrap_session_defaults(self, dataset):
+        cluster = SimulatedCluster(
+            dataset, N_WORKERS, loss="softmax", engine="process", random_state=0
+        )
+        try:
+            runtime = cluster.process_runtime
+            runtime.ensure_started()
+            for rank, info in runtime.child_info.items():
+                assert info["start_method"] == "spawn"
+                session = info["session"]
+                assert session["engine"] == "process"
+                assert session["backend"] == "numpy"
+        finally:
+            cluster.close()
+
+    def test_sequential_runs_are_independent(self, dataset):
+        """Mutating session defaults between runs must not leak through a
+        stale pool: each run's children carry their own bootstrap."""
+        previous = default_engine()
+        trace_a, _ = _fit(dataset, "newton_admm", "process")
+        try:
+            set_default_engine("event")  # perturb session state between runs
+            trace_b, _ = _fit(dataset, "newton_admm", "process")
+        finally:
+            set_default_engine(previous)
+        assert np.array_equal(trace_a.final_w, trace_b.final_w)
+        assert [r.modelled_time for r in trace_a.records] == [
+            r.modelled_time for r in trace_b.records
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Async fallback + guard rails
+# ---------------------------------------------------------------------------
+class TestDispatchPolicy:
+    def test_async_solver_falls_back_to_simulated_path(self, dataset):
+        cluster = SimulatedCluster(
+            dataset, N_WORKERS, loss="softmax", engine="process", random_state=0
+        )
+        try:
+            assert AsyncNewtonADMM.supports_process_engine is False
+            solver = AsyncNewtonADMM(
+                lam=1e-3, max_epochs=2, record_accuracy=False
+            )
+            trace = solver.fit(cluster)
+            # Ran in-process: no measured wall-clock block, no worker pool.
+            assert "wall_clock" not in trace.info
+            assert cluster.process_runtime.worker_pids() == {}
+        finally:
+            cluster.close()
+
+    def test_simulated_fault_injection_rejected_up_front(self, dataset):
+        from repro.distributed.faults import FailureModel
+
+        with pytest.raises(ValueError, match="modelled FailureModel injection"):
+            SimulatedCluster(
+                dataset,
+                N_WORKERS,
+                engine="process",
+                faults=FailureModel.from_spec("0@2.5,restart=1.0"),
+                random_state=0,
+            )
+
+    def test_non_serial_executor_rejected(self, dataset):
+        with pytest.raises(ValueError, match="executor"):
+            SimulatedCluster(
+                dataset, N_WORKERS, engine="process", executor="thread", random_state=0
+            )
+
+
+# ---------------------------------------------------------------------------
+# Introspection + IPC cost model
+# ---------------------------------------------------------------------------
+class TestIntrospection:
+    def test_process_engine_info_shape(self):
+        info = process_engine_info()
+        assert info["start_method"] == "spawn"
+        assert info["cpu_count"] >= 1
+        assert info["shared_memory"] is True
+        assert isinstance(info["torch_distributed"], str)
+
+    def test_star_ipc_cost_model(self):
+        assert star_allgather_ipc_seconds(1, 1e6) == 0.0
+        two = star_allgather_ipc_seconds(2, 1e6)
+        eight = star_allgather_ipc_seconds(8, 1e6)
+        assert 0.0 < two < eight
+        # O(N^2) bytes through the root: doubling workers more than
+        # doubles the cost.
+        four = star_allgather_ipc_seconds(4, 1e6)
+        assert eight / four > 2.0
