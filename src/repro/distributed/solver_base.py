@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import re
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -153,16 +153,31 @@ class DistributedSolver(ABC):
         test: Optional[ClassificationDataset] = None,
         w0: Optional[np.ndarray] = None,
         reset_cluster: bool = True,
+        on_record: Optional[Callable[[EpochRecord], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> RunTrace:
-        """Run the solver on ``cluster`` and return the per-epoch trace."""
+        """Run the solver on ``cluster`` and return the per-epoch trace.
+
+        ``on_record`` is invoked with every :class:`EpochRecord` right after
+        it is appended to the trace (the training-job API streams progress
+        through it); ``should_stop`` is polled before each epoch and ends the
+        run cooperatively when it returns True (the trace records
+        ``info["stopped"] = "requested"``).  On the process engine the fit
+        runs in worker processes, so ``should_stop`` cannot interrupt it and
+        ``on_record`` is replayed once the trace returns.
+        """
         runtime = getattr(cluster, "process_runtime", None)
         if runtime is not None and runtime.should_dispatch(self):
             # engine="process": hand the fit to the process runtime, which
             # replicates this solver across real worker processes and re-enters
             # fit() on every rank with the transport active.
-            return runtime.run_fit(
+            trace = runtime.run_fit(
                 self, cluster, test=test, w0=w0, reset_cluster=reset_cluster
             )
+            if on_record is not None:
+                for record in trace.records:
+                    on_record(record)
+            return trace
         if reset_cluster:
             cluster.reset_accounting()
         backend = cluster.backend
@@ -194,6 +209,9 @@ class DistributedSolver(ABC):
         w = w0
 
         for epoch in range(1, self.max_epochs + 1):
+            if should_stop is not None and should_stop():
+                trace.info["stopped"] = "requested"
+                break
             w = self._epoch(cluster, epoch)
             # Per-worker local clocks at the epoch boundary; lets the Gantt
             # export slice a single epoch out of the cumulative timelines.
@@ -210,6 +228,8 @@ class DistributedSolver(ABC):
                 epoch, w, cluster, global_objective, global_loss, test
             )
             trace.records.append(record)
+            if on_record is not None:
+                on_record(record)
             if self.tol_grad > 0 and record.grad_norm <= self.tol_grad:
                 break
             if self._stop_requested:

@@ -195,6 +195,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the ASCII rendering of time-series figures",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the model-serving HTTP app (registry + micro-batched "
+        "predict + training jobs); see docs/serving.md",
+    )
+    serve.add_argument(
+        "--root",
+        type=Path,
+        default=Path("model_registry"),
+        help="model-registry directory (created if missing; default: ./model_registry)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8000, help="bind port (default 8000)")
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window in milliseconds (0 = drain-only batching; "
+        "default 2.0 — see the tradeoff curve in docs/serving.md)",
+    )
+    serve.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=8192,
+        help="hard cap on stacked rows per scoring GEMM (default 8192)",
+    )
+    serve.add_argument(
+        "--max-batch-requests",
+        type=int,
+        default=None,
+        help="flush a batch early once this many requests queued "
+        "(default: no early flush)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["numpy", "cupy", "torch", "auto"],
+        default=None,
+        help="array backend the scoring GEMMs run on (default numpy)",
+    )
     return parser
 
 
@@ -378,6 +418,30 @@ def _cmd_run(args, print_fn: Callable[[str], None]) -> int:
     return exit_code
 
 
+def _cmd_serve(args, print_fn: Callable[[str], None]) -> int:
+    if args.backend:
+        from repro.backend import BackendUnavailableError, set_default_backend
+
+        try:
+            set_default_backend(args.backend)
+        except BackendUnavailableError as exc:
+            print_fn(f"error: {exc}")
+            print_fn("hint: run 'python -m repro backends' to see what is available")
+            return 2
+    from repro.serving.app import run_server
+
+    return run_server(
+        args.root,
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        window_s=args.window_ms / 1000.0,
+        max_batch_rows=args.max_batch_rows,
+        max_batch_requests=args.max_batch_requests,
+        print_fn=print_fn,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None, *, print_fn: Callable[[str], None] = print) -> int:
     """Entry point used by ``python -m repro`` (returns the process exit code)."""
     parser = build_parser()
@@ -394,6 +458,8 @@ def main(argv: Optional[Sequence[str]] = None, *, print_fn: Callable[[str], None
         return _cmd_engines(print_fn)
     if args.command == "run":
         return _cmd_run(args, print_fn)
+    if args.command == "serve":
+        return _cmd_serve(args, print_fn)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

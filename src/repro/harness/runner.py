@@ -141,16 +141,23 @@ def run_method(
     *,
     cluster: Optional[SimulatedCluster] = None,
     test: Optional[ClassificationDataset] = None,
+    on_record=None,
+    should_stop=None,
 ) -> RunTrace:
     """Run one solver on one cluster configuration and return its trace.
 
     Passing a pre-built ``cluster``/``test`` avoids regenerating the dataset
     when several methods share the same workload (as every figure does).
+    ``on_record``/``should_stop`` stream per-epoch progress and request
+    cooperative cancellation (see :meth:`DistributedSolver.fit`) — the
+    training-job API of :mod:`repro.serving` runs every job through them.
     """
     if cluster is None or test is None:
         cluster, test = build_cluster(cluster_config)
     solver = make_solver(solver_config)
-    trace = solver.fit(cluster, test=test)
+    trace = solver.fit(
+        cluster, test=test, on_record=on_record, should_stop=should_stop
+    )
     trace.info["solver_config"] = {"name": solver_config.name, **solver_config.kwargs}
     trace.info["cluster_config"] = vars(cluster_config).copy()
     return trace

@@ -9,6 +9,8 @@ scrollback, and load them back for post-processing.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import csv
 import json
 import math
@@ -20,6 +22,45 @@ import numpy as np
 from repro.metrics.traces import EpochRecord, RunTrace
 
 PathLike = Union[str, Path]
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Encode an ndarray as a JSON-safe dict, bit-exactly.
+
+    The raw little-endian bytes are base64-encoded alongside dtype and shape,
+    so the round trip through :func:`decode_array` reproduces the array
+    *bit-for-bit* — including dtype (fp32 models stay fp32), negative zeros
+    and NaN payloads, none of which survive a float -> repr -> float trip
+    reliably.  This is the on-disk weight format of the model registry
+    (:mod:`repro.serving.registry`) and of ``save_trace(include_weights=True)``.
+    """
+    array = np.ascontiguousarray(array)
+    dtype = array.dtype.newbyteorder("<")
+    return {
+        "__ndarray__": True,
+        "dtype": dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.astype(dtype, copy=False).tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`; raises ``ValueError`` on malformed input."""
+    try:
+        dtype = np.dtype(payload["dtype"])
+        shape = tuple(int(s) for s in payload["shape"])
+        raw = base64.b64decode(payload["data"].encode("ascii"), validate=True)
+    except (KeyError, TypeError, AttributeError, binascii.Error) as exc:
+        raise ValueError(f"malformed encoded array: {exc}") from exc
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(raw) != expected:
+        raise ValueError(
+            f"encoded array is truncated or padded: dtype {dtype.str} with shape "
+            f"{shape} needs {expected} bytes, got {len(raw)}"
+        )
+    array = np.frombuffer(raw, dtype=dtype).reshape(shape)
+    # Native byte order + an owned, writable buffer for downstream consumers.
+    return np.ascontiguousarray(array.astype(dtype.newbyteorder("="), copy=True))
 
 
 def _jsonable(value):
@@ -84,7 +125,9 @@ def trace_to_dict(trace: RunTrace, *, include_weights: bool = False) -> dict:
         ],
     }
     if include_weights and trace.final_w is not None:
-        out["final_w"] = _jsonable(trace.final_w)
+        # Bit-exact (dtype-preserving) weight storage; the model registry
+        # publishes straight from these payloads.
+        out["final_w"] = encode_array(np.asarray(trace.final_w))
     return out
 
 
@@ -114,7 +157,12 @@ def trace_from_dict(data: dict) -> RunTrace:
         info=dict(data.get("info", {})),
     )
     if "final_w" in data:
-        trace.final_w = np.asarray(data["final_w"], dtype=np.float64)
+        payload = data["final_w"]
+        if isinstance(payload, dict) and payload.get("__ndarray__"):
+            trace.final_w = decode_array(payload)
+        else:
+            # Legacy traces stored weights as a plain (lossy) float list.
+            trace.final_w = np.asarray(payload, dtype=np.float64)
     return trace
 
 

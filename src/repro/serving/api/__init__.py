@@ -1,0 +1,3 @@
+"""Versioned HTTP API surface (route table + dispatch, framework-agnostic)."""
+
+from repro.serving.api.v1 import ROUTES, V1Api

@@ -1,0 +1,75 @@
+"""Structured errors of the serving layer.
+
+Every error a client can trigger derives from :class:`ServingError` and
+carries a stable ``kind`` string plus an HTTP status, so the API layer maps
+failures to structured JSON responses (``{"error": {...}}``) instead of
+leaking tracebacks as 500s.  Internal bugs still raise ordinary exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ServingError(Exception):
+    """Base class for client-visible serving failures."""
+
+    #: stable machine-readable error identifier
+    kind: str = "serving_error"
+    #: HTTP status the API layer responds with
+    status: int = 400
+
+    def to_payload(self) -> dict:
+        """The ``error`` object returned to API clients."""
+        return {"type": self.kind, "detail": str(self)}
+
+
+class RegistryError(ServingError):
+    """Model-registry failures (bad names, version conflicts, I/O)."""
+
+    kind = "registry_error"
+    status = 400
+
+
+class ModelNotFoundError(RegistryError):
+    """The requested model name or version does not exist."""
+
+    kind = "model_not_found"
+    status = 404
+
+
+class ModelFormatError(RegistryError):
+    """A model file exists but is corrupt, truncated, or schema-incompatible.
+
+    Raised instead of letting ``json``/``base64`` exceptions escape, so a
+    damaged file on disk yields a structured 409 — never a traceback.
+    """
+
+    kind = "model_format_error"
+    status = 409
+
+
+class InferenceError(ServingError):
+    """Bad prediction input (wrong feature count, non-numeric rows, ...)."""
+
+    kind = "inference_error"
+    status = 422
+
+
+class JobError(ServingError):
+    """Training-job submission/config failures."""
+
+    kind = "job_error"
+    status = 400
+
+
+class JobNotFoundError(JobError):
+    """The requested training-job id does not exist."""
+
+    kind = "job_not_found"
+    status = 404
+
+
+class ServingDependencyError(ServingError):
+    """An optional serving dependency (FastAPI / uvicorn) is missing."""
+
+    kind = "missing_dependency"
+    status = 500

@@ -1,0 +1,96 @@
+"""Stdlib HTTP frontend for the serving API (no optional dependencies).
+
+A ``ThreadingHTTPServer`` that parses JSON bodies and hands every request to
+:meth:`repro.serving.api.v1.V1Api.dispatch` — the exact dispatcher the
+FastAPI app delegates to — so the two frontends cannot drift.  Used by
+``python -m repro serve`` when FastAPI is not installed, by the CI smoke
+script, and by the API tests (which exercise the full HTTP round trip with
+``http.client``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serving.api.v1 import V1Api
+
+
+class _Handler(BaseHTTPRequestHandler):
+    api: V1Api  # set on the subclass built in FallbackServer
+
+    # Serving must stay quiet under load-generating benchmarks.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _respond(self) -> None:
+        split = urlsplit(self.path)
+        query = dict(parse_qsl(split.query))
+        length = int(self.headers.get("Content-Length") or 0)
+        payload = None
+        if length:
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                self._write(400, {"error": {"type": "bad_json", "detail": "body is not JSON"}})
+                return
+        try:
+            status, body = self.api.dispatch(self.command, split.path, query, payload)
+        except Exception as exc:  # internal bug: structured 500, keep serving
+            status, body = 500, {
+                "error": {"type": "internal", "detail": f"{type(exc).__name__}: {exc}"}
+            }
+        self._write(status, body)
+
+    def _write(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._respond()
+
+    def do_POST(self):  # noqa: N802
+        self._respond()
+
+
+class FallbackServer:
+    """Threaded HTTP server over a :class:`V1Api`; ``port=0`` picks a free one."""
+
+    def __init__(self, api: V1Api, *, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"api": api})
+        self.api = api
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def start_background(self) -> "FallbackServer":
+        """Serve on a daemon thread (tests and the smoke script)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="serving-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.api.engine.close()

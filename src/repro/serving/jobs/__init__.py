@@ -1,0 +1,3 @@
+"""Training jobs: submit a solver+dataset config, poll progress, cancel."""
+
+from repro.serving.jobs.manager import TrainingJob, TrainingJobManager

@@ -1,0 +1,224 @@
+"""Background training jobs on top of the harness runner.
+
+A job is one :func:`repro.harness.runner.run_method` call — the same code
+path as ``python -m repro run`` — executed on a worker thread.  Progress
+streams out of the solver's per-epoch trace records via the ``on_record``
+callback, cancellation is cooperative via ``should_stop`` (polled at every
+epoch boundary), and a finished job can auto-publish its final iterate into
+the model registry (``publish_as``), closing the train → serve loop.
+
+Every cluster option the CLI accepts is accepted here, including
+``engine="process"`` (real worker OS processes); on that engine progress
+arrives when the fit returns and cancellation applies from the next epoch of
+the *submitting* process only — the limitation is recorded on the job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from repro.harness.config import ClusterConfig, SolverConfig
+from repro.harness.runner import SOLVER_REGISTRY, run_method
+from repro.metrics.traces import EpochRecord
+from repro.serving.errors import JobError, JobNotFoundError
+from repro.serving.registry import ModelRegistry
+
+#: terminal states a job can end in
+TERMINAL_STATES = ("succeeded", "failed", "cancelled")
+
+
+def _record_dict(record: EpochRecord) -> dict:
+    return {
+        "epoch": record.epoch,
+        "objective": record.objective,
+        "grad_norm": record.grad_norm,
+        "train_accuracy": record.train_accuracy,
+        "test_accuracy": record.test_accuracy,
+        "modelled_time": record.modelled_time,
+        "comm_rounds": record.comm_rounds,
+    }
+
+
+class TrainingJob:
+    """State of one submitted training run (thread-safe snapshots)."""
+
+    def __init__(self, job_id: str, payload: dict):
+        self.id = job_id
+        self.payload = payload
+        self.status = "queued"
+        self.records: List[dict] = []
+        self.error: Optional[dict] = None
+        self.published: Optional[dict] = None
+        self.result: Optional[dict] = None
+        self.submitted = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.cancel_requested = threading.Event()
+        self._lock = threading.Lock()
+
+    def snapshot(self, *, after: int = 0) -> dict:
+        """JSON view of the job; ``after`` returns only records past that epoch."""
+        with self._lock:
+            records = [r for r in self.records if r["epoch"] > after]
+            return {
+                "id": self.id,
+                "status": self.status,
+                "solver": self.payload.get("solver", {}).get("name"),
+                "dataset": self.payload.get("cluster", {}).get("dataset"),
+                "epochs_done": len(self.records),
+                "records": records,
+                "error": self.error,
+                "published": self.published,
+                "result": self.result,
+                "submitted": self.submitted,
+                "started": self.started,
+                "finished": self.finished,
+                "cancel_requested": self.cancel_requested.is_set(),
+            }
+
+    def append_record(self, record: EpochRecord) -> None:
+        with self._lock:
+            self.records.append(_record_dict(record))
+
+
+class TrainingJobManager:
+    """Submit / inspect / cancel training jobs; optionally publish results."""
+
+    def __init__(self, registry: Optional[ModelRegistry] = None):
+        self.registry = registry
+        self._jobs: Dict[str, TrainingJob] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    # -- submission --------------------------------------------------------
+    def _validate(self, payload: dict) -> tuple:
+        solver = dict(payload.get("solver") or {})
+        cluster = dict(payload.get("cluster") or {})
+        name = solver.pop("name", None)
+        if not name:
+            raise JobError("payload.solver.name is required")
+        if name not in SOLVER_REGISTRY:
+            raise JobError(
+                f"unknown solver {name!r}; available: {sorted(SOLVER_REGISTRY)}"
+            )
+        if "dataset" not in cluster:
+            raise JobError("payload.cluster.dataset is required")
+        known = {f for f in ClusterConfig.__dataclass_fields__}
+        unknown = set(cluster) - known
+        if unknown:
+            raise JobError(
+                f"unknown cluster option(s) {sorted(unknown)}; "
+                f"accepted: {sorted(known)}"
+            )
+        publish_as = payload.get("publish_as")
+        if publish_as is not None and self.registry is None:
+            raise JobError("publish_as requires a model registry")
+        try:
+            solver_config = SolverConfig(name=name, kwargs=solver)
+            cluster_config = ClusterConfig(**cluster)
+        except (TypeError, ValueError) as exc:
+            raise JobError(f"invalid job config: {exc}") from exc
+        return solver_config, cluster_config, publish_as
+
+    def submit(self, payload: dict) -> dict:
+        """Validate and start one job; returns its initial snapshot."""
+        solver_config, cluster_config, publish_as = self._validate(payload)
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter:04d}"
+            job = TrainingJob(job_id, payload)
+            self._jobs[job_id] = job
+        thread = threading.Thread(
+            target=self._run,
+            args=(job, solver_config, cluster_config, publish_as),
+            name=job_id,
+            daemon=True,
+        )
+        thread.start()
+        return job.snapshot()
+
+    def _run(
+        self,
+        job: TrainingJob,
+        solver_config: SolverConfig,
+        cluster_config: ClusterConfig,
+        publish_as: Optional[str],
+    ) -> None:
+        job.status = "running"
+        job.started = time.time()
+        try:
+            trace = run_method(
+                solver_config,
+                cluster_config,
+                on_record=job.append_record,
+                should_stop=job.cancel_requested.is_set,
+            )
+        except Exception as exc:
+            job.error = {"type": type(exc).__name__, "detail": str(exc)}
+            job.error["traceback"] = traceback.format_exc(limit=10)
+            job.status = "failed"
+            job.finished = time.time()
+            return
+        cancelled = trace.info.get("stopped") == "requested"
+        job.result = {
+            "epochs": trace.n_epochs,
+            "final_objective": (
+                float(trace.final.objective) if trace.records else None
+            ),
+            "final_test_accuracy": (
+                float(trace.final.test_accuracy) if trace.records else None
+            ),
+            "modelled_time": trace.total_time("modelled"),
+            "method": trace.method,
+            "dataset": trace.dataset,
+        }
+        if publish_as and not cancelled:
+            model = self.registry.publish_trace(
+                publish_as, trace, metadata={"job_id": job.id}
+            )
+            job.published = {"name": model.name, "version": model.version}
+        job.status = "cancelled" if cancelled else "succeeded"
+        job.finished = time.time()
+
+    # -- inspection / cancellation ----------------------------------------
+    def _job(self, job_id: str) -> TrainingJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job {job_id!r}")
+        return job
+
+    def get(self, job_id: str, *, after: int = 0) -> dict:
+        return self._job(job_id).snapshot(after=after)
+
+    def list_jobs(self) -> List[dict]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        out = []
+        for job in sorted(jobs, key=lambda j: j.id):
+            snapshot = job.snapshot()
+            snapshot.pop("records", None)
+            out.append(snapshot)
+        return out
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cooperative cancellation; the job stops at its next epoch."""
+        job = self._job(job_id)
+        if job.status not in TERMINAL_STATES:
+            job.cancel_requested.set()
+        return job.snapshot()
+
+    def wait(self, job_id: str, *, timeout: float = 60.0, poll: float = 0.02) -> dict:
+        """Block until the job reaches a terminal state (test/smoke helper)."""
+        deadline = time.monotonic() + timeout
+        job = self._job(job_id)
+        while job.status not in TERMINAL_STATES:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.status!r} after {timeout}s"
+                )
+            time.sleep(poll)
+        return job.snapshot()

@@ -1,0 +1,399 @@
+"""Versioned, persisted model registry with atomic publish and hot swap.
+
+Layout on disk (everything under one ``root`` directory)::
+
+    root/
+      <model-name>/
+        versions/
+          000001/model.json     # immutable once published
+          000002/model.json
+        CURRENT                 # text file holding the active version number
+        history.json            # activation log (drives rollback)
+
+The two invariants the serving layer depends on:
+
+* **Version files are immutable.**  ``publish`` writes ``model.json`` to a
+  temporary file and ``os.replace``s it into place; after that the file is
+  never rewritten.  A reader that resolved a version can therefore never see
+  a torn model — the worst case is reading a *previous* CURRENT pointer.
+* **Activation is atomic.**  ``CURRENT`` is swapped with ``os.replace`` after
+  the target version has been loaded and validated, so the pointer can never
+  name a corrupt or missing version.
+
+Weights are stored with :func:`repro.harness.serialization.encode_array`
+(base64 of the raw bytes + dtype + shape), so a published fp32 model loads
+back bit-exactly as fp32 — the registry inherits the round-trip guarantee
+pinned in ``tests/test_serving_registry.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.harness.serialization import decode_array, encode_array
+from repro.metrics.traces import RunTrace
+from repro.serving.errors import ModelFormatError, ModelNotFoundError, RegistryError
+
+SCHEMA = "repro-model/v1"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ServedModel:
+    """One immutable, fully-loaded model version.
+
+    The inference engine snapshots a reference to one of these per batch;
+    because instances are frozen and version files immutable, an in-flight
+    request can never observe a half-swapped model.
+    """
+
+    name: str
+    version: int
+    weights: np.ndarray  #: flat ``(C-1)*p`` vector, original dtype
+    n_classes: int
+    n_features: int
+    metadata: dict = field(default_factory=dict)
+    created: float = 0.0
+
+    @property
+    def dim(self) -> int:
+        return (self.n_classes - 1) * self.n_features
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.weights.dtype
+
+    def weight_matrix(self) -> np.ndarray:
+        """Weights as the ``(p, C-1)`` matrix the scoring GEMM consumes."""
+        return self.weights.reshape(self.n_classes - 1, self.n_features).T
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "n_classes": self.n_classes,
+            "n_features": self.n_features,
+            "dtype": str(self.dtype),
+            "created": self.created,
+            "metadata": dict(self.metadata),
+        }
+
+
+class ModelRegistry:
+    """Filesystem-backed model store; see the module docstring for layout.
+
+    All mutating operations serialize on an in-process lock; reads are
+    lock-free (they only touch immutable version files plus the atomically
+    swapped ``CURRENT`` pointer), which is what makes hot swap under
+    concurrent readers safe.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+    # -- paths -------------------------------------------------------------
+    def _model_dir(self, name: str) -> Path:
+        if not _NAME_RE.match(name or ""):
+            raise RegistryError(
+                f"invalid model name {name!r}: use letters, digits, '._-' "
+                "(must not start with a separator)"
+            )
+        return self.root / name
+
+    def _version_file(self, name: str, version: int) -> Path:
+        return self._model_dir(name) / "versions" / f"{version:06d}" / "model.json"
+
+    # -- publish -----------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        weights,
+        *,
+        n_classes: int,
+        n_features: Optional[int] = None,
+        metadata: Optional[dict] = None,
+        activate: bool = True,
+    ) -> ServedModel:
+        """Persist a new version of ``name`` and (by default) activate it.
+
+        ``weights`` is the flat ``(C-1)*p`` coefficient vector in its storage
+        dtype (a ``(p, C-1)`` matrix is accepted and flattened).  Returns the
+        published :class:`ServedModel`.
+        """
+        weights = np.asarray(weights)
+        if int(n_classes) < 2:
+            raise RegistryError(f"n_classes must be >= 2, got {n_classes}")
+        n_classes = int(n_classes)
+        if weights.ndim == 2:
+            # (p, C-1) matrix layout -> flat vector, matching _as_matrix.
+            if weights.shape[1] != n_classes - 1:
+                raise RegistryError(
+                    f"weight matrix must have {n_classes - 1} columns "
+                    f"(n_classes={n_classes}), got shape {weights.shape}"
+                )
+            weights = weights.T.ravel()
+        if weights.ndim != 1:
+            raise RegistryError(
+                f"weights must be a flat vector or (p, C-1) matrix, "
+                f"got ndim={weights.ndim}"
+            )
+        if weights.size == 0 or weights.size % (n_classes - 1) != 0:
+            raise RegistryError(
+                f"weight vector of size {weights.size} is not divisible by "
+                f"n_classes - 1 = {n_classes - 1}"
+            )
+        inferred = weights.size // (n_classes - 1)
+        if n_features is None:
+            n_features = inferred
+        elif int(n_features) != inferred:
+            raise RegistryError(
+                f"n_features={n_features} inconsistent with weight vector of "
+                f"size {weights.size} and n_classes={n_classes} "
+                f"(expected {inferred})"
+            )
+        with self._lock:
+            directory = self._model_dir(name)
+            versions_dir = directory / "versions"
+            versions_dir.mkdir(parents=True, exist_ok=True)
+            version = (self.versions(name) or [0])[-1] + 1
+            payload = {
+                "schema": SCHEMA,
+                "name": name,
+                "version": version,
+                "n_classes": n_classes,
+                "n_features": int(n_features),
+                "weights": encode_array(weights),
+                "metadata": dict(metadata or {}),
+                "created": time.time(),
+            }
+            target = self._version_file(name, version)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp = target.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload, indent=2))
+            os.replace(tmp, target)  # after this, the version file is immutable
+            model = self._load_file(target, name, version)
+            if activate:
+                self._activate_locked(name, version)
+            return model
+
+    def publish_trace(
+        self,
+        name: str,
+        trace: RunTrace,
+        *,
+        metadata: Optional[dict] = None,
+        activate: bool = True,
+    ) -> ServedModel:
+        """Publish the final iterate of a finished training run.
+
+        Shape information comes from the trace's cluster description
+        (``trace.info["cluster"]``), provenance (method, dataset, epochs,
+        final objective) is recorded into the version's metadata.
+        """
+        if trace.final_w is None:
+            raise RegistryError("trace has no final_w to publish")
+        cluster = trace.info.get("cluster") or {}
+        n_classes = cluster.get("n_classes")
+        if n_classes is None:
+            raise RegistryError(
+                "trace.info['cluster'] lacks 'n_classes'; pass weights to "
+                "publish() explicitly"
+            )
+        provenance = {
+            "method": trace.method,
+            "dataset": trace.dataset,
+            "n_workers": trace.n_workers,
+            "n_epochs": trace.n_epochs,
+        }
+        if trace.records:
+            provenance["final_objective"] = float(trace.final.objective)
+            provenance["final_test_accuracy"] = float(trace.final.test_accuracy)
+        provenance.update(metadata or {})
+        return self.publish(
+            name,
+            np.asarray(trace.final_w),
+            n_classes=int(n_classes),
+            metadata=provenance,
+            activate=activate,
+        )
+
+    # -- activation / rollback --------------------------------------------
+    def activate(self, name: str, version: int) -> ServedModel:
+        """Atomically point ``CURRENT`` at ``version`` (hot swap).
+
+        The target version is loaded and validated *before* the pointer is
+        swapped, so ``CURRENT`` can never reference a corrupt model.
+        """
+        with self._lock:
+            return self._activate_locked(name, int(version))
+
+    def _activate_locked(self, name: str, version: int) -> ServedModel:
+        model = self.load(name, version)  # validates existence + format
+        directory = self._model_dir(name)
+        current = directory / "CURRENT"
+        tmp = directory / "CURRENT.tmp"
+        tmp.write_text(f"{version}\n")
+        os.replace(tmp, current)
+        self._append_history(name, version)
+        return model
+
+    def _history_file(self, name: str) -> Path:
+        return self._model_dir(name) / "history.json"
+
+    def _append_history(self, name: str, version: int) -> None:
+        path = self._history_file(name)
+        history = self.history(name)
+        history.append({"version": version, "time": time.time()})
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(history, indent=2))
+        os.replace(tmp, path)
+
+    def history(self, name: str) -> List[dict]:
+        """Activation log, oldest first (empty for never-activated models)."""
+        path = self._history_file(name)
+        if not path.exists():
+            return []
+        try:
+            return list(json.loads(path.read_text()))
+        except ValueError:
+            return []
+
+    def rollback(self, name: str) -> ServedModel:
+        """Re-activate the version that was active before the current one."""
+        with self._lock:
+            history = self.history(name)
+            current = self.current_version(name)
+            previous = [h["version"] for h in history if h["version"] != current]
+            if not previous:
+                raise RegistryError(
+                    f"model {name!r} has no previous activation to roll back to"
+                )
+            return self._activate_locked(name, int(previous[-1]))
+
+    # -- reading -----------------------------------------------------------
+    def versions(self, name: str) -> List[int]:
+        """Published version numbers of ``name``, ascending ([] if none)."""
+        versions_dir = self._model_dir(name) / "versions"
+        if not versions_dir.exists():
+            return []
+        out = []
+        for entry in versions_dir.iterdir():
+            if entry.is_dir() and entry.name.isdigit():
+                out.append(int(entry.name))
+        return sorted(out)
+
+    def current_version(self, name: str) -> Optional[int]:
+        """The active version of ``name`` (None when never activated)."""
+        current = self._model_dir(name) / "CURRENT"
+        try:
+            return int(current.read_text().strip())
+        except FileNotFoundError:
+            return None
+        except ValueError as exc:
+            raise ModelFormatError(
+                f"CURRENT pointer of model {name!r} is corrupt: {exc}"
+            ) from exc
+
+    def load(self, name: str, version: Optional[int] = None) -> ServedModel:
+        """Load one version (the active one when ``version`` is None)."""
+        if version is None:
+            version = self.current_version(name)
+            if version is None:
+                if not self.versions(name):
+                    raise ModelNotFoundError(f"model {name!r} does not exist")
+                raise ModelNotFoundError(
+                    f"model {name!r} has no active version; activate one first"
+                )
+        version = int(version)
+        path = self._version_file(name, version)
+        if not path.exists():
+            known = self.versions(name)
+            raise ModelNotFoundError(
+                f"model {name!r} has no version {version}"
+                + (f" (published: {known})" if known else " (no versions published)")
+            )
+        return self._load_file(path, name, version)
+
+    def _load_file(self, path: Path, name: str, version: int) -> ServedModel:
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ModelFormatError(
+                f"model file {path} is not valid JSON ({exc})"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            found = payload.get("schema") if isinstance(payload, dict) else type(payload).__name__
+            raise ModelFormatError(
+                f"model file {path} has schema {found!r}, expected {SCHEMA!r}"
+            )
+        try:
+            weights = decode_array(payload["weights"])
+            n_classes = int(payload["n_classes"])
+            n_features = int(payload["n_features"])
+            metadata = dict(payload.get("metadata") or {})
+            created = float(payload.get("created", 0.0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelFormatError(
+                f"model file {path} is corrupt or truncated: {exc}"
+            ) from exc
+        if weights.shape != ((n_classes - 1) * n_features,):
+            raise ModelFormatError(
+                f"model file {path}: weight shape {weights.shape} does not "
+                f"match n_classes={n_classes}, n_features={n_features}"
+            )
+        return ServedModel(
+            name=name,
+            version=version,
+            weights=weights,
+            n_classes=n_classes,
+            n_features=n_features,
+            metadata=metadata,
+            created=created,
+        )
+
+    def list_models(self) -> List[dict]:
+        """One summary row per model, sorted by name."""
+        out = []
+        for entry in sorted(self.root.iterdir()) if self.root.exists() else []:
+            if not entry.is_dir() or entry.name.startswith("_"):
+                continue
+            if not _NAME_RE.match(entry.name):
+                continue
+            versions = self.versions(entry.name)
+            if not versions:
+                continue
+            out.append(
+                {
+                    "name": entry.name,
+                    "current": self.current_version(entry.name),
+                    "versions": versions,
+                }
+            )
+        return out
+
+    def describe(self, name: str) -> dict:
+        """Full description of one model (versions, current, history)."""
+        versions = self.versions(name)
+        if not versions:
+            raise ModelNotFoundError(f"model {name!r} does not exist")
+        current = self.current_version(name)
+        return {
+            "name": name,
+            "current": current,
+            "versions": versions,
+            "history": self.history(name),
+        }

@@ -1,0 +1,4 @@
+"""Framework-agnostic service layer between the API routes and the core."""
+
+from repro.serving.services.inference import InferenceService
+from repro.serving.services.models import ModelService

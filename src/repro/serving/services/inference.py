@@ -1,0 +1,49 @@
+"""Prediction operations behind the ``/predict`` routes."""
+
+from __future__ import annotations
+
+from repro.serving.engine import InferenceEngine
+from repro.serving.errors import InferenceError
+
+
+class InferenceService:
+    """Score requests through the micro-batching engine."""
+
+    def __init__(self, engine: InferenceEngine):
+        self.engine = engine
+
+    def _mode(self, payload: dict) -> bool:
+        mode = payload.get("mode", "batched")
+        if mode not in ("batched", "direct"):
+            raise InferenceError(
+                f"mode must be 'batched' or 'direct', got {mode!r}"
+            )
+        return mode == "batched"
+
+    def predict(self, name: str, payload: dict) -> dict:
+        """Class labels for ``payload["rows"]`` (one request, r rows)."""
+        batched = self._mode(payload)
+        labels = self.engine.predict(name, payload.get("rows"), batched=batched)
+        model = self.engine.model(name)
+        return {
+            "model": name,
+            "version": model.version,
+            "mode": "batched" if batched else "direct",
+            "predictions": [int(label) for label in labels],
+        }
+
+    def predict_proba(self, name: str, payload: dict) -> dict:
+        """Class probabilities ``(r, C)`` for ``payload["rows"]``."""
+        batched = self._mode(payload)
+        probs = self.engine.predict_proba(name, payload.get("rows"), batched=batched)
+        model = self.engine.model(name)
+        return {
+            "model": name,
+            "version": model.version,
+            "mode": "batched" if batched else "direct",
+            "n_classes": model.n_classes,
+            "probabilities": [[float(p) for p in row] for row in probs],
+        }
+
+    def stats(self) -> dict:
+        return {"engine": self.engine.stats()}

@@ -1,0 +1,105 @@
+"""Model-lifecycle operations behind the ``/api/v1/models`` routes.
+
+Pure Python (no web framework imports): both the FastAPI app and the stdlib
+fallback server call these methods, so the API surface has one source of
+truth and can be tested without HTTP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.harness.serialization import decode_array, load_trace
+from repro.serving.engine import InferenceEngine
+from repro.serving.errors import RegistryError
+from repro.serving.registry import ModelRegistry
+
+
+class ModelService:
+    """Publish / activate / roll back registry models and hot-swap the engine."""
+
+    def __init__(self, registry: ModelRegistry, engine: Optional[InferenceEngine] = None):
+        self.registry = registry
+        self.engine = engine
+
+    def list_models(self) -> dict:
+        return {"models": self.registry.list_models()}
+
+    def describe(self, name: str) -> dict:
+        info = self.registry.describe(name)
+        current = info.get("current")
+        if current is not None:
+            info["model"] = self.registry.load(name, current).describe()
+        return info
+
+    def publish(self, name: str, payload: dict) -> dict:
+        """Publish from inline weights or from a saved trace file.
+
+        Payload forms::
+
+            {"weights": [...] | encoded-array, "n_classes": C,
+             "n_features": p?, "metadata": {...}?, "activate": true?}
+            {"trace_path": "results/run_trace.json", "metadata": {...}?}
+
+        Inline weight lists publish as fp64; the encoded-array form
+        (:func:`repro.harness.serialization.encode_array`) preserves the
+        training dtype bit-exactly.
+        """
+        activate = bool(payload.get("activate", True))
+        metadata = payload.get("metadata") or {}
+        if "trace_path" in payload:
+            try:
+                trace = load_trace(payload["trace_path"])
+            except FileNotFoundError as exc:
+                raise RegistryError(f"trace_path not found: {exc}") from exc
+            except ValueError as exc:
+                raise RegistryError(f"trace_path is not a valid trace: {exc}") from exc
+            model = self.registry.publish_trace(
+                name, trace, metadata=metadata, activate=activate
+            )
+        else:
+            if "weights" not in payload or "n_classes" not in payload:
+                raise RegistryError(
+                    "publish payload needs either 'trace_path' or "
+                    "'weights' + 'n_classes'"
+                )
+            weights = payload["weights"]
+            if isinstance(weights, dict):
+                try:
+                    weights = decode_array(weights)
+                except ValueError as exc:
+                    raise RegistryError(f"bad encoded weights: {exc}") from exc
+            else:
+                try:
+                    weights = np.asarray(weights, dtype=np.float64)
+                except (TypeError, ValueError) as exc:
+                    raise RegistryError(f"weights are not numeric: {exc}") from exc
+            model = self.registry.publish(
+                name,
+                weights,
+                n_classes=int(payload["n_classes"]),
+                n_features=(
+                    int(payload["n_features"]) if "n_features" in payload else None
+                ),
+                metadata=metadata,
+                activate=activate,
+            )
+        if activate and self.engine is not None:
+            self.engine.refresh(name)
+        return {"published": model.describe(), "active": activate}
+
+    def activate(self, name: str, payload: dict) -> dict:
+        if "version" not in payload:
+            raise RegistryError("activate payload needs 'version'")
+        model = self.registry.activate(name, int(payload["version"]))
+        if self.engine is not None:
+            self.engine.refresh(name)
+        return {"activated": model.describe()}
+
+    def rollback(self, name: str) -> dict:
+        model = self.registry.rollback(name)
+        if self.engine is not None:
+            self.engine.refresh(name)
+        return {"activated": model.describe(), "rollback": True}

@@ -1,0 +1,120 @@
+"""Weight round-trip hardening: save -> load must be bit-exact incl. dtype.
+
+The model registry publishes straight from ``save_trace(include_weights=True)``
+payloads, so these guarantees are load-bearing for serving, not cosmetic.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.serialization import (
+    decode_array,
+    encode_array,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.metrics.traces import EpochRecord, RunTrace
+
+
+def _bits(a):
+    """Bit pattern of a float array (NaN payloads and -0.0 included)."""
+    return a.view(np.uint32 if a.dtype == np.float32 else np.uint64)
+
+
+def _make_trace(w):
+    trace = RunTrace(method="m", dataset="d", n_workers=2)
+    trace.records.append(EpochRecord(epoch=1, objective=0.5))
+    trace.final_w = w
+    return trace
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_roundtrip_bit_exact_including_dtype(self, dtype):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal(97).astype(dtype)
+        out = decode_array(encode_array(w))
+        assert out.dtype == dtype
+        assert np.array_equal(_bits(out), _bits(w))
+
+    def test_special_values_survive(self):
+        w = np.array([np.nan, np.inf, -np.inf, -0.0, 1e-310], dtype=np.float64)
+        out = decode_array(encode_array(w))
+        assert np.array_equal(_bits(out), _bits(w))
+        # -0.0 sign bit preserved (a repr round trip can lose it via "nan"/"inf"
+        # string substitution in the legacy path)
+        assert np.signbit(out[3])
+
+    def test_payload_is_json_safe(self):
+        w = np.linspace(0, 1, 7, dtype=np.float32)
+        payload = json.loads(json.dumps(encode_array(w)))
+        out = decode_array(payload)
+        assert out.dtype == np.float32
+        assert np.array_equal(out, w)
+
+    def test_2d_shape_preserved(self):
+        w = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = decode_array(encode_array(w))
+        assert out.shape == (3, 4)
+        assert np.array_equal(out, w)
+
+    def test_decoded_array_is_writable(self):
+        out = decode_array(encode_array(np.zeros(3)))
+        out[0] = 1.0  # frombuffer alone would be read-only
+
+    def test_truncated_data_raises(self):
+        payload = encode_array(np.zeros(16))
+        payload["data"] = payload["data"][: len(payload["data"]) // 2]
+        with pytest.raises(ValueError, match="truncated|malformed"):
+            decode_array(payload)
+
+    def test_garbage_base64_raises(self):
+        payload = encode_array(np.zeros(4))
+        payload["data"] = "!!not base64!!"
+        with pytest.raises(ValueError, match="malformed"):
+            decode_array(payload)
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(ValueError, match="malformed"):
+            decode_array({"__ndarray__": True, "dtype": "<f8"})
+
+
+class TestTraceWeights:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_save_load_trace_weights_bit_exact(self, tmp_path, dtype):
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal(64).astype(dtype)
+        path = save_trace(_make_trace(w), tmp_path / "t.json", include_weights=True)
+        restored = load_trace(path)
+        assert restored.final_w.dtype == dtype
+        assert np.array_equal(_bits(restored.final_w), _bits(w))
+
+    def test_weights_not_stored_by_default(self, tmp_path):
+        path = save_trace(_make_trace(np.zeros(4)), tmp_path / "t.json")
+        assert "final_w" not in json.loads(path.read_text())
+
+    def test_legacy_list_format_still_loads(self):
+        data = trace_to_dict(_make_trace(None))
+        data["final_w"] = [0.25, -1.5, 3.0]  # pre-PR-8 lossy list format
+        restored = trace_from_dict(data)
+        assert restored.final_w.dtype == np.float64
+        np.testing.assert_array_equal(restored.final_w, [0.25, -1.5, 3.0])
+
+    @pytest.mark.slow
+    def test_solver_final_w_roundtrip(self, tmp_path):
+        """A real solver trace's final iterate survives the disk round trip."""
+        from repro.harness.config import ClusterConfig, SolverConfig
+        from repro.harness.runner import run_method
+
+        trace = run_method(
+            SolverConfig("newton_admm", {"max_epochs": 2}),
+            ClusterConfig("mnist_like", n_workers=2, n_train=300, n_test=60),
+        )
+        path = save_trace(trace, tmp_path / "run.json", include_weights=True)
+        restored = load_trace(path)
+        assert restored.final_w.dtype == trace.final_w.dtype
+        assert np.array_equal(_bits(restored.final_w), _bits(trace.final_w))

@@ -1,0 +1,321 @@
+"""HTTP API tests over the stdlib fallback server (full round trips with
+``http.client``), plus a FastAPI-parity test when the ``serve`` extra is
+installed.  Every client error must come back as a structured
+``{"error": {"type", "detail"}}`` body — never a traceback."""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.serialization import encode_array, save_trace
+from repro.metrics.traces import EpochRecord, RunTrace
+from repro.serving.app import build_api, fastapi_available
+from repro.serving.http_fallback import FallbackServer
+
+P, C = 6, 4
+
+
+def _weights(seed=0, dtype=np.float64):
+    return np.random.default_rng(seed).standard_normal(P * (C - 1)).astype(dtype)
+
+
+class Client:
+    """Tiny JSON client over http.client against the fallback server."""
+
+    def __init__(self, server):
+        self.host, self.port = server.host, server.port
+
+    def request(self, method, path, payload=None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def post(self, path, payload=None):
+        return self.request("POST", path, payload)
+
+
+@pytest.fixture
+def server(tmp_path):
+    api = build_api(tmp_path / "registry", window_s=0.001)
+    server = FallbackServer(api).start_background()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    return Client(server)
+
+
+def _publish(client, name="m", dtype=np.float64, seed=0):
+    payload = {"weights": encode_array(_weights(seed, dtype)), "n_classes": C}
+    status, body = client.post(f"/api/v1/models/{name}", payload)
+    assert status == 201, body
+    return body
+
+
+class TestModels:
+    def test_health(self, client):
+        status, body = client.get("/api/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_publish_describe_list(self, client):
+        body = _publish(client)
+        assert body["published"]["version"] == 1
+        assert body["active"] is True
+        status, described = client.get("/api/v1/models/m")
+        assert status == 200
+        assert described["current"] == 1
+        assert described["model"]["n_classes"] == C
+        status, listed = client.get("/api/v1/models")
+        assert [m["name"] for m in listed["models"]] == ["m"]
+
+    def test_publish_preserves_dtype(self, client, server):
+        _publish(client, dtype=np.float32)
+        model = server.api.registry.load("m")
+        assert model.weights.dtype == np.float32
+        w = _weights(0, np.float32)
+        assert np.array_equal(model.weights.view(np.uint32), w.view(np.uint32))
+
+    def test_publish_plain_list_weights(self, client):
+        payload = {"weights": [0.1] * (P * (C - 1)), "n_classes": C}
+        status, body = client.post("/api/v1/models/plain", payload)
+        assert status == 201, body
+
+    def test_publish_from_trace_path(self, client, tmp_path):
+        trace = RunTrace(method="newton_admm", dataset="d", n_workers=2)
+        trace.records.append(EpochRecord(epoch=1, objective=0.5, test_accuracy=0.8))
+        trace.final_w = _weights()
+        trace.info["cluster"] = {"n_classes": C}
+        path = save_trace(trace, tmp_path / "run.json", include_weights=True)
+        status, body = client.post(
+            "/api/v1/models/traced", {"trace_path": str(path)}
+        )
+        assert status == 201, body
+        assert body["published"]["metadata"]["method"] == "newton_admm"
+
+    def test_publish_missing_trace_path_is_structured_400(self, client):
+        status, body = client.post(
+            "/api/v1/models/m", {"trace_path": "/nope/missing.json"}
+        )
+        assert status == 400
+        assert body["error"]["type"] == "registry_error"
+
+    def test_publish_incomplete_payload(self, client):
+        status, body = client.post("/api/v1/models/m", {"n_classes": C})
+        assert status == 400
+        assert "weights" in body["error"]["detail"]
+
+    def test_activate_and_rollback(self, client):
+        _publish(client, seed=1)
+        _publish(client, seed=2)
+        status, body = client.post("/api/v1/models/m/activate", {"version": 1})
+        assert status == 200
+        assert body["activated"]["version"] == 1
+        status, body = client.post("/api/v1/models/m/rollback")
+        assert status == 200
+        assert body["activated"]["version"] == 2
+
+    def test_activate_unknown_version_is_404(self, client):
+        _publish(client)
+        status, body = client.post("/api/v1/models/m/activate", {"version": 7})
+        assert status == 404
+        assert body["error"]["type"] == "model_not_found"
+
+
+class TestPredict:
+    def test_batched_and_direct_agree(self, client):
+        _publish(client)
+        rows = np.random.default_rng(3).standard_normal((4, P)).tolist()
+        status, batched = client.post(
+            "/api/v1/models/m/predict_proba", {"rows": rows}
+        )
+        assert status == 200
+        assert batched["mode"] == "batched"
+        assert batched["n_classes"] == C
+        status, direct = client.post(
+            "/api/v1/models/m/predict_proba", {"rows": rows, "mode": "direct"}
+        )
+        assert status == 200
+        assert batched["probabilities"] == direct["probabilities"]
+        status, labels = client.post("/api/v1/models/m/predict", {"rows": rows})
+        assert status == 200
+        expected = [int(np.argmax(row)) for row in batched["probabilities"]]
+        assert labels["predictions"] == expected
+
+    def test_feature_mismatch_is_422(self, client):
+        _publish(client)
+        status, body = client.post(
+            "/api/v1/models/m/predict", {"rows": [[1.0, 2.0]]}
+        )
+        assert status == 422
+        assert body["error"]["type"] == "inference_error"
+        assert "features" in body["error"]["detail"]
+
+    def test_bad_mode_is_422(self, client):
+        _publish(client)
+        status, body = client.post(
+            "/api/v1/models/m/predict", {"rows": [[0.0] * P], "mode": "turbo"}
+        )
+        assert status == 422
+
+    def test_unknown_model_is_404(self, client):
+        status, body = client.post(
+            "/api/v1/models/ghost/predict", {"rows": [[0.0] * P]}
+        )
+        assert status == 404
+        assert body["error"]["type"] == "model_not_found"
+
+    def test_corrupt_model_file_is_structured_409(self, client, server):
+        """A model corrupted on disk before the engine ever loaded it (an
+        already-served model keeps scoring from its in-memory snapshot)."""
+        model_dir = server.api.registry.root / "rotten"
+        model_file = model_dir / "versions" / "000001" / "model.json"
+        model_file.parent.mkdir(parents=True)
+        model_file.write_text("{ definitely not json")
+        (model_dir / "CURRENT").write_text("1\n")
+        status, body = client.post(
+            "/api/v1/models/rotten/predict", {"rows": [[0.0] * P]}
+        )
+        assert status == 409
+        assert body["error"]["type"] == "model_format_error"
+        assert "Traceback" not in json.dumps(body)
+
+    def test_stats_counts_requests(self, client):
+        _publish(client)
+        client.post("/api/v1/models/m/predict", {"rows": [[0.0] * P]})
+        status, body = client.get("/api/v1/stats")
+        assert status == 200
+        assert body["engine"]["models"]["m"]["requests"] >= 1
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, client):
+        status, body = client.get("/api/v2/na")
+        assert status == 404
+        assert body["error"]["type"] == "not_found"
+
+    def test_wrong_method_is_405(self, client):
+        status, body = client.get("/api/v1/jobs/job-0001/cancel")
+        assert status == 405
+        assert body["error"]["type"] == "method_not_allowed"
+
+    def test_bad_json_body_is_400(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/api/v1/models/m",
+                body="{ nope",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert body["error"]["type"] == "bad_json"
+
+
+class TestJobs:
+    TINY = {
+        "solver": {"name": "newton_admm", "max_epochs": 2},
+        "cluster": {
+            "dataset": "mnist_like",
+            "n_workers": 2,
+            "n_train": 240,
+            "n_test": 60,
+        },
+    }
+
+    def test_submit_poll_and_serve_result(self, client, server):
+        payload = dict(self.TINY, publish_as="trained")
+        status, body = client.post("/api/v1/jobs", payload)
+        assert status == 201, body
+        job_id = body["id"]
+        done = server.api.jobs.wait(job_id, timeout=120.0)
+        assert done["status"] == "succeeded"
+        status, body = client.get(f"/api/v1/jobs/{job_id}?after=1")
+        assert status == 200
+        assert [r["epoch"] for r in body["records"]] == [2]
+        # the published model is immediately servable
+        n_features = server.api.registry.load("trained").n_features
+        status, body = client.post(
+            "/api/v1/models/trained/predict", {"rows": [[0.0] * n_features]}
+        )
+        assert status == 200
+        status, listed = client.get("/api/v1/jobs")
+        assert status == 200
+        assert listed["jobs"][0]["id"] == job_id
+
+    def test_invalid_job_is_400(self, client):
+        status, body = client.post("/api/v1/jobs", {"solver": {"name": "nope"}})
+        assert status == 400
+        assert body["error"]["type"] == "job_error"
+
+    def test_unknown_job_is_404(self, client):
+        status, body = client.get("/api/v1/jobs/job-9999")
+        assert status == 404
+        assert body["error"]["type"] == "job_not_found"
+
+    def test_cancel_long_job(self, client, server):
+        payload = {
+            "solver": {"name": "newton_admm", "max_epochs": 500},
+            "cluster": dict(self.TINY["cluster"]),
+        }
+        status, body = client.post("/api/v1/jobs", payload)
+        assert status == 201
+        job_id = body["id"]
+        import time
+
+        for _ in range(2000):
+            if server.api.jobs.get(job_id)["epochs_done"] >= 1:
+                break
+            time.sleep(0.01)
+        status, body = client.post(f"/api/v1/jobs/{job_id}/cancel")
+        assert status == 200
+        assert body["cancel_requested"] is True
+        done = server.api.jobs.wait(job_id, timeout=120.0)
+        assert done["status"] == "cancelled"
+        assert done["epochs_done"] < 500
+
+
+@pytest.mark.skipif(not fastapi_available(), reason="serve extra not installed")
+class TestFastAPIParity:
+    """When FastAPI is installed (CI's serving job), the app must serve the
+    same routes with the same JSON as the stdlib fallback."""
+
+    def test_routes_match_fallback(self, tmp_path):
+        httpx = pytest.importorskip("httpx")
+        starlette_client = pytest.importorskip("starlette.testclient")
+        from repro.serving.app import create_app
+
+        api = build_api(tmp_path / "registry", window_s=0.001)
+        app = create_app(api=api)
+        with starlette_client.TestClient(app) as tc:
+            assert tc.get("/api/v1/health").json()["status"] == "ok"
+            payload = {"weights": encode_array(_weights()), "n_classes": C}
+            response = tc.post("/api/v1/models/m", json=payload)
+            assert response.status_code == 201
+            rows = [[0.1] * P, [0.2] * P]
+            response = tc.post("/api/v1/models/m/predict", json={"rows": rows})
+            assert response.status_code == 200
+            assert len(response.json()["predictions"]) == 2
+            response = tc.post("/api/v1/models/m/predict", json={"rows": [[1.0]]})
+            assert response.status_code == 422
+            assert response.json()["error"]["type"] == "inference_error"
+            assert tc.get("/api/v1/models/ghost").status_code == 404
+        api.engine.close()
+        del httpx  # imported only to skip when the extra is missing

@@ -1,0 +1,234 @@
+"""Registry lifecycle (S3): publish -> serve -> hot swap -> rollback, plus
+structured errors for every flavour of corrupt on-disk state."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.metrics.traces import EpochRecord, RunTrace
+from repro.serving.errors import ModelFormatError, ModelNotFoundError, RegistryError
+from repro.serving.registry import SCHEMA, ModelRegistry
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+def _weights(seed=0, p=6, c=4, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(p * (c - 1)).astype(dtype)
+
+
+class TestPublishLoad:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_publish_load_bit_exact(self, registry, dtype):
+        w = _weights(dtype=dtype)
+        registry.publish("m", w, n_classes=4)
+        model = registry.load("m")
+        assert model.weights.dtype == dtype
+        view = np.uint32 if dtype == np.float32 else np.uint64
+        assert np.array_equal(model.weights.view(view), w.view(view))
+        assert model.n_classes == 4
+        assert model.n_features == 6
+
+    def test_versions_increment_and_activate(self, registry):
+        first = registry.publish("m", _weights(1), n_classes=4)
+        second = registry.publish("m", _weights(2), n_classes=4)
+        assert (first.version, second.version) == (1, 2)
+        assert registry.versions("m") == [1, 2]
+        assert registry.current_version("m") == 2
+        assert registry.load("m").version == 2
+        assert registry.load("m", version=1).version == 1
+
+    def test_publish_without_activate_keeps_current(self, registry):
+        registry.publish("m", _weights(1), n_classes=4)
+        registry.publish("m", _weights(2), n_classes=4, activate=False)
+        assert registry.versions("m") == [1, 2]
+        assert registry.current_version("m") == 1
+
+    def test_matrix_form_publish_matches_flat(self, registry):
+        flat = _weights(3)
+        matrix = flat.reshape(3, 6).T  # (p, C-1), the scoring layout
+        registry.publish("flat", flat, n_classes=4)
+        registry.publish("matrix", matrix, n_classes=4)
+        a = registry.load("flat")
+        b = registry.load("matrix")
+        assert np.array_equal(a.weights, b.weights)
+        assert np.array_equal(a.weight_matrix(), matrix)
+
+    def test_metadata_round_trips(self, registry):
+        registry.publish("m", _weights(), n_classes=4, metadata={"note": "hi"})
+        assert registry.load("m").metadata["note"] == "hi"
+
+    @pytest.mark.parametrize("bad", ["", "../escape", "a/b", ".hidden", "-dash"])
+    def test_invalid_names_rejected(self, registry, bad):
+        with pytest.raises(RegistryError, match="invalid model name"):
+            registry.publish(bad, _weights(), n_classes=4)
+
+    def test_shape_mismatches_rejected(self, registry):
+        with pytest.raises(RegistryError, match="not divisible"):
+            registry.publish("m", np.zeros(7), n_classes=4)
+        with pytest.raises(RegistryError, match="inconsistent"):
+            registry.publish("m", _weights(), n_classes=4, n_features=5)
+        with pytest.raises(RegistryError, match="columns"):
+            registry.publish("m", np.zeros((6, 2)), n_classes=4)
+        with pytest.raises(RegistryError, match="n_classes"):
+            registry.publish("m", np.zeros(6), n_classes=1)
+
+    def test_missing_model_and_version(self, registry):
+        with pytest.raises(ModelNotFoundError, match="does not exist"):
+            registry.load("ghost")
+        registry.publish("m", _weights(), n_classes=4)
+        with pytest.raises(ModelNotFoundError, match="no version 9"):
+            registry.load("m", version=9)
+
+    def test_never_activated_model(self, registry):
+        registry.publish("m", _weights(), n_classes=4, activate=False)
+        with pytest.raises(ModelNotFoundError, match="no active version"):
+            registry.load("m")
+
+
+class TestCorruptFiles:
+    """Corrupt on-disk state must surface as ModelFormatError, never a raw
+    traceback (the API maps it to a structured 409)."""
+
+    def _model_file(self, registry, name="m", version=1):
+        return registry.root / name / "versions" / f"{version:06d}" / "model.json"
+
+    def test_invalid_json(self, registry):
+        registry.publish("m", _weights(), n_classes=4)
+        self._model_file(registry).write_text("{ not json")
+        with pytest.raises(ModelFormatError, match="not valid JSON"):
+            registry.load("m")
+
+    def test_truncated_weights(self, registry):
+        registry.publish("m", _weights(), n_classes=4)
+        path = self._model_file(registry)
+        payload = json.loads(path.read_text())
+        payload["weights"]["data"] = payload["weights"]["data"][:8]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelFormatError, match="corrupt or truncated"):
+            registry.load("m")
+
+    def test_wrong_schema(self, registry):
+        registry.publish("m", _weights(), n_classes=4)
+        path = self._model_file(registry)
+        payload = json.loads(path.read_text())
+        payload["schema"] = "something/else"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelFormatError, match=f"expected '{SCHEMA}'"):
+            registry.load("m")
+
+    def test_weight_shape_mismatch(self, registry):
+        registry.publish("m", _weights(), n_classes=4)
+        path = self._model_file(registry)
+        payload = json.loads(path.read_text())
+        payload["n_features"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelFormatError, match="does not match"):
+            registry.load("m")
+
+    def test_corrupt_current_pointer(self, registry):
+        registry.publish("m", _weights(), n_classes=4)
+        (registry.root / "m" / "CURRENT").write_text("not-a-number")
+        with pytest.raises(ModelFormatError, match="CURRENT pointer"):
+            registry.load("m")
+
+    def test_activate_refuses_corrupt_target(self, registry):
+        """The CURRENT pointer never swaps to a version that fails to load."""
+        registry.publish("m", _weights(1), n_classes=4)
+        registry.publish("m", _weights(2), n_classes=4)
+        self._model_file(registry, version=2).write_text("garbage")
+        with pytest.raises(ModelFormatError):
+            registry.activate("m", 2)
+        # pointer untouched: version 2 was already active before corruption,
+        # but a fresh activate("m", 1) must still succeed
+        assert registry.activate("m", 1).version == 1
+        assert registry.load("m").version == 1
+
+
+class TestRollbackAndHistory:
+    def test_rollback_returns_to_previous_activation(self, registry):
+        registry.publish("m", _weights(1), n_classes=4)
+        registry.publish("m", _weights(2), n_classes=4)
+        assert registry.current_version("m") == 2
+        model = registry.rollback("m")
+        assert model.version == 1
+        assert registry.current_version("m") == 1
+        history = [h["version"] for h in registry.history("m")]
+        assert history == [1, 2, 1]
+
+    def test_rollback_without_history_errors(self, registry):
+        registry.publish("m", _weights(), n_classes=4)
+        with pytest.raises(RegistryError, match="no previous activation"):
+            registry.rollback("m")
+
+    def test_describe_and_list(self, registry):
+        registry.publish("b", _weights(1), n_classes=4)
+        registry.publish("a", _weights(2), n_classes=4)
+        listed = registry.list_models()
+        assert [m["name"] for m in listed] == ["a", "b"]
+        described = registry.describe("b")
+        assert described["current"] == 1
+        assert described["versions"] == [1]
+        with pytest.raises(ModelNotFoundError):
+            registry.describe("ghost")
+
+
+class TestHotSwapUnderReaders:
+    def test_concurrent_readers_always_see_whole_models(self, registry):
+        """Readers hammering load() during repeated publishes must only ever
+        observe complete versions whose weights match what was published.
+        Every version N is published filled with the value N, so a loaded
+        model is self-validating — a torn read would mix fill values."""
+        registry.publish("m", np.full(18, 1.0), n_classes=4)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                model = registry.load("m")
+                if not np.all(model.weights == float(model.version)):
+                    failures.append(model.version)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for fill in range(2, 12):
+            registry.publish("m", np.full(18, float(fill)), n_classes=4)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not failures, f"readers saw torn/unknown versions: {failures}"
+
+
+class TestPublishTrace:
+    def _trace(self, w, n_classes=4):
+        trace = RunTrace(method="newton_admm", dataset="mnist_like", n_workers=2)
+        trace.records.append(
+            EpochRecord(epoch=1, objective=0.4, test_accuracy=0.9)
+        )
+        trace.final_w = w
+        trace.info["cluster"] = {"n_classes": n_classes}
+        return trace
+
+    def test_provenance_recorded(self, registry):
+        model = registry.publish_trace("m", self._trace(_weights()))
+        assert model.metadata["method"] == "newton_admm"
+        assert model.metadata["dataset"] == "mnist_like"
+        assert model.metadata["final_test_accuracy"] == pytest.approx(0.9)
+
+    def test_trace_without_cluster_info_errors(self, registry):
+        trace = self._trace(_weights())
+        trace.info.pop("cluster")
+        with pytest.raises(RegistryError, match="n_classes"):
+            registry.publish_trace("m", trace)
+
+    def test_trace_without_weights_errors(self, registry):
+        trace = self._trace(None)
+        with pytest.raises(RegistryError, match="no final_w"):
+            registry.publish_trace("m", trace)
