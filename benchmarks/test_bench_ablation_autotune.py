@@ -1,0 +1,49 @@
+"""Ablation — schedule autotuning: under a declared straggler+fault profile
+the tournament-tuned plan beats every hand-written solver plan on the event
+engine's modelled clock, bit-reproducibly."""
+
+import math
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_autotune
+
+
+def test_ablation_autotune(benchmark):
+    result = run_once(benchmark, ablation_autotune)
+    print("\n" + result["report"])
+
+    rows = {r["candidate"]: r for r in result["rows"]}
+    tournament = result["result"]
+    winner = rows[tournament.winner]
+
+    # The headline: the tuned (searched, not hand-written) schedule reaches
+    # the synchronous baseline's final objective in strictly less modelled
+    # time than EVERY hand-written plan in the field.
+    assert not winner["hand_written"]
+    assert math.isfinite(winner["score_time_to_target_s"])
+    hand_written = [r for r in result["rows"] if r["hand_written"]]
+    assert hand_written, "tournament ran without hand-written incumbents"
+    for row in hand_written:
+        assert winner["score_time_to_target_s"] < row["score_time_to_target_s"], (
+            f"hand-written {row['candidate']} "
+            f"(t={row['score_time_to_target_s']:.3g}s) is not strictly beaten "
+            f"by {tournament.winner} "
+            f"(t={winner['score_time_to_target_s']:.3g}s)"
+        )
+
+    # The tuner is bit-reproducible under the fixed seed: the driver reran
+    # the full tournament and compared every candidate's score exactly.
+    assert result["reproducible"] is True
+
+    # Provenance of the win is on the winning trace.
+    provenance = tournament.winner_trace.info["autotune"]
+    assert provenance["winner"] == tournament.winner
+    assert provenance["beat_every_hand_written"] is True
+    assert provenance["profile"]["straggler"] is not None
+    assert provenance["profile"]["faults"] is not None
+
+    # The fault schedule was calibrated, not hard-coded: MTBF is a fraction
+    # of the measured fault-free baseline, so crashes actually fire at this
+    # scale's modelled runtime.
+    assert 0.0 < float(provenance["profile"]["faults"]["mtbf"]) < result["base_time"]

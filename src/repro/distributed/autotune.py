@@ -1,0 +1,517 @@
+"""Schedule autotuner: propose overlap rewrites and tournament-search plans.
+
+The IR can describe a schedule (:mod:`repro.distributed.schedule`), check it
+(declared-round verification, in-flight guard), and diff and price it
+(:mod:`repro.distributed.schedule_diff`).  This module closes the
+prescriptive loop — it *improves* schedules:
+
+:func:`propose_overlap`
+    Walks a plan and flags every blocking :class:`Collective` whose result is
+    not needed before the next :class:`LocalStep`; each flagged collective is
+    rewritten to ``overlap=True`` with a :class:`Join` inserted after the
+    local compute it can hide behind.  Legality is decided by the *existing*
+    in-flight guard, not by a second analysis: when a probe cluster is
+    supplied, each rewrite is trial-executed and kept only if the guard does
+    not object (a consuming step reads the in-flight key → ``ScheduleError``
+    → the rewrite is rolled back).  Rewrites never change the declared round
+    count — ``overlap`` does not open rounds and ``Join`` is not a
+    collective — which the proposer asserts.
+
+:func:`run_tournament`
+    A seeded search over quorum size, staleness bound, ADMM penalty /
+    over-relaxation, and overlap flags.  Every entrant — the hand-written
+    solver configurations first, then the seeded draws — runs on a fresh
+    event-engine cluster built from the same declared
+    :class:`~repro.distributed.schedule_diff.ClusterProfile`, and is scored
+    on the engine's modelled clock: the time to reach the synchronous
+    baseline's final objective (``inf`` when never reached, with the final
+    objective as tiebreak).  A challenger must be *strictly* faster than the
+    incumbent to take the title, so a no-op profile leaves Newton-ADMM's
+    single-round plan unbeaten, and the full provenance record — profile,
+    seed, every candidate's knobs and score — lands in
+    ``trace.info["autotune"]`` on the winning trace.
+
+Determinism: all draws come from one ``numpy`` generator seeded by the
+caller, every candidate's cluster is rebuilt from the profile with the same
+``random_state``, and the straggler/fault streams are seeded models — same
+profile + same seed ⇒ bit-identical scores and the same winner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributed.schedule import (
+    Collective,
+    Join,
+    LocalStep,
+    RoundPlan,
+    ScheduleError,
+    execute_plan,
+)
+from repro.distributed.schedule_diff import ClusterProfile
+
+__all__ = [
+    "OverlapProposal",
+    "propose_overlap",
+    "TournamentEntry",
+    "TournamentResult",
+    "default_entries",
+    "run_tournament",
+]
+
+
+# ---------------------------------------------------------------------------
+# Cost-aware overlap proposal
+# ---------------------------------------------------------------------------
+@dataclass
+class OverlapProposal:
+    """Outcome of :func:`propose_overlap`.
+
+    ``candidates`` records every flagged collective with its status:
+    ``"proposed"`` (rewrite kept), ``"rejected"`` (the in-flight guard
+    objected during trial execution; rolled back) or ``"unverified"``
+    (no probe cluster supplied; rewrite kept but unchecked).
+    """
+
+    original: RoundPlan
+    proposed: RoundPlan
+    candidates: List[dict] = field(default_factory=list)
+    verified: bool = False
+
+    @property
+    def n_applied(self) -> int:
+        return sum(1 for c in self.candidates if c["status"] != "rejected")
+
+    @property
+    def changed(self) -> bool:
+        return self.n_applied > 0
+
+    def describe(self) -> dict:
+        return {
+            "plan": self.original.name,
+            "verified": self.verified,
+            "applied": self.n_applied,
+            "candidates": [dict(c) for c in self.candidates],
+        }
+
+
+def _overlap_candidates(steps: Sequence) -> List[Tuple[int, int]]:
+    """(collective index, following LocalStep index) pairs worth rewriting.
+
+    A collective qualifies when it blocks today (``overlap=False``), the op
+    supports overlap (``reduce_scalar`` does not), it opens its own round
+    (a ``joint_with_previous`` collective shares the previous synchronization
+    point — backgrounding it would break that pairing), and some
+    :class:`LocalStep` follows before the next collective or join (otherwise
+    there is no compute to hide the transfer behind and the rewrite gains
+    nothing).  Consumption is *not* decided here — only the in-flight guard
+    can, at trial execution.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for i, step in enumerate(steps):
+        if not isinstance(step, Collective):
+            continue
+        if step.overlap or step.joint_with_previous or step.op == "reduce_scalar":
+            continue
+        for j in range(i + 1, len(steps)):
+            nxt = steps[j]
+            if isinstance(nxt, LocalStep):
+                pairs.append((i, j))
+                break
+            if isinstance(nxt, (Collective, Join)):
+                break
+    return pairs
+
+
+def propose_overlap(
+    plan: RoundPlan,
+    *,
+    verify_on=None,
+    profile: Optional[ClusterProfile] = None,
+) -> OverlapProposal:
+    """Rewrite ``plan`` to overlap collectives whose results can wait.
+
+    Candidates are applied one at a time — most promising first when a
+    ``profile`` prices the transfers (the biggest hide is attempted first) —
+    and each application is trial-executed on ``verify_on`` (a throwaway
+    cluster: execution runs the plan's thunks) and rolled back when the
+    in-flight guard raises :class:`ScheduleError`.  Without a probe cluster
+    the rewrites are returned unverified.
+
+    Repeat bodies are left untouched: their steps execute ``times`` times,
+    and a Join placed after the body would let transfers from earlier trips
+    float across later ones — a different schedule than declared.
+    """
+    working = plan.structural_copy()
+    candidates: List[dict] = []
+    attempted: set = set()
+    while True:
+        pairs = [
+            (i, j)
+            for i, j in _overlap_candidates(working.steps)
+            if working.steps[i].name not in attempted
+        ]
+        if not pairs:
+            break
+        if profile is not None:
+            pairs.sort(
+                key=lambda ij: -profile.collective_seconds(
+                    working.steps[ij[0]].op
+                )
+            )
+        coll_index, local_index = pairs[0]
+        coll = working.steps[coll_index]
+        attempted.add(coll.name)
+        entry = {
+            "name": coll.name,
+            "op": coll.op,
+            "index": coll_index,
+            "status": "unverified" if verify_on is None else "proposed",
+        }
+        if profile is not None:
+            entry["transfer_seconds"] = profile.collective_seconds(coll.op)
+        trial = working.structural_copy()
+        trial.steps[coll_index].overlap = True
+        trial.steps.insert(local_index + 1, Join())
+        if verify_on is not None:
+            try:
+                execute_plan(verify_on, trial)
+            except ScheduleError as exc:
+                entry["status"] = "rejected"
+                entry["reason"] = str(exc)
+                candidates.append(entry)
+                continue
+        working = trial
+        candidates.append(entry)
+    if plan.declared_rounds is not None:
+        if working.declared_rounds != plan.declared_rounds:
+            raise ScheduleError(
+                f"overlap proposal changed the declared round count of "
+                f"{plan.name!r}: {plan.declared_rounds} -> "
+                f"{working.declared_rounds}"
+            )
+    return OverlapProposal(
+        original=plan,
+        proposed=working,
+        candidates=candidates,
+        verified=verify_on is not None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tournament search
+# ---------------------------------------------------------------------------
+@dataclass
+class TournamentEntry:
+    """One entrant: a label, a solver factory, and its epoch budget.
+
+    ``hand_written=True`` marks the incumbent configurations the search must
+    beat; they are always scored first and win ties.
+    """
+
+    label: str
+    factory: Callable[[], object]  # -> DistributedSolver
+    epochs: int
+    hand_written: bool = False
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class TournamentResult:
+    """Winner + full per-candidate provenance of one tournament."""
+
+    winner: str
+    winner_trace: object  # RunTrace
+    target: float
+    candidates: List[dict]
+    traces: dict
+    profile: dict
+    seed: int
+
+    @property
+    def hand_written_scores(self) -> dict:
+        return {
+            c["label"]: c["score"]
+            for c in self.candidates
+            if c["hand_written"]
+        }
+
+    def describe(self) -> dict:
+        return {
+            "winner": self.winner,
+            "target": self.target,
+            "seed": self.seed,
+            "profile": dict(self.profile),
+            "candidates": [dict(c) for c in self.candidates],
+        }
+
+
+def _fresh_straggler(profile: ClusterProfile):
+    """A fresh (unconsumed RNG) straggler model for one candidate's cluster."""
+    if profile.straggler is None:
+        return None
+    return replace(profile.straggler)
+
+
+def _build_cluster(train, profile: ClusterProfile, seed: int):
+    from repro.distributed.cluster import SimulatedCluster
+
+    return SimulatedCluster(
+        train,
+        profile.n_workers,
+        network=profile.network,
+        straggler=_fresh_straggler(profile),
+        faults=profile.faults,
+        engine="event",
+        random_state=seed,
+    )
+
+
+def default_entries(
+    profile: ClusterProfile,
+    *,
+    seed: int = 0,
+    n_trials: int = 6,
+    sync_epochs: int = 8,
+    lam: float = 1e-5,
+    cg_max_iter: int = 10,
+) -> List[TournamentEntry]:
+    """The standard field: hand-written incumbents + ``n_trials`` seeded draws.
+
+    Incumbents (every schedule shape the repo ships hand-written): sync
+    Newton-ADMM (the paper's 1-round plan), GIANT with and without the
+    hand-tuned gradient overlap (3 rounds), and — when the profile declares
+    stragglers or active faults — quorum async Newton-ADMM at its default
+    knobs.  The seeded draws then search ADMM penalty policy /
+    over-relaxation and GIANT's overlap flag, plus quorum size and staleness
+    bound on perturbed profiles.
+
+    Asynchrony enters the field only under declared perturbations: quorum
+    schedules are the tuner's *response* to stragglers and faults (they trade
+    staleness for not waiting), so on a clean profile they answer a question
+    nobody asked — the interesting search there is over synchronous schedule
+    shape and penalty knobs, and the paper's single-round plan should win it.
+
+    Synchronous incumbents declare ``on_failure="stall"`` when the profile
+    injects faults — the strict default would simply abort, and a tournament
+    where the incumbents crash proves nothing.
+    """
+    from repro.admm.async_newton_admm import AsyncNewtonADMM
+    from repro.admm.newton_admm import NewtonADMM
+    from repro.baselines.giant import GIANT
+
+    faults_active = profile.faults is not None and getattr(
+        profile.faults, "active", False
+    )
+    sync_policy = "stall" if faults_active else "raise"
+    perturbed = profile.straggler is not None or faults_active
+    n = profile.n_workers
+    async_epochs = 4 * sync_epochs
+    shared = dict(lam=lam, record_accuracy=False)
+
+    def admm(**kw):
+        kwargs = dict(
+            cg_max_iter=cg_max_iter, on_failure=sync_policy,
+            max_epochs=sync_epochs, **shared,
+        )
+        kwargs.update(kw)
+        return NewtonADMM(**kwargs)
+
+    def giant(**kw):
+        kwargs = dict(
+            cg_max_iter=cg_max_iter, cg_tol=1e-4, on_failure=sync_policy,
+            max_epochs=sync_epochs, **shared,
+        )
+        kwargs.update(kw)
+        return GIANT(**kwargs)
+
+    def async_admm(**kw):
+        kwargs = dict(cg_max_iter=cg_max_iter, max_epochs=async_epochs, **shared)
+        kwargs.update(kw)
+        return AsyncNewtonADMM(**kwargs)
+
+    entries = [
+        TournamentEntry(
+            "newton_admm", lambda: admm(), sync_epochs, hand_written=True,
+            params={"solver": "newton_admm", "rounds_per_epoch": 1},
+        ),
+        TournamentEntry(
+            "giant", lambda: giant(), sync_epochs, hand_written=True,
+            params={"solver": "giant", "rounds_per_epoch": 3},
+        ),
+        TournamentEntry(
+            "giant_overlap",
+            lambda: giant(overlap_gradient=True),
+            sync_epochs,
+            hand_written=True,
+            params={
+                "solver": "giant", "overlap_gradient": True,
+                "rounds_per_epoch": 3,
+            },
+        ),
+    ]
+    if perturbed:
+        entries.append(
+            TournamentEntry(
+                "async_newton_admm",
+                lambda: async_admm(),
+                async_epochs,
+                hand_written=True,
+                params={"solver": "async_newton_admm", "quorum": "default"},
+            )
+        )
+
+    families = ("admm_penalty", "giant_overlap")
+    if perturbed:
+        families = ("async_quorum",) + families
+    rng = np.random.default_rng(seed)
+    for trial in range(n_trials):
+        family = rng.choice(families)
+        if family == "async_quorum" and n >= 2:
+            quorum = int(rng.integers(max(1, n // 2), n))  # in [n//2, n-1]
+            staleness = int(rng.choice((2, 5, 10, 20)))
+            params = {
+                "solver": "async_newton_admm",
+                "quorum": quorum,
+                "max_staleness": staleness,
+            }
+            entries.append(
+                TournamentEntry(
+                    f"trial{trial}_async_q{quorum}_s{staleness}",
+                    lambda q=quorum, s=staleness: async_admm(
+                        quorum=q, max_staleness=s
+                    ),
+                    4 * sync_epochs,
+                    params=params,
+                )
+            )
+        elif family == "admm_penalty":
+            penalty = str(rng.choice(("spectral", "residual_balancing", "fixed")))
+            over_relaxation = float(rng.choice((1.0, 1.3, 1.5, 1.8)))
+            params = {
+                "solver": "newton_admm",
+                "penalty": penalty,
+                "over_relaxation": over_relaxation,
+            }
+            entries.append(
+                TournamentEntry(
+                    f"trial{trial}_admm_{penalty}_or{over_relaxation:g}",
+                    lambda p=penalty, o=over_relaxation: admm(
+                        penalty=p, over_relaxation=o
+                    ),
+                    sync_epochs,
+                    params=params,
+                )
+            )
+        else:
+            overlap = bool(rng.integers(0, 2))
+            cg = int(rng.choice((5, 10, 20)))
+            params = {
+                "solver": "giant",
+                "overlap_gradient": overlap,
+                "cg_max_iter": cg,
+            }
+            entries.append(
+                TournamentEntry(
+                    f"trial{trial}_giant_cg{cg}{'_ov' if overlap else ''}",
+                    lambda o=overlap, c=cg: giant(
+                        overlap_gradient=o, cg_max_iter=c
+                    ),
+                    sync_epochs,
+                    params=params,
+                )
+            )
+    return entries
+
+
+def run_tournament(
+    train,
+    profile: ClusterProfile,
+    *,
+    entries: Optional[List[TournamentEntry]] = None,
+    seed: int = 0,
+    n_trials: int = 6,
+    sync_epochs: int = 8,
+    lam: float = 1e-5,
+    test=None,
+) -> TournamentResult:
+    """Score every entry on the profile's event-engine cluster; crown a winner.
+
+    The first hand-written entry (sync Newton-ADMM in the default field) sets
+    the target objective: its own final objective after ``sync_epochs``.
+    Every candidate is then scored by the modelled time at which it reaches
+    that target (``inf`` if never, final objective as tiebreak).  The winner
+    is the earliest-listed candidate no other candidate *strictly* beats —
+    hand-written entries are listed first, so ties keep the incumbent.
+    """
+    if entries is None:
+        entries = default_entries(
+            profile, seed=seed, n_trials=n_trials,
+            sync_epochs=sync_epochs, lam=lam,
+        )
+    if not entries:
+        raise ValueError("tournament needs at least one entry")
+    if not entries[0].hand_written:
+        raise ValueError(
+            "the first tournament entry must be a hand-written incumbent "
+            "(it sets the target objective)"
+        )
+    from repro.metrics.traces import time_to_objective
+
+    traces = {}
+    records: List[dict] = []
+    target: Optional[float] = None
+    for entry in entries:
+        cluster = _build_cluster(train, profile, seed)
+        solver = entry.factory()
+        trace = solver.fit(cluster, test=test)
+        traces[entry.label] = trace
+        if target is None:
+            target = float(trace.final.objective)
+        score = float(time_to_objective(trace, target))
+        records.append(
+            {
+                "label": entry.label,
+                "hand_written": entry.hand_written,
+                "params": dict(entry.params),
+                "epochs": trace.n_epochs,
+                "score": score,
+                "reached_target": math.isfinite(score),
+                "final_objective": float(trace.final.objective),
+                "total_modelled_time": float(trace.total_time()),
+                "hyperparameters": solver.hyperparameters(),
+            }
+        )
+
+    winner = records[0]
+    for record in records[1:]:
+        if (record["score"], record["final_objective"]) < (
+            winner["score"], winner["final_objective"]
+        ):
+            winner = record
+    assert target is not None
+    result = TournamentResult(
+        winner=winner["label"],
+        winner_trace=traces[winner["label"]],
+        target=target,
+        candidates=records,
+        traces=traces,
+        profile=profile.describe(),
+        seed=seed,
+    )
+    traces[winner["label"]].info["autotune"] = {
+        **result.describe(),
+        "n_entries": len(records),
+        "beat_every_hand_written": all(
+            winner["score"] < c["score"]
+            or (winner["score"] == c["score"] and winner["label"] == c["label"])
+            for c in records
+            if c["hand_written"]
+        ),
+    }
+    return result

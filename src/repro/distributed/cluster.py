@@ -258,6 +258,10 @@ class SimulatedCluster:
         self.last_round_survivors: List[int] = list(range(self.n_workers))
         self.executor = executor
         self.max_threads = max_threads
+        # Provenance: record how the rows were partitioned ("explicit" when
+        # pre-built shards were handed in and no strategy ran).
+        self.sharding = sharding if shards is None else "explicit"
+        self.random_state = random_state
         self.clock = SimulatedClock()
         self.wall = Stopwatch()
         # The engine always exists (async solvers schedule through its event
@@ -777,7 +781,14 @@ class SimulatedCluster:
             "backend": self.backend.name,
             "precision": self.precision,
             "engine": self.engine_mode,
+            "sharding": self.sharding,
+            "executor": self.executor,
+            "max_threads": self.max_threads,
+            "random_state": self.random_state,
             "worker_sizes": self.worker_sizes(),
+            "straggler": (
+                self.straggler.describe() if self.straggler is not None else None
+            ),
             "faults": self.faults.describe() if self.faults is not None else None,
         }
 

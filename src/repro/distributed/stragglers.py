@@ -68,6 +68,16 @@ class StragglerModel:
         self._draws = 0
         self._history: list = []
 
+    def describe(self) -> dict:
+        """JSON-serializable spec (recorded in cluster/profile provenance)."""
+        return {
+            "slowdown": self.slowdown,
+            "probability": self.probability,
+            "persistent_stragglers": list(self.persistent_stragglers),
+            "jitter": self.jitter,
+            "random_state": self.random_state,
+        }
+
     # -- sampling ------------------------------------------------------------
     def _draw(self, n_workers: int) -> np.ndarray:
         """One round of per-worker factors; advances the RNG, records nothing."""

@@ -1,0 +1,259 @@
+"""Property-based tests for the schedule IR, diff, and overlap proposer.
+
+Random *legal* round plans are generated from a small grammar of executable
+segments and pushed through the structural diff and the tuner's overlap
+proposer:
+
+- ``diff_plans(p, p)`` is empty and prices to a zero modelled delta;
+- ``diff_plans(a, b)`` mirrors ``diff_plans(b, a)`` entry for entry
+  (symmetric up to direction);
+- every proposer rewrite passes the executor's in-flight guard and preserves
+  the declared round and collective counts.
+
+The hypothesis profile is bounded (capped ``max_examples``, deadline
+disabled) so the suite stays inside the fast tier's budget; see
+``pyproject.toml``'s ``test`` extra and ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.datasets.synthetic import make_multiclass_gaussian  # noqa: E402
+from repro.distributed.autotune import propose_overlap  # noqa: E402
+from repro.distributed.cluster import SimulatedCluster  # noqa: E402
+from repro.distributed.schedule import (  # noqa: E402
+    Collective,
+    Join,
+    RoundPlan,
+    execute_plan,
+    iter_steps,
+    step_signature,
+)
+from repro.distributed.schedule_diff import (  # noqa: E402
+    ClusterProfile,
+    diff_plans,
+    estimate_plan_time,
+)
+
+#: bounded profile for the whole module — property tests must stay fast
+BOUNDED = settings(
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_DATASET = make_multiclass_gaussian(120, 6, 3, class_separation=2.0, random_state=0)
+_PROFILE = ClusterProfile(n_workers=4)
+
+
+def _cluster() -> SimulatedCluster:
+    return SimulatedCluster(_DATASET, 4, engine="event", random_state=0)
+
+
+# ---------------------------------------------------------------------------
+# Plan grammar: every generated plan is legal AND executable (real thunks)
+# ---------------------------------------------------------------------------
+def _compute(worker, ctx):
+    return 1.0
+
+
+def _payload(key):
+    return lambda ctx: ctx[key]
+
+
+def _consume(key):
+    def fn(ctx):
+        return float(ctx[key]) * 2.0
+
+    return fn
+
+
+@st.composite
+def round_plans(draw) -> RoundPlan:
+    """A random legal plan built from executable segments.
+
+    Segments keep the executor's contracts by construction: overlapped
+    collectives are joined before anyone reads them, ``reduce_scalar`` never
+    overlaps, ``joint_with_previous`` only follows a blocking collective in
+    the same round, and the plan ends joined.
+    """
+    plan = RoundPlan("prop")
+    n_segments = draw(st.integers(min_value=1, max_value=4))
+    uid = 0
+    last_blocking = None  # name of a blocking collective closing the last round
+    for _ in range(n_segments):
+        uid += 1
+        kind = draw(
+            st.sampled_from(
+                ("reduce", "reduce_consumed", "overlap", "scalar", "repeat", "local")
+            )
+        )
+        g, s = f"g{uid}", f"s{uid}"
+        if kind == "local":
+            plan.local(g, _compute)
+            last_blocking = None
+        elif kind == "reduce":
+            plan.local(g, _compute)
+            plan.allreduce(s, _payload(g))
+            last_blocking = s
+        elif kind == "reduce_consumed":
+            plan.local(g, _compute)
+            plan.allreduce(s, _payload(g))
+            plan.master(_consume(s), name=f"m{uid}")
+            last_blocking = s
+        elif kind == "overlap":
+            plan.local(g, _compute)
+            plan.allreduce(s, _payload(g), overlap=True)
+            plan.local(f"hide{uid}", _compute)
+            plan.join()
+            if draw(st.booleans()):
+                plan.master(_consume(s), name=f"m{uid}")
+            last_blocking = None
+        elif kind == "scalar":
+            plan.local(g, _compute)
+            joint = last_blocking is not None and draw(st.booleans())
+            plan.reduce_scalar(s, _payload(g), joint_with_previous=joint)
+            last_blocking = s
+        else:  # repeat
+            times = draw(st.integers(min_value=1, max_value=3))
+
+            def body(b, g=g, s=s):
+                b.local(g, _compute)
+                b.allreduce(s, _payload(g))
+
+            plan.repeat(times, body)
+            last_blocking = None
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Generated plans really are legal
+# ---------------------------------------------------------------------------
+@BOUNDED
+@given(plan=round_plans())
+def test_generated_plans_execute(plan):
+    execution = execute_plan(_cluster(), plan)
+    assert execution.rounds == plan.declared_rounds
+    assert execution.collectives == plan.declared_collectives
+
+
+# ---------------------------------------------------------------------------
+# Diff properties
+# ---------------------------------------------------------------------------
+@BOUNDED
+@given(plan=round_plans())
+def test_diff_with_itself_is_empty(plan):
+    diff = diff_plans(plan, plan, _PROFILE)
+    assert diff.is_empty
+    assert not diff.entries and not diff.header
+    assert diff.modelled_delta == 0.0
+
+
+@BOUNDED
+@given(plan=round_plans())
+def test_diff_with_structural_copy_is_empty(plan):
+    assert diff_plans(plan, plan.structural_copy()).is_empty
+
+
+@BOUNDED
+@given(a=round_plans(), b=round_plans())
+def test_diff_is_symmetric_up_to_direction(a, b):
+    fwd = diff_plans(a, b, _PROFILE)
+    rev = diff_plans(b, a, _PROFILE)
+    assert fwd.is_empty == rev.is_empty
+    assert len(fwd.entries) == len(rev.entries)
+    flipped = {"added": "removed", "removed": "added", "changed": "changed"}
+    by_index = {(e.kind, e.index) for e in rev.entries}
+    for entry in fwd.entries:
+        assert (flipped[entry.kind], entry.index) in by_index
+    rev_entries = {e.index: e for e in rev.entries}
+    for entry in fwd.entries:
+        mirror = rev_entries[entry.index]
+        assert mirror.a == entry.b and mirror.b == entry.a
+        if entry.kind == "changed":
+            assert mirror.fields == {
+                k: (vb, va) for k, (va, vb) in entry.fields.items()
+            }
+    assert set(fwd.header) == set(rev.header)
+    for key, vals in fwd.header.items():
+        assert rev.header[key] == {"a": vals["b"], "b": vals["a"]}
+    if fwd.modelled_delta is not None:
+        assert rev.modelled_delta == pytest.approx(-fwd.modelled_delta)
+
+
+@BOUNDED
+@given(plan=round_plans())
+def test_signature_is_stable_across_structural_copy(plan):
+    assert plan.signature() == plan.structural_copy().signature()
+
+
+# ---------------------------------------------------------------------------
+# Proposer properties
+# ---------------------------------------------------------------------------
+@BOUNDED
+@given(plan=round_plans())
+def test_proposed_rewrites_pass_the_in_flight_guard(plan):
+    proposal = propose_overlap(plan, verify_on=_cluster(), profile=_PROFILE)
+    assert proposal.verified
+    # The rewritten plan executes cleanly on a fresh cluster: the guard is
+    # the legality oracle, and it has no objection.
+    execution = execute_plan(_cluster(), proposal.proposed)
+    assert execution.rounds == proposal.proposed.declared_rounds
+
+
+@BOUNDED
+@given(plan=round_plans())
+def test_proposals_preserve_declared_counts(plan):
+    proposal = propose_overlap(plan, verify_on=_cluster())
+    assert proposal.proposed.declared_rounds == plan.declared_rounds
+    assert proposal.proposed.declared_collectives == plan.declared_collectives
+    # Overlap never *removes* steps: flattened length can only grow (Joins).
+    n_before = len(list(iter_steps(plan.steps)))
+    n_after = len(list(iter_steps(proposal.proposed.steps)))
+    assert n_after >= n_before
+    applied = {c["name"] for c in proposal.candidates if c["status"] == "proposed"}
+    now_overlapped = {
+        step.name
+        for step in iter_steps(proposal.proposed.steps)
+        if isinstance(step, Collective) and step.overlap
+    }
+    assert applied <= now_overlapped
+
+
+@BOUNDED
+@given(plan=round_plans())
+def test_proposals_only_add_joins_and_overlap_flags(plan):
+    proposal = propose_overlap(plan, verify_on=_cluster())
+    originals = [
+        step_signature(s)
+        for s in iter_steps(plan.steps)
+        if not isinstance(s, Join)
+    ]
+    rewritten = [
+        step_signature(s)
+        for s in iter_steps(proposal.proposed.steps)
+        if not isinstance(s, Join)
+    ]
+    assert len(originals) == len(rewritten)
+    for before, after in zip(originals, rewritten):
+        if before[0] == "collective":
+            # Signatures match except possibly the overlap flag (index 4).
+            assert before[:4] == after[:4] and before[5:] == after[5:]
+        else:
+            assert before == after
+
+
+@BOUNDED
+@given(plan=round_plans())
+def test_estimates_never_price_proposals_higher(plan):
+    proposal = propose_overlap(plan, verify_on=_cluster(), profile=_PROFILE)
+    before = estimate_plan_time(plan, _PROFILE)
+    after = estimate_plan_time(proposal.proposed, _PROFILE)
+    assert after.seconds <= before.seconds + 1e-12
