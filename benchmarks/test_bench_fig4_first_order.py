@@ -14,7 +14,7 @@ def test_figure4_first_order_comparison(benchmark):
     print("\n" + result["report"])
 
     assert set(rows) == {"HIGGS", "MNIST", "CIFAR-10", "E18"}
-    for dataset, row in rows.items():
+    for row in rows.values():
         # Newton-ADMM ends at an objective no worse than SGD's ...
         assert row["admm_final_obj"] <= row["sgd_final_obj"] + 1e-6
         # ... reaches SGD's final objective in finite modelled time ...

@@ -1,0 +1,145 @@
+"""Static plan verification vs. trial execution in the overlap proposer.
+
+``propose_overlap`` historically vetted every candidate rewrite by executing
+the trial plan on a scratch cluster.  PR 10 replaces that with the effect
+model's static dataflow walk (``verify="static"``); this benchmark measures
+the proposer-side speedup per registered sync solver and persists the
+ratios to ``BENCH_analysis.json`` (gated >= 1.0x in CI by
+``scripts/check_bench.py``).
+
+Two invariants are asserted while timing, not just speed:
+
+- static and trial-execution verification reach identical accept/reject
+  decisions and identical rewritten plans on every solver (the acceptance
+  criterion of the PR);
+- entries are only *gated* for solvers whose plans actually produce overlap
+  candidates — with nothing to verify, both paths are near-instant and the
+  ratio is pure timer noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import verify_plan
+from repro.datasets.synthetic import make_binary_margin, make_multiclass_gaussian
+from repro.distributed.autotune import propose_overlap
+from repro.distributed.cluster import SimulatedCluster
+from repro.harness.runner import SOLVER_REGISTRY
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_analysis.json"
+
+SYNC_SOLVERS = (
+    "newton_admm",
+    "giant",
+    "inexact_dane",
+    "aide",
+    "disco",
+    "cocoa",
+    "sync_sgd",
+)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    """Accumulates measurements; writes BENCH_analysis.json at teardown."""
+    if _BENCH_PATH.exists():
+        try:
+            _RESULTS.update(json.loads(_BENCH_PATH.read_text())["analysis"])
+        except (ValueError, KeyError):
+            pass
+    yield _RESULTS
+    if _RESULTS:
+        payload = {
+            "schema": 1,
+            "note": (
+                "best-of-N wall-clock seconds of propose_overlap with static "
+                "effect-model verification vs trial execution; speedup > 1.0 "
+                "means the static verifier wins. Entries are gated only for "
+                "solvers whose plans produce overlap candidates. See "
+                "docs/analysis.md and scripts/check_bench.py."
+            ),
+            "analysis": _RESULTS,
+        }
+        _BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _best_seconds(fn, *, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _fitted(name):
+    data = (
+        make_binary_margin(150, 8, margin=1.5, random_state=1)
+        if name == "cocoa"
+        else make_multiclass_gaussian(160, 6, 3, class_separation=2.0, random_state=0)
+    )
+    cluster = SimulatedCluster(data, 4, engine="event", random_state=0)
+    solver = SOLVER_REGISTRY[name](max_epochs=1)
+    solver.fit(cluster)
+    return solver._plan_epoch(cluster, 0), cluster
+
+
+def test_static_verification_beats_trial_execution(bench_record):
+    for name in SYNC_SOLVERS:
+        plan, cluster = _fitted(name)
+        static = propose_overlap(plan, verify="static")
+        executed = propose_overlap(plan, verify_on=cluster, verify="execute")
+
+        # identical decisions and identical rewrites — or the speedup is moot
+        assert [(c["name"], c["status"]) for c in static.candidates] == [
+            (c["name"], c["status"]) for c in executed.candidates
+        ]
+        assert static.proposed.signature() == executed.proposed.signature()
+        assert verify_plan(static.proposed).ok
+
+        n_candidates = len(static.candidates)
+        # warm both paths, then best-of-N each
+        _best_seconds(lambda: propose_overlap(plan, verify="static"), repeats=2)
+        _best_seconds(
+            lambda: propose_overlap(plan, verify_on=cluster, verify="execute"),
+            repeats=2,
+        )
+        t_static = _best_seconds(
+            lambda: propose_overlap(plan, verify="static"), repeats=7
+        )
+        t_execute = _best_seconds(
+            lambda: propose_overlap(plan, verify_on=cluster, verify="execute"),
+            repeats=7,
+        )
+        speedup = t_execute / t_static if t_static > 0 else float("inf")
+        gated = n_candidates > 0
+        entry = {
+            "static_s": t_static,
+            "execute_s": t_execute,
+            "speedup": round(speedup, 3),
+            "candidates": n_candidates,
+            "identical_proposals": True,
+            "gated": gated,
+        }
+        if not gated:
+            entry["ungated_reason"] = (
+                "no overlap candidates in this plan; both paths are no-ops"
+            )
+        bench_record[name] = entry
+        print(
+            f"\n{name:14s} static={t_static * 1e3:.3f}ms "
+            f"execute={t_execute * 1e3:.3f}ms speedup={speedup:.1f}x "
+            f"candidates={n_candidates}"
+        )
+        if gated:
+            assert speedup >= 1.0, (
+                f"{name}: static verification ({t_static:.6f}s) slower than "
+                f"trial execution ({t_execute:.6f}s)"
+            )

@@ -55,6 +55,7 @@ DEFAULT_FILES = (
     _REPO_ROOT / "BENCH_kernels.json",
     _REPO_ROOT / "BENCH_process_engine.json",
     _REPO_ROOT / "BENCH_serving.json",
+    _REPO_ROOT / "BENCH_analysis.json",
 )
 
 
@@ -166,6 +167,42 @@ def _check_serving(path: Path, serving: dict) -> int:
     return failures
 
 
+def _check_analysis(path: Path, entries: dict) -> int:
+    failures = 0
+    gated = 0
+    for name in sorted(entries):
+        entry = entries[name]
+        speedup = float(entry["speedup"])
+        if not entry.get("identical_proposals", False):
+            print(
+                f"check_bench: {name} — static verification reached different "
+                "proposals than trial execution; the static verifier is wrong",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        if not entry.get("gated", False):
+            reason = entry.get("ungated_reason", "recorded ungated")
+            print(f"check_bench: {name}: {speedup:.3f}x [ungated: {reason}]")
+            continue
+        gated += 1
+        status = "OK" if speedup >= THRESHOLD else "REGRESSED"
+        print(
+            f"check_bench: {name}: {speedup:.3f}x "
+            f"({entry.get('candidates', '?')} candidate(s)) [{status}]"
+        )
+        if speedup < THRESHOLD:
+            print(
+                f"check_bench: {name} — static plan verification ran slower "
+                "than trial execution on a plan with overlap candidates",
+                file=sys.stderr,
+            )
+            failures += 1
+    if not failures:
+        print(f"check_bench: OK ({gated} gated static-verify entr(y/ies))")
+    return failures
+
+
 def check_file(path: Path) -> int:
     if not path.exists():
         print(f"check_bench: {path} not found — run "
@@ -183,8 +220,10 @@ def check_file(path: Path) -> int:
         return _check_process_engine(path, payload["entries"])
     if "serving" in payload:
         return _check_serving(path, payload["serving"])
-    print(f"check_bench: {path} has no 'kernels', 'entries', or 'serving' key",
-          file=sys.stderr)
+    if "analysis" in payload:
+        return _check_analysis(path, payload["analysis"])
+    print(f"check_bench: {path} has no 'kernels', 'entries', 'serving', or "
+          "'analysis' key", file=sys.stderr)
     return 1
 
 

@@ -1,0 +1,480 @@
+"""``python -m repro lint`` — AST lint enforcing the repo's own contracts.
+
+Generic linters cannot see this codebase's architectural rules; these
+checkers encode them directly:
+
+``RPR001`` *backend purity*
+    Backend-generic modules (objectives, linalg) must go through the
+    :class:`ArrayBackend` dispatch layer; a raw ``np.<kernel>(...)`` call
+    there silently pins the computation to NumPy and breaks CuPy/Torch
+    parity.  Structural/dtype helpers (``np.asarray``, ``np.dtype``,
+    ``np.finfo``, ...) are allowed — they are host-side bookkeeping.
+
+``RPR002`` *seeded determinism*
+    Solver and distributed code must not read ambient nondeterminism:
+    ``np.random.*`` module-level calls (including ``default_rng()`` with no
+    seed), the stdlib ``random`` module, or wall-clock reads
+    (``time.time()``/``perf_counter()``/``datetime.now()``).  Modelled time
+    comes from the cluster clock; randomness flows from seeded generators.
+
+``RPR003`` *fork safety*
+    Modules imported by process-engine worker payloads must not carry
+    module-level mutable state (dict/list/set literals or constructor
+    calls at module scope): each spawned worker gets its own copy and
+    mutations silently diverge between ranks.  Declared constants are fine
+    — the rule flags the containers, a tuple/frozenset is the fix.
+
+``RPR004`` *honest error handling*
+    No bare ``except:``; no handler that silently swallows (body is only
+    ``pass``/``...``) a broad exception class or a ``ServingError``.
+
+Suppression: append ``# repro-lint: ignore[RPR00x]`` (with an optional
+reason) to the offending line, or record the finding's fingerprint in the
+committed baseline (``lint_baseline.json``, regenerated with
+``--update-baseline``).  Fingerprints hash the rule, file and source line
+— not the line *number* — so unrelated edits don't invalidate them.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: rule id -> one-line description (the catalogue in docs/analysis.md)
+LINT_RULES: Dict[str, str] = {
+    "RPR001": "raw numpy kernel call in a backend-generic module",
+    "RPR002": "unseeded/global RNG or wall-clock read in solver/distributed code",
+    "RPR003": "module-level mutable state in a process-engine payload module",
+    "RPR004": "bare except or silently swallowed exception",
+}
+
+#: modules that must stay backend-generic (RPR001), relative to the scan root
+BACKEND_GENERIC = (
+    "repro/objectives/*.py",
+    "repro/linalg/*.py",
+)
+
+#: modules that must be deterministic (RPR002)
+DETERMINISTIC = (
+    "repro/admm/*.py",
+    "repro/baselines/*.py",
+    "repro/solvers/*.py",
+    "repro/distributed/*.py",
+)
+
+#: modules imported by spawned process-engine workers (RPR003)
+FORK_SAFE = (
+    "repro/admm/*.py",
+    "repro/baselines/*.py",
+    "repro/solvers/*.py",
+    "repro/distributed/*.py",
+    "repro/objectives/*.py",
+    "repro/linalg/*.py",
+    "repro/backend/*.py",
+    "repro/datasets/*.py",
+)
+
+#: numpy attributes that are host-side bookkeeping, not array kernels
+_NUMPY_ALLOWED = frozenset(
+    {
+        "ndarray",
+        "generic",
+        "dtype",
+        "asarray",
+        "ascontiguousarray",
+        "isscalar",
+        "result_type",
+        "promote_types",
+        "can_cast",
+        "finfo",
+        "iinfo",
+        "isfinite",
+        "isnan",
+        "isinf",
+        "errstate",
+        "seterr",
+        "shares_memory",
+        "float32",
+        "float64",
+        "int32",
+        "int64",
+        "intp",
+        "bool_",
+        "uint8",
+        "testing",
+    }
+)
+
+#: exception names whose silent swallowing RPR004 always flags
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException", "ServingError"})
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint finding, locatable and fingerprintable."""
+
+    rule: str
+    path: str  # scan-root-relative, posix separators
+    line: int
+    message: str
+    snippet: str
+    #: disambiguates identical snippets in one file (0-based)
+    occurrence: int = 0
+
+    def fingerprint(self) -> str:
+        text = "\x1f".join(
+            [self.rule, self.path, self.snippet.strip(), str(self.occurrence)]
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet.strip(),
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class LintReport:
+    """Outcome of one :func:`run_lint` call."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+    suppressed: List[LintFinding] = field(default_factory=list)
+    baselined: List[LintFinding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def describe(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules": LINT_RULES,
+            "findings": [f.describe() for f in self.findings],
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+        }
+
+    def render(self) -> str:
+        lines = []
+        for f in self.findings:
+            lines.append(f"{f.path}:{f.line}: {f.rule} {f.message}")
+            lines.append(f"    {f.snippet.strip()}")
+        lines.append(
+            f"{len(self.findings)} finding(s) "
+            f"({len(self.suppressed)} suppressed inline, "
+            f"{len(self.baselined)} baselined) "
+            f"in {self.files_scanned} file(s)"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Checkers
+# ---------------------------------------------------------------------------
+def _numpy_aliases(tree: ast.Module) -> set:
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    names.add(alias.asname or "numpy")
+    return names
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, tree: ast.Module):
+        self.tree = tree
+        self.hits: List[Tuple[str, int, str]] = []  # (rule, line, message)
+
+    def hit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.hits.append((rule, node.lineno, message))
+
+
+class _BackendPurity(_Checker):
+    """RPR001: ``np.<kernel>(...)`` calls outside the dispatch layer."""
+
+    def __init__(self, tree: ast.Module):
+        super().__init__(tree)
+        self.aliases = _numpy_aliases(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.aliases
+            and func.attr not in _NUMPY_ALLOWED
+        ):
+            self.hit(
+                "RPR001",
+                node,
+                f"raw numpy call np.{func.attr}(...) in a backend-generic "
+                "module; route through the ArrayBackend",
+            )
+        self.generic_visit(node)
+
+
+class _Determinism(_Checker):
+    """RPR002: ambient RNG and wall-clock reads."""
+
+    _CLOCKS = {
+        ("time", "time"),
+        ("time", "perf_counter"),
+        ("time", "monotonic"),
+        ("time", "process_time"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+    }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted:
+            parts = tuple(dotted.split("."))
+            if parts[:2] == ("np", "random") or parts[:2] == ("numpy", "random"):
+                if parts[-1] == "default_rng" and (node.args or node.keywords):
+                    pass  # seeded generator construction is the sanctioned path
+                else:
+                    self.hit(
+                        "RPR002",
+                        node,
+                        f"global numpy RNG call {dotted}(...); use a seeded "
+                        "np.random.default_rng(seed) generator",
+                    )
+            elif parts[0] == "random" and len(parts) == 2:
+                self.hit(
+                    "RPR002",
+                    node,
+                    f"stdlib random call {dotted}(...); use a seeded generator",
+                )
+            elif len(parts) >= 2 and (parts[-2], parts[-1]) in self._CLOCKS:
+                self.hit(
+                    "RPR002",
+                    node,
+                    f"wall-clock read {dotted}(...); modelled time comes "
+                    "from the cluster clock",
+                )
+        self.generic_visit(node)
+
+
+class _ForkSafety(_Checker):
+    """RPR003: module-level mutable containers."""
+
+    _MUTABLE_CALLS = frozenset(
+        {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+    )
+    _ALLOWED_NAMES = frozenset({"__all__"})
+
+    def check(self) -> None:
+        for stmt in self.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names or all(n in self._ALLOWED_NAMES for n in names):
+                continue
+            if self._is_mutable(value):
+                self.hit(
+                    "RPR003",
+                    stmt,
+                    f"module-level mutable container {', '.join(names)}; "
+                    "spawned workers each get a diverging copy — use a "
+                    "tuple/frozenset or move it into the owning object",
+                )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            return bool(dotted) and dotted.split(".")[-1] in self._MUTABLE_CALLS
+        return False
+
+
+class _ErrorHandling(_Checker):
+    """RPR004: bare excepts and silent swallows."""
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.hit("RPR004", node, "bare except: names no exception class")
+        elif self._is_silent(node.body):
+            caught = self._caught_names(node.type)
+            broad = caught & _BROAD_EXCEPTIONS
+            if broad:
+                self.hit(
+                    "RPR004",
+                    node,
+                    f"silently swallows {'/'.join(sorted(broad))}; log, "
+                    "narrow the class, or re-raise",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_silent(body: Sequence[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+            for stmt in body
+        )
+
+    @staticmethod
+    def _caught_names(node: ast.expr) -> set:
+        names = set()
+        for sub in [node] + (list(node.elts) if isinstance(node, ast.Tuple) else []):
+            dotted = _dotted_name(sub)
+            if dotted:
+                names.add(dotted.split(".")[-1])
+        return names
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+def _matches(relpath: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch.fnmatch(relpath, pat) for pat in patterns)
+
+
+def lint_source(source: str, relpath: str) -> List[LintFinding]:
+    """Lint one module's source; ``relpath`` selects the applicable rules."""
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                rule="RPR000",
+                path=relpath,
+                line=exc.lineno or 1,
+                message=f"syntax error: {exc.msg}",
+                snippet=exc.text or "",
+            )
+        ]
+    checkers: List[_Checker] = []
+    if _matches(relpath, BACKEND_GENERIC):
+        checkers.append(_BackendPurity(tree))
+    if _matches(relpath, DETERMINISTIC):
+        checkers.append(_Determinism(tree))
+    checkers.append(_ErrorHandling(tree))
+    for checker in checkers:
+        checker.visit(tree)
+    if _matches(relpath, FORK_SAFE):
+        fork = _ForkSafety(tree)
+        fork.check()
+        checkers.append(fork)
+
+    lines = source.splitlines()
+    raw: List[Tuple[str, int, str]] = []
+    for checker in checkers:
+        raw.extend(checker.hits)
+    raw.sort(key=lambda h: (h[1], h[0]))
+
+    occurrence: Dict[Tuple[str, str], int] = {}
+    findings = []
+    for rule, lineno, message in raw:
+        snippet = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        key = (rule, snippet.strip())
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        findings.append(
+            LintFinding(
+                rule=rule,
+                path=relpath,
+                line=lineno,
+                message=message,
+                snippet=snippet,
+                occurrence=index,
+            )
+        )
+    return findings
+
+
+def _inline_suppressed(finding: LintFinding, source_lines: Sequence[str]) -> bool:
+    if not (0 < finding.line <= len(source_lines)):
+        return False
+    match = _SUPPRESS_RE.search(source_lines[finding.line - 1])
+    if not match:
+        return False
+    rules = {r.strip() for r in match.group(1).split(",")}
+    return finding.rule in rules
+
+
+def load_baseline(path: Path) -> set:
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    return set(data.get("suppressions", []))
+
+
+def save_baseline(path: Path, findings: Iterable[LintFinding]) -> None:
+    payload = {
+        "format": 1,
+        "comment": (
+            "Accepted pre-existing lint findings (cold paths); burn these "
+            "down, never add to them by hand. Regenerate with "
+            "`python -m repro lint --update-baseline`."
+        ),
+        "suppressions": sorted(f.fingerprint() for f in findings),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def run_lint(
+    root: Path,
+    *,
+    baseline: Optional[Path] = None,
+) -> LintReport:
+    """Lint every ``*.py`` under ``root`` (a directory containing ``repro/``).
+
+    ``baseline`` holds accepted fingerprints; matching findings are reported
+    in ``report.baselined`` instead of failing the run.
+    """
+    root = Path(root)
+    accepted = load_baseline(baseline) if baseline else set()
+    report = LintReport()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        relpath = path.relative_to(root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        source_lines = source.splitlines()
+        report.files_scanned += 1
+        for finding in lint_source(source, relpath):
+            if _inline_suppressed(finding, source_lines):
+                report.suppressed.append(finding)
+            elif finding.fingerprint() in accepted:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    return report

@@ -20,13 +20,13 @@ from repro.backend.numpy_backend import NumpyBackend
 BackendLike = Union[str, ArrayBackend, None]
 
 #: name -> zero-argument factory; extend with :func:`register_backend`
-_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}  # repro-lint: ignore[RPR003] populated at import, identical in every process
 
 #: probe order for ``get_backend("auto")``
 AUTO_ORDER = ("cupy", "torch", "numpy")
 
 _lock = threading.Lock()
-_instances: Dict[str, ArrayBackend] = {}
+_instances: Dict[str, ArrayBackend] = {}  # repro-lint: ignore[RPR003] per-process instance cache by design
 _default_name = "numpy"
 
 

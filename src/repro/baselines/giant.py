@@ -194,8 +194,17 @@ class GIANT(DistributedSolver):
             }
             return self._w
 
+        # Effect declarations: ``local_line_values`` reads ``value_at_w``
+        # only in the overlap variant (a conditional the AST inference would
+        # over-approximate), so each variant declares its exact footprint.
+        line_values_reads = ["direction"]
+        if self.overlap_gradient:
+            line_values_reads.append("value_at_w")
+
         plan = RoundPlan("giant-overlap" if self.overlap_gradient else "giant")
-        plan.local("local_grads", local_gradient, label="gradient")
+        plan.local(
+            "local_grads", local_gradient, label="gradient", effects={"reads": []}
+        )
         if self.overlap_gradient:
             # The all-reduce rides in the background while every worker
             # evaluates f_i(w) — round 3's step-independent term, the one
@@ -203,24 +212,62 @@ class GIANT(DistributedSolver):
             # Only then is the transfer joined; the CG solve (whose RHS is
             # the reduced gradient) stays strictly after the join, which the
             # context's in-flight guard enforces.
-            plan.allreduce("grad_sum", lambda ctx: ctx["local_grads"], overlap=True)
+            plan.allreduce(
+                "grad_sum",
+                lambda ctx: ctx["local_grads"],
+                overlap=True,
+                effects={"reads": ["local_grads"]},
+            )
             plan.local(
                 "value_at_w",
                 lambda worker, ctx: worker.objective.value(w),
                 label="line-search-f0",
+                effects={"reads": []},
             )
             plan.join()
         else:
-            plan.allreduce("grad_sum", lambda ctx: ctx["local_grads"])
-        plan.master(lambda ctx: ctx["grad_sum"] + lam * w, name="grad")
-        plan.local("local_dirs", local_direction, label="newton-cg")
-        plan.allreduce("dir_sum", lambda ctx: ctx["local_dirs"])
+            plan.allreduce(
+                "grad_sum",
+                lambda ctx: ctx["local_grads"],
+                effects={"reads": ["local_grads"]},
+            )
         plan.master(
-            lambda ctx: ctx["dir_sum"] / cluster.n_workers, name="direction"
+            lambda ctx: ctx["grad_sum"] + lam * w,
+            name="grad",
+            effects={"reads": ["grad_sum"]},
         )
-        plan.local("line_values", local_line_values, label="line-search")
-        plan.allreduce("line_values_sum", lambda ctx: ctx["line_values"])
-        plan.master(choose_step, name="w")
+        plan.local(
+            "local_dirs",
+            local_direction,
+            label="newton-cg",
+            effects={"reads": ["grad", "worker:local_mean_loss"]},
+        )
+        plan.allreduce(
+            "dir_sum",
+            lambda ctx: ctx["local_dirs"],
+            effects={"reads": ["local_dirs"]},
+        )
+        plan.master(
+            lambda ctx: ctx["dir_sum"] / cluster.n_workers,
+            name="direction",
+            effects={"reads": ["dir_sum"]},
+        )
+        plan.local(
+            "line_values",
+            local_line_values,
+            label="line-search",
+            effects={"reads": line_values_reads},
+        )
+        plan.allreduce(
+            "line_values_sum",
+            lambda ctx: ctx["line_values"],
+            effects={"reads": ["line_values"]},
+        )
+        plan.master(
+            choose_step,
+            name="w",
+            effects={"reads": ["direction", "grad", "line_values_sum"]},
+        )
         plan.returns("w")
         return plan
 

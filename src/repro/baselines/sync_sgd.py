@@ -139,9 +139,23 @@ class SynchronousSGD(DistributedSolver):
                 "step_grads",
                 lambda worker, ctx: self._local_batch_gradient(worker, ctx["w"]),
                 label="minibatch-grad",
+                effects={
+                    "reads": ["w", "worker:local_mean_loss", "worker:rng"],
+                    "writes": ["worker:rng"],
+                },
             )
-            body.allreduce("step_grad_sum", lambda ctx: ctx["step_grads"])
-            body.master(update)
+            body.allreduce(
+                "step_grad_sum",
+                lambda ctx: ctx["step_grads"],
+                effects={"reads": ["step_grads"]},
+            )
+            body.master(
+                update,
+                effects={
+                    "reads": ["step_grad_sum", "w", "velocity"],
+                    "writes": ["w", "velocity"],
+                },
+            )
 
         plan.repeat(n_steps, sgd_step)
 
@@ -154,7 +168,7 @@ class SynchronousSGD(DistributedSolver):
             }
             return self._w
 
-        plan.master(commit, name="w")
+        plan.master(commit, name="w", effects={"reads": ["w", "velocity"]})
         plan.returns("w")
         return plan
 

@@ -20,7 +20,7 @@ from repro.datasets.synthetic import (
 )
 
 #: Paper's Table 1, used for reporting and for scaling the synthetic stand-ins.
-PAPER_TABLE1 = {
+PAPER_TABLE1 = {  # repro-lint: ignore[RPR003] filled once below, read-only after import
     "higgs": {"n_classes": 2, "n_samples": 11_000_000, "test_size": 1_000_000, "n_features": 28},
     "mnist": {"n_classes": 10, "n_samples": 70_000, "test_size": 10_000, "n_features": 784},
     "cifar10": {"n_classes": 10, "n_samples": 60_000, "test_size": 10_000, "n_features": 3_072},
@@ -157,7 +157,7 @@ def e18_like(
     return _split(ds, n_test, random_state)
 
 
-DATASET_REGISTRY: Dict[str, DatasetSpec] = {
+DATASET_REGISTRY: Dict[str, DatasetSpec] = {  # repro-lint: ignore[RPR003] filled once below, read-only after import
     "higgs_like": DatasetSpec(
         name="higgs_like",
         paper_name="HIGGS",

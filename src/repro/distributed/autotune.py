@@ -9,13 +9,26 @@ prescriptive loop — it *improves* schedules:
     Walks a plan and flags every blocking :class:`Collective` whose result is
     not needed before the next :class:`LocalStep`; each flagged collective is
     rewritten to ``overlap=True`` with a :class:`Join` inserted after the
-    local compute it can hide behind.  Legality is decided by the *existing*
-    in-flight guard, not by a second analysis: when a probe cluster is
-    supplied, each rewrite is trial-executed and kept only if the guard does
-    not object (a consuming step reads the in-flight key → ``ScheduleError``
-    → the rewrite is rolled back).  Rewrites never change the declared round
-    count — ``overlap`` does not open rounds and ``Join`` is not a
-    collective — which the proposer asserts.
+    local compute it can hide behind.  Legality is decided per the ``verify``
+    mode: ``"static"`` consults the effect-typed dataflow verifier
+    (:func:`repro.analysis.verify.verify_plan`) and never executes anything —
+    the mode tournaments use; ``"execute"`` trial-runs each rewrite against
+    the runtime in-flight guard on a probe cluster (a consuming step reads
+    the in-flight key → ``ScheduleError`` → the rewrite is rolled back);
+    ``"both"`` runs the two and *raises* on disagreement — the differential
+    backstop that keeps the static model honest.  Rewrites never change the
+    declared round count — ``overlap`` does not open rounds and ``Join`` is
+    not a collective — which the proposer asserts.
+
+:func:`propose_hoist`
+    The rewrite :func:`propose_overlap` by design cannot make: *move* a
+    step-independent :class:`LocalStep` earlier, under a collective's
+    in-flight window, when every step it crosses is provably independent of
+    it (GIANT's hand-written overlap variant hoists the line search's
+    ``f_i(w)`` evaluation this way).  Legality is decided entirely by the
+    effect model — reordering is invisible to the runtime guard, so only
+    static reads/writes reasoning (including per-worker state channels) can
+    license it.
 
 :func:`run_tournament`
     A seeded search over quorum size, staleness bound, ADMM penalty /
@@ -46,9 +59,12 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.distributed.schedule import (
+    Barrier,
     Collective,
+    DynamicStep,
     Join,
     LocalStep,
+    Repeat,
     RoundPlan,
     ScheduleError,
     execute_plan,
@@ -56,13 +72,18 @@ from repro.distributed.schedule import (
 from repro.distributed.schedule_diff import ClusterProfile
 
 __all__ = [
+    "HoistProposal",
     "OverlapProposal",
+    "propose_hoist",
     "propose_overlap",
     "TournamentEntry",
     "TournamentResult",
     "default_entries",
     "run_tournament",
 ]
+
+#: legality-check modes for the rewrite proposers
+VERIFY_MODES = ("static", "execute", "both")
 
 
 # ---------------------------------------------------------------------------
@@ -73,15 +94,19 @@ class OverlapProposal:
     """Outcome of :func:`propose_overlap`.
 
     ``candidates`` records every flagged collective with its status:
-    ``"proposed"`` (rewrite kept), ``"rejected"`` (the in-flight guard
-    objected during trial execution; rolled back) or ``"unverified"``
-    (no probe cluster supplied; rewrite kept but unchecked).
+    ``"proposed"`` (rewrite kept), ``"rejected"`` (the verifier objected;
+    rolled back) or ``"unverified"`` (no verification requested; rewrite
+    kept but unchecked).  ``verify_mode`` records how legality was decided:
+    ``"static"`` (effect-typed dataflow walk), ``"execute"`` (trial
+    execution against the runtime in-flight guard), ``"both"``
+    (differential: the two must agree) or ``"none"``.
     """
 
     original: RoundPlan
     proposed: RoundPlan
     candidates: List[dict] = field(default_factory=list)
     verified: bool = False
+    verify_mode: str = "none"
 
     @property
     def n_applied(self) -> int:
@@ -95,9 +120,62 @@ class OverlapProposal:
         return {
             "plan": self.original.name,
             "verified": self.verified,
+            "verify_mode": self.verify_mode,
             "applied": self.n_applied,
             "candidates": [dict(c) for c in self.candidates],
         }
+
+
+def _resolve_verify_mode(verify: Optional[str], verify_on) -> str:
+    """Normalize the ``verify``/``verify_on`` pair into one mode string.
+
+    ``verify=None`` keeps the pre-static behaviour: trial execution when a
+    probe cluster is supplied, unverified otherwise.
+    """
+    if verify is None:
+        return "execute" if verify_on is not None else "none"
+    if verify not in VERIFY_MODES:
+        raise ValueError(
+            f"verify must be one of {VERIFY_MODES}, got {verify!r}"
+        )
+    if verify in ("execute", "both") and verify_on is None:
+        raise ValueError(
+            f"verify={verify!r} trial-executes rewrites and needs a "
+            "verify_on cluster"
+        )
+    return verify
+
+
+def _check_trial(trial: RoundPlan, mode: str, verify_on) -> Tuple[bool, str]:
+    """Decide one rewrite's legality under ``mode``; returns (ok, reason).
+
+    The static arm asks only the schedule-structure question (no fault
+    profile), because that is the question trial execution answers — the
+    differential mode must compare like with like.
+    """
+    static_ok, static_reason = True, ""
+    if mode in ("static", "both"):
+        from repro.analysis.verify import verify_plan
+
+        report = verify_plan(trial)
+        static_ok, static_reason = report.ok, report.reason()
+    exec_ok, exec_reason = True, ""
+    if mode in ("execute", "both"):
+        try:
+            execute_plan(verify_on, trial)
+        except ScheduleError as exc:
+            exec_ok, exec_reason = False, str(exc)
+    if mode == "both" and static_ok != exec_ok:
+        raise ScheduleError(
+            f"static verifier and trial execution disagree on rewrite of "
+            f"plan {trial.name!r}: static says "
+            f"{'legal' if static_ok else f'illegal ({static_reason})'}, "
+            f"execution says "
+            f"{'legal' if exec_ok else f'illegal ({exec_reason})'}"
+        )
+    if mode == "static":
+        return static_ok, static_reason
+    return exec_ok and static_ok, exec_reason or static_reason
 
 
 def _overlap_candidates(steps: Sequence) -> List[Tuple[int, int]]:
@@ -133,20 +211,26 @@ def propose_overlap(
     *,
     verify_on=None,
     profile: Optional[ClusterProfile] = None,
+    verify: Optional[str] = None,
 ) -> OverlapProposal:
     """Rewrite ``plan`` to overlap collectives whose results can wait.
 
     Candidates are applied one at a time — most promising first when a
     ``profile`` prices the transfers (the biggest hide is attempted first) —
-    and each application is trial-executed on ``verify_on`` (a throwaway
-    cluster: execution runs the plan's thunks) and rolled back when the
-    in-flight guard raises :class:`ScheduleError`.  Without a probe cluster
-    the rewrites are returned unverified.
+    and each application is checked per ``verify``: ``"static"`` runs the
+    effect-typed dataflow verifier (no execution, no cluster needed — the
+    fast path tournaments use), ``"execute"`` trial-executes on ``verify_on``
+    (a throwaway cluster: execution runs the plan's thunks), ``"both"`` does
+    both and raises :class:`ScheduleError` when they disagree.  A rejected
+    rewrite is rolled back with the verifier's reason recorded.  The default
+    (``verify=None``) infers ``"execute"`` when a probe cluster is supplied
+    and returns unverified rewrites otherwise.
 
     Repeat bodies are left untouched: their steps execute ``times`` times,
     and a Join placed after the body would let transfers from earlier trips
     float across later ones — a different schedule than declared.
     """
+    mode = _resolve_verify_mode(verify, verify_on)
     working = plan.structural_copy()
     candidates: List[dict] = []
     attempted: set = set()
@@ -171,19 +255,18 @@ def propose_overlap(
             "name": coll.name,
             "op": coll.op,
             "index": coll_index,
-            "status": "unverified" if verify_on is None else "proposed",
+            "status": "unverified" if mode == "none" else "proposed",
         }
         if profile is not None:
             entry["transfer_seconds"] = profile.collective_seconds(coll.op)
         trial = working.structural_copy()
         trial.steps[coll_index].overlap = True
         trial.steps.insert(local_index + 1, Join())
-        if verify_on is not None:
-            try:
-                execute_plan(verify_on, trial)
-            except ScheduleError as exc:
+        if mode != "none":
+            ok, reason = _check_trial(trial, mode, verify_on)
+            if not ok:
                 entry["status"] = "rejected"
-                entry["reason"] = str(exc)
+                entry["reason"] = reason
                 candidates.append(entry)
                 continue
         working = trial
@@ -199,7 +282,199 @@ def propose_overlap(
         original=plan,
         proposed=working,
         candidates=candidates,
-        verified=verify_on is not None,
+        verified=mode != "none",
+        verify_mode=mode,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Effect-verified hoisting
+# ---------------------------------------------------------------------------
+@dataclass
+class HoistProposal:
+    """Outcome of :func:`propose_hoist` (same shape as :class:`OverlapProposal`).
+
+    Each candidate records the collective whose transfer gains a hidden
+    window, the :class:`LocalStep` moved under it, and the steps the move
+    crossed.
+    """
+
+    original: RoundPlan
+    proposed: RoundPlan
+    candidates: List[dict] = field(default_factory=list)
+    verified: bool = True
+    verify_mode: str = "static"
+
+    @property
+    def n_applied(self) -> int:
+        return sum(1 for c in self.candidates if c["status"] == "proposed")
+
+    @property
+    def changed(self) -> bool:
+        return self.n_applied > 0
+
+    def describe(self) -> dict:
+        return {
+            "plan": self.original.name,
+            "verified": self.verified,
+            "verify_mode": self.verify_mode,
+            "applied": self.n_applied,
+            "candidates": [dict(c) for c in self.candidates],
+        }
+
+
+def _hoist_candidate(steps: Sequence, coll_index: int) -> Optional[dict]:
+    """Find a LocalStep legally hoistable under collective ``coll_index``.
+
+    Conditions (all decided by the effect model; ``None`` when no candidate):
+
+    * every step between the collective and the local step has an *exact*
+      footprint (context and worker state) — unknown effects veto reordering;
+    * some step in between reads the collective's result — otherwise a plain
+      overlap proposal already covers the shape and no move is needed;
+    * the local step reads neither the collective's result nor anything the
+      crossed steps write, and writes nothing the crossed steps read *or*
+      write (both orders of two writes to one key are observable downstream).
+
+    The scan stops at joins, barriers, overlapped collectives, dynamic steps
+    and repeat bodies: crossing those changes in-flight structure in ways
+    this rewrite does not model.
+    """
+    from repro.analysis.effects import step_effects
+
+    coll = steps[coll_index]
+    consumed_early = False
+    crossed_reads: set = set()
+    crossed_writes: set = set()
+    crossed_names: List[str] = []
+    for k in range(coll_index + 1, len(steps)):
+        step = steps[k]
+        if isinstance(step, (Join, Barrier, DynamicStep, Repeat)):
+            return None
+        if isinstance(step, Collective) and step.overlap:
+            return None
+        eff = step_effects(step)
+        if not eff.exact:
+            return None
+        if isinstance(step, LocalStep):
+            moved_reads = eff.reads
+            moved_writes = eff.writes
+            legal = (
+                consumed_early
+                and coll.name not in moved_reads
+                and not (moved_reads & crossed_writes)
+                and not (moved_writes & crossed_reads)
+                and not (moved_writes & crossed_writes)
+            )
+            if legal:
+                return {
+                    "collective": coll.name,
+                    "op": coll.op,
+                    "local": step.name,
+                    "local_index": k,
+                    "index": coll_index,
+                    "crossed": list(crossed_names),
+                }
+        if coll.name in eff.ctx_reads():
+            consumed_early = True
+        crossed_reads |= eff.reads
+        crossed_writes |= eff.writes
+        name = getattr(step, "name", None)
+        crossed_names.append(name or type(step).__name__.lower())
+    return None
+
+
+def propose_hoist(
+    plan: RoundPlan,
+    *,
+    verify: str = "static",
+    verify_on=None,
+    profile: Optional[ClusterProfile] = None,
+) -> HoistProposal:
+    """Hoist step-independent local compute under a collective's transfer.
+
+    The move :func:`propose_overlap` cannot make: when a blocking
+    collective's result is consumed *immediately* (so there is no compute to
+    hide behind in place), but a later :class:`LocalStep` is provably
+    independent of everything in between, that step is moved directly after
+    the collective, the collective is marked ``overlap=True``, and a
+    :class:`Join` is inserted after the moved step.  GIANT's hand-written
+    ``overlap_gradient`` plan is exactly this rewrite applied to its base
+    plan (pinned by ``tests/test_analysis.py``).
+
+    Legality is inherently static — the runtime in-flight guard cannot see a
+    reorder, only the effect model can — so ``verify="static"`` is the
+    default and ``"execute"`` alone is refused; ``"both"`` additionally
+    trial-executes the final plan on ``verify_on`` as a sanity backstop.
+    """
+    if verify not in ("static", "both"):
+        raise ValueError(
+            "propose_hoist legality is decided by the effect model; "
+            f"verify must be 'static' or 'both', got {verify!r}"
+        )
+    if verify == "both" and verify_on is None:
+        raise ValueError("verify='both' needs a verify_on cluster")
+    working = plan.structural_copy()
+    candidates: List[dict] = []
+    attempted: set = set()
+    while True:
+        found = None
+        order = [
+            i
+            for i, step in enumerate(working.steps)
+            if isinstance(step, Collective)
+            and not step.overlap
+            and not step.joint_with_previous
+            and step.op != "reduce_scalar"
+            and step.name not in attempted
+        ]
+        if profile is not None:
+            order.sort(
+                key=lambda i: -profile.collective_seconds(working.steps[i].op)
+            )
+        for coll_index in order:
+            candidate = _hoist_candidate(working.steps, coll_index)
+            attempted.add(working.steps[coll_index].name)
+            if candidate is not None:
+                found = candidate
+                break
+        if found is None:
+            break
+        if profile is not None:
+            found["transfer_seconds"] = profile.collective_seconds(found["op"])
+        trial = working.structural_copy()
+        moved = trial.steps.pop(found["local_index"])
+        trial.steps[found["index"]].overlap = True
+        trial.steps.insert(found["index"] + 1, moved)
+        trial.steps.insert(found["index"] + 2, Join())
+        from repro.analysis.verify import verify_plan
+
+        report = verify_plan(trial)
+        if not report.ok:
+            found["status"] = "rejected"
+            found["reason"] = report.reason()
+            candidates.append(found)
+            continue
+        found["status"] = "proposed"
+        candidates.append(found)
+        working = trial
+    if verify == "both" and candidates and verify_on is not None:
+        # The reorder itself is not executable-checkable, but the resulting
+        # plan must still satisfy the runtime guard end to end.
+        execute_plan(verify_on, working)
+    if plan.declared_rounds is not None:
+        if working.declared_rounds != plan.declared_rounds:
+            raise ScheduleError(
+                f"hoist proposal changed the declared round count of "
+                f"{plan.name!r}: {plan.declared_rounds} -> "
+                f"{working.declared_rounds}"
+            )
+    return HoistProposal(
+        original=plan,
+        proposed=working,
+        candidates=candidates,
+        verified=True,
+        verify_mode=verify,
     )
 
 

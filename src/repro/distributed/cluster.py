@@ -64,7 +64,7 @@ def _logistic_factory(
     )
 
 
-LOSS_FACTORIES = {
+LOSS_FACTORIES = {  # repro-lint: ignore[RPR003] populated at import, identical in every process
     "softmax": _softmax_factory,
     "logistic": _logistic_factory,
 }

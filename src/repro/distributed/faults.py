@@ -480,7 +480,7 @@ class FailureModel:
             if not parts or any(not p for p in parts):
                 raise bad(token, "worker ids joined by '+', e.g. 0+1")
             return [
-                parse_int(p.lstrip("wW") or p, token, "a worker id")
+                parse_int(p.lstrip("wW") or p, token, "a worker id")  # noqa: B005
                 for p in parts
             ]
 
@@ -577,7 +577,7 @@ class FailureModel:
                     )
             elif "@" in token:
                 wid_part, _, at = token.partition("@")
-                wid_part = wid_part.strip().lstrip("wW")
+                wid_part = wid_part.strip().lstrip("wW")  # noqa: B005
                 if not wid_part:
                     raise bad(token, "W@TIME or W@rROUND")
                 wid = parse_int(wid_part, token, "a worker id")

@@ -82,6 +82,16 @@ class ScheduleError(RuntimeError):
 # ---------------------------------------------------------------------------
 # IR nodes
 # ---------------------------------------------------------------------------
+
+#: declared effect footprint of a step's thunk: ``{"reads": [...], "writes":
+#: [...]}`` over context keys plus ``worker:<key>`` pseudo-keys for per-worker
+#: state.  ``None`` means "infer from the thunk's source" (see
+#: :mod:`repro.analysis.effects`).  Deliberately excluded from
+#: :func:`step_signature` and ``describe()`` — effects annotate the schedule,
+#: they are not part of its structural identity.
+EffectSpec = Dict[str, Sequence[str]]
+
+
 @dataclass
 class LocalStep:
     """Per-worker compute thunk ``fn(worker, ctx)``; results bind to ``name``."""
@@ -91,6 +101,7 @@ class LocalStep:
     label: str = "compute"
     #: optional subset of worker ids (default: every worker)
     workers: Optional[Sequence[int]] = None
+    effects: Optional[EffectSpec] = None
 
     def describe(self) -> dict:
         return {"step": "local", "name": self.name, "label": self.label}
@@ -111,6 +122,7 @@ class Collective:
     joint_with_previous: bool = False
     overlap: bool = False
     on_failure: Optional[str] = None
+    effects: Optional[EffectSpec] = None
 
     def __post_init__(self) -> None:
         if self.op not in COLLECTIVE_OPS:
@@ -147,6 +159,7 @@ class GlobalStep:
 
     fn: Callable[[dict], Any]
     name: Optional[str] = None
+    effects: Optional[EffectSpec] = None
 
     def describe(self) -> dict:
         return {"step": "global", "name": self.name or ""}
@@ -177,6 +190,7 @@ class DynamicStep:
     name: str
     fn: Callable[..., Any]
     rounds: str = "data-dependent"
+    effects: Optional[EffectSpec] = None
 
     def describe(self) -> dict:
         return {"step": "dynamic", "name": self.name, "rounds": self.rounds}
@@ -342,11 +356,14 @@ class RoundPlan:
         *,
         label: str = "compute",
         workers: Optional[Sequence[int]] = None,
+        effects: Optional[EffectSpec] = None,
     ) -> "RoundPlan":
         """Append a :class:`LocalStep`: run ``fn(worker, ctx)`` on every
         worker (or the ``workers`` subset) in parallel; the list of results
         binds to ``ctx[name]``."""
-        return self.add(LocalStep(name, fn, label=label, workers=workers))
+        return self.add(
+            LocalStep(name, fn, label=label, workers=workers, effects=effects)
+        )
 
     def collective(
         self,
@@ -356,6 +373,7 @@ class RoundPlan:
         *,
         joint_with_previous: bool = False,
         overlap: bool = False,
+        effects: Optional[EffectSpec] = None,
     ) -> "RoundPlan":
         """Append a :class:`Collective` of kind ``op`` (see
         :data:`COLLECTIVE_OPS`); ``payload(ctx)`` builds the buffers and the
@@ -367,6 +385,7 @@ class RoundPlan:
                 payload,
                 joint_with_previous=joint_with_previous,
                 overlap=overlap,
+                effects=effects,
             )
         )
 
@@ -396,10 +415,16 @@ class RoundPlan:
         ``joint_with_previous=True``."""
         return self.collective(name, "reduce_scalar", payload, **kwargs)
 
-    def master(self, fn: Callable[[dict], Any], *, name: Optional[str] = None) -> "RoundPlan":
+    def master(
+        self,
+        fn: Callable[[dict], Any],
+        *,
+        name: Optional[str] = None,
+        effects: Optional[EffectSpec] = None,
+    ) -> "RoundPlan":
         """Append a :class:`GlobalStep`: uncharged master-side glue ``fn(ctx)``
         whose return value binds to ``ctx[name]`` when named."""
-        return self.add(GlobalStep(fn, name=name))
+        return self.add(GlobalStep(fn, name=name, effects=effects))
 
     def barrier(self, label: str = "barrier") -> "RoundPlan":
         """Append an explicit synchronization point (event engine only)."""
@@ -411,11 +436,16 @@ class RoundPlan:
         return self.add(Join())
 
     def dynamic(
-        self, name: str, fn: Callable[..., Any], *, rounds: str = "data-dependent"
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        *,
+        rounds: str = "data-dependent",
+        effects: Optional[EffectSpec] = None,
     ) -> "RoundPlan":
         """Append a :class:`DynamicStep` ``fn(cluster, ctx)`` issuing its own
         data-dependent rounds; makes the plan's round count undeclarable."""
-        return self.add(DynamicStep(name, fn, rounds=rounds))
+        return self.add(DynamicStep(name, fn, rounds=rounds, effects=effects))
 
     def repeat(self, times: int, build: Callable[["RoundPlan"], Any]) -> "RoundPlan":
         """Append a body of steps executed ``times`` times.

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .`` or with ``src/`` on ``PYTHONPATH``)::
     python -m repro run figure1 --scale quick --out results/
     python -m repro run all --scale small --out results/small
     python -m repro solvers                   # registered distributed solvers
+    python -m repro lint                      # repo-contract static lint
 
 ``run`` executes the selected figure/table driver(s), prints the same report
 the paper's figure shows, writes rows (JSON + CSV), per-method traces and the
@@ -287,6 +288,41 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["numpy", "cupy", "torch", "auto"],
         default=None,
         help="array backend the scoring GEMMs run on (default numpy)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's own static-contract lint "
+        "(backend purity, determinism, fork safety, honest error handling; "
+        "see docs/analysis.md)",
+    )
+    lint.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="scan root containing the repro/ package (default: the "
+        "installed source tree)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON of accepted fingerprints (default: "
+        "lint_baseline.json next to the scan root, if present)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding and exit 0",
+    )
+    lint.add_argument(
+        "--json",
+        type=Path,
+        dest="json_out",
+        default=None,
+        metavar="REPORT",
+        help="also write the structured report (findings + fingerprints) "
+        "to this JSON file",
     )
     return parser
 
@@ -571,6 +607,34 @@ def _cmd_serve(args, print_fn: Callable[[str], None]) -> int:
     )
 
 
+def _cmd_lint(args, print_fn: Callable[[str], None]) -> int:
+    import json
+
+    import repro
+    from repro.analysis.lint import run_lint, save_baseline
+
+    root = args.root or Path(repro.__file__).resolve().parent.parent
+    default_baseline = root.parent / "lint_baseline.json"
+    if args.update_baseline:
+        report = run_lint(root)
+        target = args.baseline or default_baseline
+        save_baseline(target, report.findings)
+        print_fn(
+            f"accepted {len(report.findings)} finding(s) into {target} "
+            f"({len(report.suppressed)} already suppressed inline)"
+        )
+        return 0
+    baseline = args.baseline
+    if baseline is None and default_baseline.is_file():
+        baseline = default_baseline
+    report = run_lint(root, baseline=baseline)
+    print_fn(report.render())
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(report.describe(), indent=2) + "\n")
+        print_fn(f"wrote JSON report to {args.json_out}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, *, print_fn: Callable[[str], None] = print) -> int:
     """Entry point used by ``python -m repro`` (returns the process exit code)."""
     parser = build_parser()
@@ -591,6 +655,8 @@ def main(argv: Optional[Sequence[str]] = None, *, print_fn: Callable[[str], None
         return _cmd_tune(args, print_fn)
     if args.command == "serve":
         return _cmd_serve(args, print_fn)
+    if args.command == "lint":
+        return _cmd_lint(args, print_fn)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

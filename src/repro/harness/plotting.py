@@ -71,7 +71,7 @@ def ascii_line_plot(
     y_span = (y_max - y_min) or 1.0
 
     canvas = [[" "] * width for _ in range(height)]
-    for idx, (label, (x, y)) in enumerate(cleaned.items()):
+    for idx, (x, y) in enumerate(cleaned.values()):
         marker = _MARKERS[idx % len(_MARKERS)]
         cols = np.clip(((x - x_min) / x_span * (width - 1)).round().astype(int), 0, width - 1)
         rows = np.clip(((y - y_min) / y_span * (height - 1)).round().astype(int), 0, height - 1)
@@ -249,7 +249,7 @@ def plot_gantt(
     def render(segments, glyph_for) -> str:
         # Majority activity per cell; later segments win exact ties so the
         # chart reflects what the worker moved on to.
-        occupancy = [dict() for _ in range(width)]
+        occupancy = [{} for _ in range(width)]
         for seg in segments:
             lo = int(np.clip(seg.start / span * width, 0, width - 1))
             hi = int(np.clip(np.ceil(seg.end / span * width), lo + 1, width))

@@ -164,11 +164,11 @@ class Objective(ABC):
         """
         d = self.dim
         backend = self.backend
-        H = np.empty((d, d))
+        H = np.empty((d, d))  # repro-lint: ignore[RPR001] host-side by contract
         for start in range(0, d, block_size):
             stop = min(start + block_size, d)
-            E = np.zeros((d, stop - start))
-            E[start:stop] = np.eye(stop - start)
+            E = np.zeros((d, stop - start))  # repro-lint: ignore[RPR001] host-side by contract
+            E[start:stop] = np.eye(stop - start)  # repro-lint: ignore[RPR001] host-side by contract
             H[:, start:stop] = backend.to_numpy(
                 self.hvp_mat(w, backend.asarray(E))
             )

@@ -90,7 +90,7 @@ class BinarySquaredHinge(Objective):
         (computed on the host)."""
         w = self.check_weights(w)
         active = (self._backend.to_numpy(self._margins(w)) < 1.0).astype(np.float64)
-        d = np.sqrt(2.0 * self.scale) * active
+        d = np.sqrt(2.0 * self.scale) * active  # repro-lint: ignore[RPR001] host-side by contract
         X = host_matrix(self.X)
         if hasattr(X, "multiply"):
             return np.asarray(X.multiply(d[:, None]).todense())
@@ -156,8 +156,8 @@ class MulticlassSquaredHinge(Objective):
         self.dim = self.n_classes * self.n_features
         self.scale = resolve_scale(scale, self.X.shape[0])
         n = self.X.shape[0]
-        signs = -np.ones((n, self.n_classes))
-        signs[np.arange(n), self.y] = 1.0
+        signs = -np.ones((n, self.n_classes))  # repro-lint: ignore[RPR001] host-side by contract
+        signs[np.arange(n), self.y] = 1.0  # repro-lint: ignore[RPR001] host-side by contract
         self._signs = self._backend.asarray(signs, dtype=data_float_dtype(self.X))
 
     def _as_matrix(self, w):

@@ -66,8 +66,8 @@ class LeastSquares(Objective):
         del w
         X = host_matrix(self.X)
         if hasattr(X, "todense"):
-            return np.sqrt(self.scale) * np.asarray(X.todense())
-        return np.sqrt(self.scale) * self._backend.to_numpy(X)
+            return np.sqrt(self.scale) * np.asarray(X.todense())  # repro-lint: ignore[RPR001] host-side by contract
+        return np.sqrt(self.scale) * self._backend.to_numpy(X)  # repro-lint: ignore[RPR001] host-side by contract
 
     def minibatch(self, indices: np.ndarray) -> "LeastSquares":
         """A new objective over a row subset (mean-scaled over the batch)."""
@@ -91,7 +91,7 @@ class LeastSquares(Objective):
             Xh = self._backend.to_numpy(X)
             gram = Xh.T @ Xh
             rhs_full = Xh.T @ self._backend.to_numpy(self.b)
-        A = self.scale * gram + reg * np.eye(self.dim)
+        A = self.scale * gram + reg * np.eye(self.dim)  # repro-lint: ignore[RPR001] host-side by contract
         rhs = self.scale * rhs_full
         return np.linalg.solve(A, rhs)
 

@@ -113,7 +113,7 @@ class BinaryLogistic(Objective):
         w = self.check_weights(w)
         z = self._backend.to_numpy(self._margins(w))
         s = sigmoid(z)
-        d = np.sqrt(self.scale * s * (1.0 - s))
+        d = np.sqrt(self.scale * s * (1.0 - s))  # repro-lint: ignore[RPR001] host-side by contract
         X = host_matrix(self.X)
         if hasattr(X, "multiply"):
             return np.asarray(X.multiply(d[:, None]).todense())

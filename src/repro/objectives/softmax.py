@@ -109,9 +109,9 @@ class SoftmaxCrossEntropy(Objective):
         # is reused by every gradient evaluation.
         n = self.X.shape[0]
         c = self.n_classes - 1
-        indicator = np.zeros((n, c))
+        indicator = np.zeros((n, c))  # repro-lint: ignore[RPR001] host-side by contract
         mask = self.y < c
-        indicator[np.flatnonzero(mask), self.y[mask]] = 1.0
+        indicator[np.flatnonzero(mask), self.y[mask]] = 1.0  # repro-lint: ignore[RPR001] host-side by contract
         # Follow the data's floating dtype so float32 problems stay float32.
         self._indicator = self._backend.asarray(
             indicator, dtype=data_float_dtype(self.X)

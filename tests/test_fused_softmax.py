@@ -49,7 +49,7 @@ class TestPerIterateCache:
         after_fused = _forward_count(bk)
         assert after_fused > 0  # the forward pass did run
 
-        for seed in range(4):
+        for _ in range(4):
             hvp_op.matvec(rng.standard_normal(obj.dim))
         obj.value(w)
         obj.gradient(w)

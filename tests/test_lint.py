@@ -1,0 +1,210 @@
+"""Unit tests for the repo-contract lint (repro.analysis.lint).
+
+Each rule is exercised on synthetic sources under the scope pattern that
+activates it, plus the suppression machinery (inline comments, baseline
+fingerprints, fingerprint stability under unrelated edits) and — the gate
+this PR adds to CI — the repo's own source tree linting clean against the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import (
+    LINT_RULES,
+    lint_source,
+    load_baseline,
+    run_lint,
+    save_baseline,
+)
+from repro.harness.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# Rules on synthetic sources
+# ---------------------------------------------------------------------------
+class TestRules:
+    def test_rpr001_raw_numpy_in_backend_generic_module(self):
+        src = "import numpy as np\n\ndef f(x):\n    return np.sqrt(x)\n"
+        assert _rules(lint_source(src, "repro/objectives/foo.py")) == ["RPR001"]
+        # same code outside the backend-generic scope is fine
+        assert lint_source(src, "repro/harness/foo.py") == []
+
+    def test_rpr001_allows_host_side_bookkeeping(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.asarray(x, dtype=np.dtype('float64'))\n"
+        )
+        assert lint_source(src, "repro/linalg/foo.py") == []
+
+    def test_rpr001_tracks_import_alias(self):
+        src = "import numpy\n\ndef f(x):\n    return numpy.log(x)\n"
+        assert _rules(lint_source(src, "repro/linalg/foo.py")) == ["RPR001"]
+
+    def test_rpr002_global_rng_and_clock_reads(self):
+        src = (
+            "import time\n"
+            "import numpy as np\n"
+            "def f():\n"
+            "    a = np.random.rand(3)\n"
+            "    b = np.random.default_rng()\n"
+            "    t = time.perf_counter()\n"
+            "    return a, b, t\n"
+        )
+        assert _rules(lint_source(src, "repro/baselines/foo.py")) == [
+            "RPR002",
+            "RPR002",
+            "RPR002",
+        ]
+
+    def test_rpr002_seeded_default_rng_is_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert lint_source(src, "repro/distributed/foo.py") == []
+
+    def test_rpr003_module_level_mutable_state(self):
+        src = "CACHE = {}\nITEMS = [1, 2]\nOK = (1, 2)\n__all__ = ['f']\n"
+        assert _rules(lint_source(src, "repro/distributed/foo.py")) == [
+            "RPR003",
+            "RPR003",
+        ]
+        # function-local mutables are fine
+        assert lint_source(
+            "def f():\n    cache = {}\n    return cache\n",
+            "repro/distributed/foo.py",
+        ) == []
+
+    def test_rpr004_bare_except_and_silent_swallow(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        pass\n"
+            "def h():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        pass\n"
+            "def ok():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert _rules(lint_source(src, "repro/serving/foo.py")) == [
+            "RPR004",
+            "RPR004",
+        ]
+
+    def test_rpr000_syntax_error(self):
+        assert _rules(lint_source("def f(:\n", "repro/foo.py")) == ["RPR000"]
+
+    def test_rule_catalogue_is_complete(self):
+        assert set(LINT_RULES) == {"RPR001", "RPR002", "RPR003", "RPR004"}
+
+
+# ---------------------------------------------------------------------------
+# Suppression machinery
+# ---------------------------------------------------------------------------
+class TestSuppression:
+    SRC = "import numpy as np\n\ndef f(x):\n    return np.sqrt(x)\n"
+
+    def _tree(self, tmp_path: Path, source: str) -> Path:
+        module = tmp_path / "repro" / "objectives"
+        module.mkdir(parents=True)
+        (module / "foo.py").write_text(source)
+        return tmp_path
+
+    def test_inline_suppression(self, tmp_path):
+        suppressed = self.SRC.replace(
+            "return np.sqrt(x)",
+            "return np.sqrt(x)  # repro-lint: ignore[RPR001] reason here",
+        )
+        report = run_lint(self._tree(tmp_path, suppressed))
+        assert report.ok
+        assert _rules(report.suppressed) == ["RPR001"]
+
+    def test_inline_suppression_is_rule_specific(self, tmp_path):
+        wrong_rule = self.SRC.replace(
+            "return np.sqrt(x)",
+            "return np.sqrt(x)  # repro-lint: ignore[RPR002]",
+        )
+        report = run_lint(self._tree(tmp_path, wrong_rule))
+        assert not report.ok
+
+    def test_baseline_round_trip(self, tmp_path):
+        root = self._tree(tmp_path, self.SRC)
+        first = run_lint(root)
+        assert not first.ok
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, first.findings)
+        assert load_baseline(baseline) == {
+            f.fingerprint() for f in first.findings
+        }
+        second = run_lint(root, baseline=baseline)
+        assert second.ok
+        assert _rules(second.baselined) == ["RPR001"]
+
+    def test_fingerprints_survive_unrelated_edits(self, tmp_path):
+        root = self._tree(tmp_path, self.SRC)
+        before = run_lint(root).findings
+        shifted = "# a new leading comment\n\n\n" + self.SRC
+        (root / "repro" / "objectives" / "foo.py").write_text(shifted)
+        after = run_lint(root).findings
+        assert [f.fingerprint() for f in before] == [
+            f.fingerprint() for f in after
+        ]
+        assert before[0].line != after[0].line
+
+    def test_identical_lines_get_distinct_fingerprints(self, tmp_path):
+        doubled = (
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.sqrt(x)\n"
+            "def g(x):\n"
+            "    return np.sqrt(x)\n"
+        )
+        report = run_lint(self._tree(tmp_path, doubled))
+        prints = [f.fingerprint() for f in report.findings]
+        assert len(prints) == 2 and len(set(prints)) == 2
+
+
+# ---------------------------------------------------------------------------
+# The repo's own tree is clean (the CI gate)
+# ---------------------------------------------------------------------------
+def test_repo_lints_clean_against_committed_baseline():
+    report = run_lint(SRC_ROOT, baseline=REPO_ROOT / "lint_baseline.json")
+    assert report.ok, report.render()
+    assert report.files_scanned > 50
+
+
+def test_cli_lint_exits_zero_and_writes_json(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = cli_main(["lint", "--json", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+
+
+def test_cli_lint_fails_on_findings(tmp_path):
+    module = tmp_path / "repro" / "objectives"
+    module.mkdir(parents=True)
+    (module / "bad.py").write_text(
+        "import numpy as np\n\ndef f(x):\n    return np.sqrt(x)\n"
+    )
+    assert cli_main(["lint", "--root", str(tmp_path)]) == 1

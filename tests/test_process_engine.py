@@ -265,7 +265,7 @@ class TestForkSafety:
         try:
             runtime = cluster.process_runtime
             runtime.ensure_started()
-            for rank, info in runtime.child_info.items():
+            for info in runtime.child_info.values():
                 assert info["start_method"] == "spawn"
                 session = info["session"]
                 assert session["engine"] == "process"

@@ -69,7 +69,7 @@ def test_recent_solver_kwargs_are_present_where_defined():
     # The knobs the perf PRs added must show up on the solvers that take
     # them — the mechanical sweep above would also catch this, but these are
     # the regressions this test was written against, so name them.
-    for name, cls in SOLVER_REGISTRY.items():
+    for cls in SOLVER_REGISTRY.values():
         params = set(_init_params(cls))
         recorded = set(cls().hyperparameters())
         for knob in ("cg_block", "precision", "on_failure"):

@@ -22,7 +22,6 @@ import pytest
 hypothesis = pytest.importorskip("hypothesis")
 
 from hypothesis import HealthCheck, given, settings  # noqa: E402
-from hypothesis import strategies as st  # noqa: E402
 
 from repro.datasets.synthetic import make_multiclass_gaussian  # noqa: E402
 from repro.distributed.autotune import propose_overlap  # noqa: E402
@@ -30,7 +29,6 @@ from repro.distributed.cluster import SimulatedCluster  # noqa: E402
 from repro.distributed.schedule import (  # noqa: E402
     Collective,
     Join,
-    RoundPlan,
     execute_plan,
     iter_steps,
     step_signature,
@@ -40,6 +38,8 @@ from repro.distributed.schedule_diff import (  # noqa: E402
     diff_plans,
     estimate_plan_time,
 )
+
+from plan_grammar import round_plans  # noqa: E402
 
 #: bounded profile for the whole module — property tests must stay fast
 BOUNDED = settings(
@@ -55,82 +55,6 @@ _PROFILE = ClusterProfile(n_workers=4)
 
 def _cluster() -> SimulatedCluster:
     return SimulatedCluster(_DATASET, 4, engine="event", random_state=0)
-
-
-# ---------------------------------------------------------------------------
-# Plan grammar: every generated plan is legal AND executable (real thunks)
-# ---------------------------------------------------------------------------
-def _compute(worker, ctx):
-    return 1.0
-
-
-def _payload(key):
-    return lambda ctx: ctx[key]
-
-
-def _consume(key):
-    def fn(ctx):
-        return float(ctx[key]) * 2.0
-
-    return fn
-
-
-@st.composite
-def round_plans(draw) -> RoundPlan:
-    """A random legal plan built from executable segments.
-
-    Segments keep the executor's contracts by construction: overlapped
-    collectives are joined before anyone reads them, ``reduce_scalar`` never
-    overlaps, ``joint_with_previous`` only follows a blocking collective in
-    the same round, and the plan ends joined.
-    """
-    plan = RoundPlan("prop")
-    n_segments = draw(st.integers(min_value=1, max_value=4))
-    uid = 0
-    last_blocking = None  # name of a blocking collective closing the last round
-    for _ in range(n_segments):
-        uid += 1
-        kind = draw(
-            st.sampled_from(
-                ("reduce", "reduce_consumed", "overlap", "scalar", "repeat", "local")
-            )
-        )
-        g, s = f"g{uid}", f"s{uid}"
-        if kind == "local":
-            plan.local(g, _compute)
-            last_blocking = None
-        elif kind == "reduce":
-            plan.local(g, _compute)
-            plan.allreduce(s, _payload(g))
-            last_blocking = s
-        elif kind == "reduce_consumed":
-            plan.local(g, _compute)
-            plan.allreduce(s, _payload(g))
-            plan.master(_consume(s), name=f"m{uid}")
-            last_blocking = s
-        elif kind == "overlap":
-            plan.local(g, _compute)
-            plan.allreduce(s, _payload(g), overlap=True)
-            plan.local(f"hide{uid}", _compute)
-            plan.join()
-            if draw(st.booleans()):
-                plan.master(_consume(s), name=f"m{uid}")
-            last_blocking = None
-        elif kind == "scalar":
-            plan.local(g, _compute)
-            joint = last_blocking is not None and draw(st.booleans())
-            plan.reduce_scalar(s, _payload(g), joint_with_previous=joint)
-            last_blocking = s
-        else:  # repeat
-            times = draw(st.integers(min_value=1, max_value=3))
-
-            def body(b, g=g, s=s):
-                b.local(g, _compute)
-                b.allreduce(s, _payload(g))
-
-            plan.repeat(times, body)
-            last_blocking = None
-    return plan
 
 
 # ---------------------------------------------------------------------------
